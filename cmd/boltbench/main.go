@@ -1,0 +1,89 @@
+// Command boltbench regenerates the paper's tables and figures. Each
+// experiment builds the relevant synthetic workload(s), profiles them
+// under the VM, applies gobolt and/or the compiler baselines, and prints
+// the rows/series the paper reports (see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	boltbench -experiment fig5 [-scale 0.25]
+//	boltbench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gobolt/internal/bench"
+	"gobolt/internal/workload"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2 (comma separated or 'all')")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (iterations multiplier)")
+	heatOut := flag.String("heat-out", "", "write Figure 9 heat maps (CSV + text) with this path prefix")
+	flag.Parse()
+
+	list := strings.Split(*exp, ",")
+	if *exp == "all" {
+		list = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "events", "icf", "fig2"}
+	}
+	sc := bench.Scale(*scale)
+	for _, e := range list {
+		start := time.Now()
+		var report string
+		var err error
+		switch strings.TrimSpace(e) {
+		case "fig5":
+			_, report, err = bench.Fig5(sc)
+		case "fig6":
+			_, report, err = bench.Fig6(sc)
+		case "fig7":
+			_, report, err = bench.CompilerExperiment(workload.Clang(), true, sc)
+		case "fig8":
+			_, report, err = bench.CompilerExperiment(workload.GCC(), false, sc)
+		case "fig9":
+			var before, after *bench.Measurement
+			before, after, report, err = bench.Fig9(sc)
+			if err == nil && *heatOut != "" {
+				werr := os.WriteFile(*heatOut+".before.txt", []byte(before.Heat.Render()), 0o644)
+				if werr == nil {
+					werr = os.WriteFile(*heatOut+".after.txt", []byte(after.Heat.Render()), 0o644)
+				}
+				if werr == nil {
+					werr = os.WriteFile(*heatOut+".before.csv", []byte(before.Heat.CSV()), 0o644)
+				}
+				if werr == nil {
+					werr = os.WriteFile(*heatOut+".after.csv", []byte(after.Heat.CSV()), 0o644)
+				}
+				if werr != nil {
+					fmt.Fprintln(os.Stderr, "heat-out:", werr)
+				}
+			}
+		case "fig10":
+			report, err = bench.Fig10(sc)
+		case "fig11":
+			_, report, err = bench.Fig11(sc)
+		case "table2":
+			report, err = bench.Table2(sc)
+		case "events":
+			_, report, err = bench.Events(sc)
+		case "icf":
+			_, report, err = bench.ICF(sc)
+		case "fig2":
+			report, err = bench.Fig2Report(sc)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Println(report)
+		fmt.Printf("[%s done in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,156 @@
+// Command gobolt is the post-link binary optimizer: the command-line
+// driver for the Figure 3 pipeline, with flags mirroring the llvm-bolt
+// invocation used in the paper (§6.2.1):
+//
+//	gobolt binary -data perf.fdata -o binary.bolt \
+//	    -reorder-blocks=cache+ -reorder-functions=hfsort+ \
+//	    -split-functions=3 -split-all-cold -split-eh -icf=1 -dyno-stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gobolt/internal/core"
+	"gobolt/internal/elfx"
+	"gobolt/internal/hfsort"
+	"gobolt/internal/layout"
+	"gobolt/internal/passes"
+	"gobolt/internal/profile"
+)
+
+func main() {
+	data := flag.String("data", "", "fdata profile file (from perf2bolt)")
+	out := flag.String("o", "", "output binary path (default <input>.bolt)")
+	reorderBlocks := flag.String("reorder-blocks", "cache+", "block layout: none|reverse|ph|cache+")
+	reorderFuncs := flag.String("reorder-functions", "hfsort+", "function layout: none|exec|hfsort|hfsort+")
+	splitFuncs := flag.Int("split-functions", 3, "hot/cold splitting level (0 = off)")
+	splitAllCold := flag.Bool("split-all-cold", true, "move all cold blocks to the cold section")
+	splitEH := flag.Bool("split-eh", true, "split exception landing pads")
+	icf := flag.Int("icf", 1, "identical code folding (0 = off)")
+	icp := flag.Bool("icp", true, "indirect call promotion")
+	inlineSmall := flag.Bool("inline-small", true, "inline small functions")
+	simplifyRO := flag.Bool("simplify-ro-loads", true, "fold constant loads from .rodata")
+	plt := flag.Bool("plt", true, "bypass PLT stubs for direct calls")
+	peepholes := flag.Bool("peepholes", true, "peephole cleanups")
+	frameOpts := flag.Bool("frame-opts", true, "remove dead caller-saved spills")
+	shrinkWrap := flag.Bool("shrink-wrapping", true, "move cold-only callee-saved spills")
+	sctc := flag.Bool("sctc", true, "simplify conditional tail calls")
+	lite := flag.Bool("lite", false, "only process functions with profile samples")
+	dynoStats := flag.Bool("dyno-stats", false, "print dyno stats before/after")
+	badLayout := flag.Bool("report-bad-layout", false, "report cold blocks between hot blocks and exit")
+	printCFG := flag.String("print-cfg", "", "print the CFG of the named function and exit")
+	printPipeline := flag.Bool("print-pipeline", false, "print the pass pipeline (Table 1) and exit")
+	updateDebug := flag.Bool("update-debug-sections", true, "rewrite .debug_line for moved code")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.ReorderBlocks = layout.Algorithm(*reorderBlocks)
+	opts.ReorderFunctions = hfsort.Algorithm(*reorderFuncs)
+	opts.SplitFunctions = *splitFuncs
+	opts.SplitAllCold = *splitAllCold
+	opts.SplitEH = *splitEH
+	opts.ICF = *icf != 0
+	opts.ICP = *icp
+	opts.InlineSmall = *inlineSmall
+	opts.SimplifyROLoads = *simplifyRO
+	opts.PLT = *plt
+	opts.Peepholes = *peepholes
+	opts.FrameOpts = *frameOpts
+	opts.ShrinkWrapping = *shrinkWrap
+	opts.SCTC = *sctc
+	opts.Lite = *lite
+	opts.DynoStats = *dynoStats
+	opts.UpdateDebugSections = *updateDebug
+
+	if *printPipeline {
+		for i, p := range passes.BuildPipeline(opts) {
+			fmt.Printf("%2d. %s\n", i+1, p.Name())
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gobolt <binary> [flags]")
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+	f, err := elfx.ReadFile(input)
+	if err != nil {
+		fatal(err)
+	}
+
+	var fd *profile.Fdata
+	if *data != "" {
+		r, err := os.Open(*data)
+		if err != nil {
+			fatal(err)
+		}
+		fd, err = profile.Parse(r)
+		r.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	// Report-only modes.
+	if *badLayout || *printCFG != "" {
+		ctx, err := core.NewContext(f, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if fd != nil {
+			ctx.ApplyProfile(fd)
+		}
+		if *badLayout {
+			fmt.Print(ctx.BadLayoutReport(20))
+			return
+		}
+		fn := ctx.ByName[*printCFG]
+		if fn == nil {
+			fatal(fmt.Errorf("no function %q", *printCFG))
+		}
+		ctx.PrintCFG(os.Stdout, fn)
+		return
+	}
+
+	ctx, err := core.NewContext(f, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if fd != nil {
+		ctx.ApplyProfile(fd)
+	}
+	var before core.DynoStats
+	if *dynoStats {
+		before = ctx.CollectDynoStats()
+	}
+	if err := core.RunPasses(ctx, passes.BuildPipeline(opts)); err != nil {
+		fatal(err)
+	}
+	if *dynoStats {
+		core.PrintComparison(os.Stdout, input, before, ctx.CollectDynoStats())
+	}
+	res, err := ctx.Rewrite()
+	if err != nil {
+		fatal(err)
+	}
+	outPath := *out
+	if outPath == "" {
+		outPath = input + ".bolt"
+	}
+	if err := res.File.WriteFile(outPath); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("gobolt: %s -> %s\n", input, outPath)
+	fmt.Printf("  moved %d functions (%d skipped non-simple, %d folded, %d split)\n",
+		res.MovedFuncs, res.SkippedFuncs, res.FoldedFuncs, res.SplitFuncs)
+	fmt.Printf("  hot text %d bytes, cold text %d bytes (original %d)\n",
+		res.HotTextSize, res.ColdTextSize, res.OrigTextSize)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gobolt:", err)
+	os.Exit(1)
+}

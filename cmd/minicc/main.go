@@ -1,0 +1,124 @@
+// Command minicc builds a synthetic workload into an ELF executable —
+// the "compiler + linker" half of the Figure 1 pipeline. Programs come
+// from the named generators in internal/workload.
+//
+//	minicc -workload hhvm -o hhvm.elf
+//	minicc -workload clang -fprofile-use clang.fdata -flto -o clang.pgo.elf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gobolt/internal/bench"
+	"gobolt/internal/cc"
+	"gobolt/internal/elfx"
+	"gobolt/internal/hfsort"
+	"gobolt/internal/ld"
+	"gobolt/internal/profile"
+	"gobolt/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "tiny", "workload preset: tiny|hhvm|tao|proxygen|multifeed1|multifeed2|clang|gcc|figure2")
+	out := flag.String("o", "a.elf", "output path")
+	lto := flag.Bool("flto", false, "link-time optimization (cross-module inlining, static PLT elision)")
+	profileUse := flag.String("fprofile-use", "", "fdata profile for PGO (converted to source-level, like AutoFDO)")
+	reorderFuncs := flag.String("freorder-functions", "", "link-time function order: hfsort|exec (needs -fprofile-use)")
+	emitRelocs := flag.Bool("emit-relocs", true, "keep relocations in the output (--emit-relocs)")
+	icf := flag.Bool("licf", true, "linker identical-code folding")
+	seed := flag.Uint64("seed", 0, "override workload seed")
+	inputSeed := flag.Uint64("input-seed", 0, "override input-data seed")
+	iterations := flag.Int("iterations", 0, "override iteration count")
+	flag.Parse()
+
+	var prog = func() *workload.Spec {
+		if *wl == "figure2" {
+			return nil
+		}
+		spec, ok := workload.ByName(*wl)
+		if !ok {
+			if *wl == "tiny" {
+				spec = workload.Tiny()
+			} else {
+				fmt.Fprintf(os.Stderr, "minicc: unknown workload %q\n", *wl)
+				os.Exit(2)
+			}
+		}
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+		if *inputSeed != 0 {
+			spec.InputSeed = *inputSeed
+		}
+		if *iterations != 0 {
+			spec.Iterations = *iterations
+		}
+		return &spec
+	}()
+
+	p := workload.GenerateFigure2()
+	if prog != nil {
+		p = workload.Generate(*prog)
+	}
+
+	copts := cc.DefaultOptions()
+	copts.LTO = *lto
+	lopts := ld.Options{EmitRelocs: *emitRelocs, ICF: *icf, NoPLT: *lto}
+
+	if *profileUse != "" {
+		// Two-phase: the profile was taken on some binary of this
+		// program; convert to source level against a fresh plain build.
+		objs, err := cc.Compile(p, cc.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		plain, err := ld.Link(objs, lopts)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := os.Open(*profileUse)
+		if err != nil {
+			fatal(err)
+		}
+		fd, err := profile.Parse(r)
+		r.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sp, err := bench.SourceProfile(plain.File, fd)
+		if err != nil {
+			fatal(err)
+		}
+		copts.PGO = sp
+		if *reorderFuncs != "" {
+			g := profile.BuildCallGraph(fd, nil)
+			sizes := map[string]uint64{}
+			for _, s := range plain.File.FuncSymbols() {
+				sizes[s.Name] = s.Size
+			}
+			lopts.FuncOrder = hfsort.Order(g, sizes, hfsort.Algorithm(*reorderFuncs))
+		}
+	}
+
+	objs, err := cc.Compile(p, copts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := ld.Link(objs, lopts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.File.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	var f *elfx.File = res.File
+	fmt.Printf("minicc: wrote %s (%d functions, .text %d bytes, entry %#x, linker ICF folded %d)\n",
+		*out, len(f.FuncSymbols()), res.TextSize, f.Entry, res.ICFFolded)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command perf2bolt converts raw VM-perf sample data into an fdata
+// profile, symbolized against the profiled binary. In this toolchain the
+// sampler (vmrun -record) already performs aggregation+symbolization, so
+// perf2bolt's job is validation and re-symbolization: it parses a profile,
+// checks every location against the binary's symbol table, drops records
+// that no longer resolve, and rewrites the file.
+//
+//	perf2bolt -p perf.fdata -o clean.fdata binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gobolt/internal/elfx"
+	"gobolt/internal/profile"
+)
+
+func main() {
+	in := flag.String("p", "", "input profile")
+	out := flag.String("o", "", "output profile (default: overwrite input)")
+	flag.Parse()
+	if flag.NArg() != 1 || *in == "" {
+		fmt.Fprintln(os.Stderr, "usage: perf2bolt -p perf.fdata [-o out.fdata] <binary>")
+		os.Exit(2)
+	}
+	f, err := elfx.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	r, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	fd, err := profile.Parse(r)
+	r.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	resolves := func(l profile.Loc) bool {
+		sym, ok := f.SymbolByName(l.Sym)
+		return ok && l.Off < sym.Size
+	}
+	kept := &profile.Fdata{LBR: fd.LBR, Event: fd.Event}
+	dropped := 0
+	for _, b := range fd.Branches {
+		if resolves(b.From) && resolves(b.To) {
+			kept.Branches = append(kept.Branches, b)
+		} else {
+			dropped++
+		}
+	}
+	for _, s := range fd.Samples {
+		if resolves(s.At) {
+			kept.Samples = append(kept.Samples, s)
+		} else {
+			dropped++
+		}
+	}
+
+	outPath := *out
+	if outPath == "" {
+		outPath = *in
+	}
+	w, err := os.Create(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := kept.Write(w); err != nil {
+		fatal(err)
+	}
+	w.Close()
+	fmt.Printf("perf2bolt: %d branch records, %d samples kept (%d dropped) -> %s\n",
+		len(kept.Branches), len(kept.Samples), dropped, outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perf2bolt:", err)
+	os.Exit(1)
+}

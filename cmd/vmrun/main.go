@@ -1,0 +1,79 @@
+// Command vmrun executes a toolchain ELF binary under the VM — the
+// "hardware" of this reproduction. It can sample profiles like
+// `perf record` (-record, -lbr, -event) and report microarchitecture
+// counters like `perf stat` (-stat).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gobolt/internal/elfx"
+	"gobolt/internal/perf"
+	"gobolt/internal/uarch"
+	"gobolt/internal/vm"
+)
+
+func main() {
+	record := flag.String("record", "", "write an fdata profile to this path")
+	lbr := flag.Bool("lbr", true, "use LBR sampling (-j any,u)")
+	event := flag.String("event", "cycles", "sampling event: cycles|instructions|branches")
+	period := flag.Uint64("period", 4096, "sampling period (instructions)")
+	pebs := flag.Int("pebs", 0, "PEBS precision level 0-3 (non-LBR skid reduction)")
+	stat := flag.Bool("stat", false, "simulate the microarchitecture and print perf-stat counters")
+	maxInstr := flag.Uint64("max-instr", 0, "stop after N instructions (0 = run to halt)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vmrun [flags] <binary>")
+		os.Exit(2)
+	}
+	f, err := elfx.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *record != "" {
+		mode := perf.Mode{LBR: *lbr, Event: perf.Event(*event), Period: *period, PEBS: *pebs}
+		fd, m, err := perf.RecordFile(f, mode, *maxInstr)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fd.Write(w); err != nil {
+			fatal(err)
+		}
+		w.Close()
+		fmt.Printf("vmrun: result=%d instructions=%d branches=%d (profile: %d branch records, %d samples)\n",
+			m.Result(), m.C.Instructions, m.C.Branches, len(fd.Branches), len(fd.Samples))
+		return
+	}
+
+	m, err := vm.New(f)
+	if err != nil {
+		fatal(err)
+	}
+	var sim *uarch.Sim
+	if *stat {
+		sim = uarch.New(uarch.DefaultConfig())
+		m.SetTracer(sim)
+	}
+	if _, err := m.Run(*maxInstr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vmrun: result=%d halted=%v\n", m.Result(), m.Halted())
+	fmt.Printf("  retired: %d instructions, %d cond branches (%d taken), %d calls, %d returns, %d throws\n",
+		m.C.Instructions, m.C.Branches, m.C.TakenBranch, m.C.Calls, m.C.Returns, m.C.Throws)
+	if sim != nil {
+		fmt.Print(sim.Finish().Format())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,242 @@
+// Package bench is the experiment harness: it wires the whole toolchain
+// into the build→profile→rebuild→bolt→measure pipelines that regenerate
+// every table and figure of the paper's evaluation (§6). See DESIGN.md's
+// per-experiment index for the mapping.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"gobolt/internal/cc"
+	"gobolt/internal/core"
+	"gobolt/internal/elfx"
+	"gobolt/internal/heatmap"
+	"gobolt/internal/hfsort"
+	"gobolt/internal/ld"
+	"gobolt/internal/passes"
+	"gobolt/internal/perf"
+	"gobolt/internal/profile"
+	"gobolt/internal/uarch"
+	"gobolt/internal/vm"
+	"gobolt/internal/workload"
+)
+
+// BuildConfig names a compiler/linker configuration (the paper's
+// baselines).
+type BuildConfig struct {
+	Name string
+	// PGO rebuilds with a source-keyed profile (requires a prior train
+	// run; the harness handles the two-phase build).
+	PGO bool
+	// LTO enables cross-module inlining and static PLT elision.
+	LTO bool
+	// HFSortLink orders functions at link time from the profile (the
+	// Figure 5 baseline).
+	HFSortLink bool
+}
+
+// Standard configurations.
+var (
+	CfgBaseline  = BuildConfig{Name: "O2"}
+	CfgLTO       = BuildConfig{Name: "LTO", LTO: true}
+	CfgPGO       = BuildConfig{Name: "PGO", PGO: true}
+	CfgPGOLTO    = BuildConfig{Name: "PGO+LTO", PGO: true, LTO: true}
+	CfgHFSort    = BuildConfig{Name: "HFSort", HFSortLink: true}
+	CfgHFSortLTO = BuildConfig{Name: "HFSort+LTO", HFSortLink: true, LTO: true}
+)
+
+// Build compiles and links a workload under a configuration. For PGO or
+// HFSortLink it first builds a plain binary, profiles it on the *train*
+// input, converts the profile (source-keyed for PGO, call graph for
+// HFSort), and rebuilds.
+func Build(spec workload.Spec, cfg BuildConfig, mode perf.Mode) (*elfx.File, *ld.Result, error) {
+	prog := workload.Generate(spec)
+
+	copts := cc.DefaultOptions()
+	copts.LTO = cfg.LTO
+	lopts := ld.Options{EmitRelocs: true, ICF: true, NoPLT: cfg.LTO}
+
+	objs, err := cc.Compile(prog, copts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := ld.Link(objs, lopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cfg.PGO && !cfg.HFSortLink {
+		return res.File, res, nil
+	}
+
+	// Train run on the plain binary.
+	fd, _, err := perf.RecordFile(res.File, mode, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if cfg.PGO {
+		sp, err := SourceProfile(res.File, fd)
+		if err != nil {
+			return nil, nil, err
+		}
+		copts.PGO = sp
+		objs, err = cc.Compile(prog, copts)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.HFSortLink {
+		g := profile.BuildCallGraph(fd, nil)
+		sizes := map[string]uint64{}
+		for _, s := range res.File.FuncSymbols() {
+			sizes[s.Name] = s.Size
+		}
+		lopts.FuncOrder = hfsort.Order(g, sizes, hfsort.AlgoHFSort)
+	}
+	res, err = ld.Link(objs, lopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.File, res, nil
+}
+
+// SourceProfile converts a binary-level profile back to source
+// coordinates — the AutoFDO step. Branch statistics are keyed by
+// (file, line): after inlining, every binary copy of a source branch
+// shares one entry, which is precisely the accuracy loss of paper
+// Figure 2 (§2.2); perfect per-copy truth cannot be represented.
+func SourceProfile(f *elfx.File, fd *profile.Fdata) (*cc.SourceProfile, error) {
+	ctx, err := core.NewContext(f, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ctx.ApplyProfile(fd)
+
+	sp := cc.NewSourceProfile()
+	for _, fn := range ctx.Funcs {
+		if !fn.Simple {
+			continue
+		}
+		if fn.ExecCount > 0 {
+			sp.Func[fn.Name] += fn.ExecCount
+		}
+		for _, b := range fn.Blocks {
+			last := b.LastInst()
+			if last != nil && len(b.Succs) == 2 && last.File != "" {
+				key := cc.SrcKey{File: last.File, Line: last.Line}
+				for _, e := range b.Succs {
+					succ, ok := blockSrcKey(e.To)
+					if !ok {
+						continue
+					}
+					sp.AddBranchSample(key, succ, e.Count)
+				}
+			}
+			for i := range b.Insts {
+				in := &b.Insts[i]
+				if in.IsCall() && in.File != "" {
+					key := cc.SrcKey{File: in.File, Line: in.Line}
+					sp.Call[key] += b.ExecCount
+				}
+			}
+		}
+	}
+	return sp, nil
+}
+
+// blockSrcKey reads the source coordinate of a CFG block's first
+// attributed instruction.
+func blockSrcKey(b *core.BasicBlock) (cc.SrcKey, bool) {
+	for i := range b.Insts {
+		if b.Insts[i].File != "" {
+			return cc.SrcKey{File: b.Insts[i].File, Line: b.Insts[i].Line}, true
+		}
+	}
+	return cc.SrcKey{}, false
+}
+
+// Bolt applies gobolt to a binary: profile on the train input, then
+// optimize.
+func Bolt(f *elfx.File, mode perf.Mode, opts core.Options) (*elfx.File, *core.BinaryContext, error) {
+	fd, _, err := perf.RecordFile(f, mode, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, ctx, err := passes.Optimize(f, fd, opts)
+	if err != nil {
+		return nil, ctx, err
+	}
+	return res.File, ctx, nil
+}
+
+// Measurement is one simulated run.
+type Measurement struct {
+	Metrics  *uarch.Metrics
+	Checksum uint64
+	Heat     *heatmap.Map
+}
+
+// Measure runs the binary to completion under the microarchitecture
+// simulator. withHeat also collects the Figure 9 fetch heat map over all
+// executable sections.
+func Measure(f *elfx.File, cfg uarch.Config, withHeat bool) (*Measurement, error) {
+	m, err := vm.New(f)
+	if err != nil {
+		return nil, err
+	}
+	sim := uarch.New(cfg)
+	var tr vm.Tracer = sim
+	var heat *heatmap.Map
+	if withHeat {
+		lo, hi := execSpan(f)
+		heat = heatmap.New(lo, hi)
+		tr = vm.TeeTracer{sim, heat.Tracer()}
+	}
+	m.SetTracer(tr)
+	if _, err := m.Run(0); err != nil {
+		return nil, err
+	}
+	if !m.Halted() {
+		return nil, fmt.Errorf("bench: program did not halt")
+	}
+	return &Measurement{Metrics: sim.Finish(), Checksum: m.Result(), Heat: heat}, nil
+}
+
+// execSpan returns the [lo, hi) address range of executable sections.
+func execSpan(f *elfx.File) (uint64, uint64) {
+	var lo, hi uint64
+	first := true
+	for _, s := range f.Sections {
+		if s.Flags&elfx.SHFExecinstr == 0 || s.Size() == 0 {
+			continue
+		}
+		if first || s.Addr < lo {
+			lo = s.Addr
+		}
+		if first || s.Addr+s.Size() > hi {
+			hi = s.Addr + s.Size()
+		}
+		first = false
+	}
+	return lo, hi
+}
+
+// SwapInput rebuilds the same program with different input data (same
+// structure seed) — the evaluation inputs of §6.2.
+func SwapInput(spec workload.Spec, inputSeed uint64) workload.Spec {
+	spec.InputSeed = inputSeed
+	return spec
+}
+
+// GeoMean of (1+x) values minus 1, for speedup aggregation.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	p := 1.0
+	for _, x := range xs {
+		p *= 1 + x
+	}
+	return math.Pow(p, 1/float64(len(xs))) - 1
+}

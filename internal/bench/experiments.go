@@ -1,0 +1,599 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"gobolt/internal/cc"
+	"gobolt/internal/core"
+	"gobolt/internal/elfx"
+	"gobolt/internal/hfsort"
+	"gobolt/internal/ir"
+	"gobolt/internal/layout"
+	"gobolt/internal/ld"
+	"gobolt/internal/obj"
+	"gobolt/internal/passes"
+	"gobolt/internal/perf"
+	"gobolt/internal/uarch"
+	"gobolt/internal/workload"
+)
+
+// Scale shrinks workload iteration counts for fast runs (1.0 = full).
+type Scale float64
+
+func (s Scale) apply(spec workload.Spec) workload.Spec {
+	if s > 0 && s != 1 {
+		spec.Iterations = int(float64(spec.Iterations) * float64(s))
+		if spec.Iterations < 500 {
+			spec.Iterations = 500
+		}
+	}
+	return spec
+}
+
+// SetInput swaps the input-data blob inside a built binary (baseline or
+// BOLTed) so the same code can be evaluated on a different input, like
+// the paper's input1..3/clang-build runs.
+func SetInput(f *elfx.File, seed uint64) error {
+	sym, ok := f.SymbolByName("input")
+	if !ok {
+		return fmt.Errorf("bench: no input symbol")
+	}
+	sec := f.SectionFor(sym.Value)
+	if sec == nil {
+		return fmt.Errorf("bench: input symbol not mapped")
+	}
+	copy(sec.Data[sym.Value-sec.Addr:], workload.InputBytes(seed, int(sym.Size)))
+	return nil
+}
+
+// Fig5Row is one bar of Figure 5.
+type Fig5Row struct {
+	Workload string
+	Speedup  float64
+}
+
+// Fig5 measures BOLT on top of the HFSort(+LTO for HHVM) baseline for the
+// five data-center workloads.
+func Fig5(scale Scale) ([]Fig5Row, string, error) {
+	specs := []workload.Spec{
+		workload.HHVM(), workload.TAO(), workload.Proxygen(),
+		workload.Multifeed1(), workload.Multifeed2(),
+	}
+	mode := perf.DefaultMode()
+	var rows []Fig5Row
+	var speeds []float64
+	for _, spec := range specs {
+		spec = scale.apply(spec)
+		cfg := CfgHFSort
+		if spec.Name == "hhvm" {
+			cfg = CfgHFSortLTO // the paper builds HHVM with LTO too
+		}
+		base, _, err := Build(spec, cfg, mode)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		bolted, _, err := Bolt(base, mode, core.DefaultOptions())
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: bolt: %w", spec.Name, err)
+		}
+		mb, err := Measure(base, uarch.DefaultConfig(), false)
+		if err != nil {
+			return nil, "", err
+		}
+		mo, err := Measure(bolted, uarch.DefaultConfig(), false)
+		if err != nil {
+			return nil, "", err
+		}
+		if mb.Checksum != mo.Checksum {
+			return nil, "", fmt.Errorf("%s: checksum mismatch after BOLT", spec.Name)
+		}
+		sp := uarch.Speedup(mb.Metrics, mo.Metrics)
+		rows = append(rows, Fig5Row{Workload: spec.Name, Speedup: sp})
+		speeds = append(speeds, sp)
+	}
+	rows = append(rows, Fig5Row{Workload: "GeoMean", Speedup: GeoMean(speeds)})
+
+	var sb strings.Builder
+	sb.WriteString("Figure 5: speedups from BOLT on data-center workloads (baseline: HFSort(+LTO))\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-12s %6.2f%%\n", r.Workload, 100*r.Speedup)
+	}
+	return rows, sb.String(), nil
+}
+
+// Fig6Row is one micro-architecture metric improvement.
+type Fig6Row struct {
+	Metric    string
+	Reduction float64
+}
+
+// Fig6 reports HHVM miss-rate reductions across the hierarchy.
+func Fig6(scale Scale) ([]Fig6Row, string, error) {
+	spec := scale.apply(workload.HHVM())
+	mode := perf.DefaultMode()
+	base, _, err := Build(spec, CfgHFSortLTO, mode)
+	if err != nil {
+		return nil, "", err
+	}
+	bolted, _, err := Bolt(base, mode, core.DefaultOptions())
+	if err != nil {
+		return nil, "", err
+	}
+	mb, err := Measure(base, uarch.DefaultConfig(), false)
+	if err != nil {
+		return nil, "", err
+	}
+	mo, err := Measure(bolted, uarch.DefaultConfig(), false)
+	if err != nil {
+		return nil, "", err
+	}
+	b, o := mb.Metrics, mo.Metrics
+	rows := []Fig6Row{
+		{"Branch", uarch.Reduction(b.BranchMiss, o.BranchMiss)},
+		{"D-Cache", uarch.Reduction(b.L1DMiss, o.L1DMiss)},
+		{"I-Cache", uarch.Reduction(b.L1IMiss, o.L1IMiss)},
+		{"I-TLB", uarch.Reduction(b.ITLBMiss, o.ITLBMiss)},
+		{"D-TLB", uarch.Reduction(b.DTLBMiss, o.DTLBMiss)},
+		{"LLC", uarch.Reduction(b.LLCMiss, o.LLCMiss)},
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 6: micro-architecture miss reductions for HHVM\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-8s %6.2f%%\n", r.Metric, 100*r.Reduction)
+	}
+	fmt.Fprintf(&sb, "  (CPU time: %.2f%% speedup)\n", 100*uarch.Speedup(b, o))
+	return rows, sb.String(), nil
+}
+
+// CompilerRow is one bar group of Figures 7/8.
+type CompilerRow struct {
+	Input   string
+	BOLT    float64 // BOLT on plain baseline
+	PGO     float64 // PGO(+LTO) over baseline
+	PGOBOLT float64 // PGO(+LTO)+BOLT over baseline
+}
+
+// CompilerExperiment implements Figures 7 (Clang: PGO+LTO) and 8 (GCC:
+// PGO only). Speedups are against the plain -O2 build, measured on four
+// evaluation inputs after training on a separate input.
+func CompilerExperiment(spec workload.Spec, useLTO bool, scale Scale) ([]CompilerRow, string, error) {
+	spec = scale.apply(spec)
+	mode := perf.DefaultMode()
+	trainSeed := spec.Seed ^ 0x7EA12345
+
+	build := func(cfg BuildConfig) (*elfx.File, error) {
+		s := spec
+		s.InputSeed = trainSeed // PGO training input
+		f, _, err := Build(s, cfg, mode)
+		return f, err
+	}
+
+	baseline, err := build(CfgBaseline)
+	if err != nil {
+		return nil, "", err
+	}
+	pgoCfg := CfgPGO
+	if useLTO {
+		pgoCfg = CfgPGOLTO
+	}
+	pgo, err := build(pgoCfg)
+	if err != nil {
+		return nil, "", err
+	}
+	boltedBase, _, err := Bolt(baseline, mode, core.DefaultOptions())
+	if err != nil {
+		return nil, "", fmt.Errorf("bolt baseline: %w", err)
+	}
+	boltedPGO, _, err := Bolt(pgo, mode, core.DefaultOptions())
+	if err != nil {
+		return nil, "", fmt.Errorf("bolt pgo: %w", err)
+	}
+
+	inputs := []struct {
+		name string
+		seed uint64
+	}{
+		{"input1", spec.Seed ^ 0x101}, {"input2", spec.Seed ^ 0x202},
+		{"input3", spec.Seed ^ 0x303}, {"build", spec.Seed ^ 0x404},
+	}
+	var rows []CompilerRow
+	for _, in := range inputs {
+		cycles := func(f *elfx.File) (uint64, error) {
+			if err := SetInput(f, in.seed); err != nil {
+				return 0, err
+			}
+			m, err := Measure(f, uarch.DefaultConfig(), false)
+			if err != nil {
+				return 0, err
+			}
+			return m.Metrics.Cycles, nil
+		}
+		cb, err := cycles(baseline)
+		if err != nil {
+			return nil, "", err
+		}
+		cbb, err := cycles(boltedBase)
+		if err != nil {
+			return nil, "", err
+		}
+		cp, err := cycles(pgo)
+		if err != nil {
+			return nil, "", err
+		}
+		cpb, err := cycles(boltedPGO)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, CompilerRow{
+			Input:   in.name,
+			BOLT:    float64(cb)/float64(cbb) - 1,
+			PGO:     float64(cb)/float64(cp) - 1,
+			PGOBOLT: float64(cb)/float64(cpb) - 1,
+		})
+	}
+	pgoName := "PGO"
+	if useLTO {
+		pgoName = "PGO+LTO"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 7/8 (%s): speedups over the plain build\n", spec.Name)
+	fmt.Fprintf(&sb, "  %-10s %10s %12s %14s\n", "input", "BOLT", pgoName, pgoName+"+BOLT")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-10s %9.2f%% %11.2f%% %13.2f%%\n",
+			r.Input, 100*r.BOLT, 100*r.PGO, 100*r.PGOBOLT)
+	}
+	return rows, sb.String(), nil
+}
+
+// Table2 reproduces the dyno-stats comparison: BOLT's effect on branch
+// statistics over the baseline build and over the PGO+LTO build.
+func Table2(scale Scale) (string, error) {
+	spec := scale.apply(workload.Clang())
+	mode := perf.DefaultMode()
+
+	report := func(cfg BuildConfig) (core.DynoStats, core.DynoStats, error) {
+		f, _, err := Build(spec, cfg, mode)
+		if err != nil {
+			return core.DynoStats{}, core.DynoStats{}, err
+		}
+		fd, _, err := perf.RecordFile(f, mode, 0)
+		if err != nil {
+			return core.DynoStats{}, core.DynoStats{}, err
+		}
+		ctx, err := core.NewContext(f, core.DefaultOptions())
+		if err != nil {
+			return core.DynoStats{}, core.DynoStats{}, err
+		}
+		ctx.ApplyProfile(fd)
+		before := ctx.CollectDynoStats()
+		if err := core.RunPasses(ctx, pipelineFor(ctx)); err != nil {
+			return core.DynoStats{}, core.DynoStats{}, err
+		}
+		after := ctx.CollectDynoStats()
+		return before, after, nil
+	}
+
+	var buf bytes.Buffer
+	b0, a0, err := report(CfgBaseline)
+	if err != nil {
+		return "", err
+	}
+	core.PrintComparison(&buf, "BOLT over baseline", b0, a0)
+	b1, a1, err := report(CfgPGOLTO)
+	if err != nil {
+		return "", err
+	}
+	core.PrintComparison(&buf, "BOLT over PGO+LTO", b1, a1)
+	return buf.String(), nil
+}
+
+// Fig9 produces before/after heat maps and the hot-span packing numbers.
+func Fig9(scale Scale) (before, after *Measurement, report string, err error) {
+	spec := scale.apply(workload.HHVM())
+	mode := perf.DefaultMode()
+	base, _, err := Build(spec, CfgHFSortLTO, mode)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	bolted, _, err := Bolt(base, mode, core.DefaultOptions())
+	if err != nil {
+		return nil, nil, "", err
+	}
+	before, err = Measure(base, uarch.DefaultConfig(), true)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	after, err = Measure(bolted, uarch.DefaultConfig(), true)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 9: instruction-address heat (hot-span covering 95% of fetches)\n")
+	fmt.Fprintf(&sb, "  without BOLT: %8d bytes of %d\n", before.Heat.HotSpan(0.95), before.Heat.Limit-before.Heat.Base)
+	fmt.Fprintf(&sb, "  with BOLT:    %8d bytes of %d\n", after.Heat.HotSpan(0.95), after.Heat.Limit-after.Heat.Base)
+	return before, after, sb.String(), nil
+}
+
+// Fig10 runs -report-bad-layout on a PGO+LTO compiler build.
+func Fig10(scale Scale) (string, error) {
+	spec := scale.apply(workload.Clang())
+	mode := perf.DefaultMode()
+	f, _, err := Build(spec, CfgPGOLTO, mode)
+	if err != nil {
+		return "", err
+	}
+	fd, _, err := perf.RecordFile(f, mode, 0)
+	if err != nil {
+		return "", err
+	}
+	ctx, err := core.NewContext(f, core.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	ctx.ApplyProfile(fd)
+	return ctx.BadLayoutReport(10), nil
+}
+
+// Fig11Row reports the improvement from using LBRs for one optimization
+// scenario (higher is better, like the paper's Figure 11).
+type Fig11Row struct {
+	Scenario string
+	Metric   string
+	LBRGain  float64
+}
+
+// Fig11 compares BOLT with LBR profiles against BOLT with non-LBR
+// profiles under three scenarios: function reordering only, basic-block
+// reordering (plus other opts), and both.
+func Fig11(scale Scale) ([]Fig11Row, string, error) {
+	spec := scale.apply(workload.HHVM())
+	lbrMode := perf.DefaultMode()
+	nolbrMode := lbrMode
+	nolbrMode.LBR = false
+
+	base, _, err := Build(spec, CfgBaseline, lbrMode)
+	if err != nil {
+		return nil, "", err
+	}
+
+	scenario := func(name string) core.Options {
+		opts := core.DefaultOptions()
+		switch name {
+		case "Functions":
+			opts.ReorderBlocks = layout.AlgoNone
+			opts.SplitFunctions = 0
+			opts.SplitAllCold = false
+		case "BBs":
+			opts.ReorderFunctions = hfsort.AlgoNone
+		}
+		return opts
+	}
+
+	var rows []Fig11Row
+	var sb strings.Builder
+	sb.WriteString("Figure 11: improvement from LBR profiles vs non-LBR (per scenario)\n")
+	for _, sc := range []string{"Functions", "BBs", "Both"} {
+		opts := scenario(sc)
+		withLBR, _, err := Bolt(base, lbrMode, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		withoutLBR, _, err := Bolt(base, nolbrMode, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		ml, err := Measure(withLBR, uarch.DefaultConfig(), false)
+		if err != nil {
+			return nil, "", err
+		}
+		mn, err := Measure(withoutLBR, uarch.DefaultConfig(), false)
+		if err != nil {
+			return nil, "", err
+		}
+		l, n := ml.Metrics, mn.Metrics
+		add := func(metric string, lv, nv uint64) {
+			gain := uarch.Reduction(nv, lv) // how much LBR reduces the metric
+			rows = append(rows, Fig11Row{Scenario: sc, Metric: metric, LBRGain: gain})
+			fmt.Fprintf(&sb, "  %-10s %-14s %6.2f%%\n", sc, metric, 100*gain)
+		}
+		add("Instructions", l.Instructions, n.Instructions)
+		add("Branch-miss", l.BranchMiss, n.BranchMiss)
+		add("I-cache-miss", l.L1IMiss, n.L1IMiss)
+		add("LLC-miss", l.LLCMiss, n.LLCMiss)
+		add("iTLB-miss", l.ITLBMiss, n.ITLBMiss)
+		add("CPU time", l.Cycles, n.Cycles)
+	}
+	return rows, sb.String(), nil
+}
+
+// EventsRow is one sampling-event configuration result (§5.1).
+type EventsRow struct {
+	Config  string
+	Speedup float64
+}
+
+// Events reproduces the §5.1 study: BOLT speedups are stable across LBR
+// sampling events but degrade with biased non-LBR samples.
+func Events(scale Scale) ([]EventsRow, string, error) {
+	spec := scale.apply(workload.TAO())
+	base, _, err := Build(spec, CfgBaseline, perf.DefaultMode())
+	if err != nil {
+		return nil, "", err
+	}
+	mb, err := Measure(base, uarch.DefaultConfig(), false)
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []EventsRow
+	var sb strings.Builder
+	sb.WriteString("Section 5.1: sampling-event sensitivity of BOLT speedups\n")
+	for _, cfg := range []struct {
+		name string
+		mode perf.Mode
+	}{
+		{"lbr-cycles", perf.Mode{LBR: true, Event: perf.EventCycles, Period: 4096}},
+		{"lbr-instructions", perf.Mode{LBR: true, Event: perf.EventInstructions, Period: 4096}},
+		{"lbr-branches", perf.Mode{LBR: true, Event: perf.EventBranches, Period: 4096}},
+		{"nolbr-cycles", perf.Mode{LBR: false, Event: perf.EventCycles, Period: 512}},
+		{"nolbr-cycles-pebs", perf.Mode{LBR: false, Event: perf.EventCycles, Period: 512, PEBS: 3}},
+	} {
+		bolted, _, err := Bolt(base, cfg.mode, core.DefaultOptions())
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		mo, err := Measure(bolted, uarch.DefaultConfig(), false)
+		if err != nil {
+			return nil, "", err
+		}
+		sp := uarch.Speedup(mb.Metrics, mo.Metrics)
+		rows = append(rows, EventsRow{Config: cfg.name, Speedup: sp})
+		fmt.Fprintf(&sb, "  %-20s %6.2f%%\n", cfg.name, 100*sp)
+	}
+	return rows, sb.String(), nil
+}
+
+// ICFResult quantifies binary-level ICF beyond linker ICF (§4).
+type ICFResult struct {
+	LinkerFolded int
+	BoltFolded   int
+	BoltBytes    int64
+	TextSize     uint64
+}
+
+// ICF measures how much code gobolt's ICF removes on top of the linker's.
+func ICF(scale Scale) (*ICFResult, string, error) {
+	spec := scale.apply(workload.HHVM())
+	mode := perf.DefaultMode()
+	prog := workload.Generate(spec)
+	objs, err := ccCompileDefault(prog)
+	if err != nil {
+		return nil, "", err
+	}
+	lres, err := ldLink(objs)
+	if err != nil {
+		return nil, "", err
+	}
+	fd, _, err := perf.RecordFile(lres.File, mode, 0)
+	if err != nil {
+		return nil, "", err
+	}
+	ctx, err := core.NewContext(lres.File, core.DefaultOptions())
+	if err != nil {
+		return nil, "", err
+	}
+	ctx.ApplyProfile(fd)
+	if err := core.RunPasses(ctx, pipelineFor(ctx)); err != nil {
+		return nil, "", err
+	}
+	res := &ICFResult{
+		LinkerFolded: lres.ICFFolded,
+		BoltFolded:   int(ctx.Stats["icf-folded"]),
+		BoltBytes:    ctx.Stats["icf-bytes"],
+		TextSize:     lres.TextSize,
+	}
+	report := fmt.Sprintf(
+		"ICF (§4): linker folded %d functions; gobolt folded %d more (%d bytes, %.2f%% of .text)\n",
+		res.LinkerFolded, res.BoltFolded, res.BoltBytes,
+		100*float64(res.BoltBytes)/float64(res.TextSize))
+	return res, report, nil
+}
+
+// Small indirection helpers (keep experiment code readable).
+
+func pipelineFor(ctx *core.BinaryContext) []core.Pass {
+	return passes.BuildPipeline(ctx.Opts)
+}
+
+func ccCompileDefault(prog *ir.Program) ([]*obj.Object, error) {
+	return cc.Compile(prog, cc.DefaultOptions())
+}
+
+func ldLink(objs []*obj.Object) (*ld.Result, error) {
+	return ld.Link(objs, ld.Options{EmitRelocs: true, ICF: true})
+}
+
+// Fig2Report demonstrates the paper's Figure 2 motivation end to end:
+// with PGO the inlined copies of foo share one merged (50/50) source
+// profile, so at least one copy is laid out badly; gobolt sees each
+// binary copy's own branch statistics and fixes both. The report shows
+// taken-branch counts per configuration.
+func Fig2Report(scale Scale) (string, error) {
+	_ = scale
+	mode := perf.DefaultMode()
+	mode.Period = 512
+	prog := workload.GenerateFigure2()
+
+	build := func(pgo bool) (*elfx.File, error) {
+		copts := cc.DefaultOptions()
+		copts.LTO = true // inlining across modules is the point
+		if pgo {
+			objs, err := cc.Compile(prog, copts)
+			if err != nil {
+				return nil, err
+			}
+			res, err := ld.Link(objs, ld.Options{EmitRelocs: true})
+			if err != nil {
+				return nil, err
+			}
+			fd, _, err := perf.RecordFile(res.File, mode, 0)
+			if err != nil {
+				return nil, err
+			}
+			sp, err := SourceProfile(res.File, fd)
+			if err != nil {
+				return nil, err
+			}
+			copts.PGO = sp
+		}
+		objs, err := cc.Compile(prog, copts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ld.Link(objs, ld.Options{EmitRelocs: true})
+		if err != nil {
+			return nil, err
+		}
+		return res.File, nil
+	}
+
+	measure := func(f *elfx.File) (*uarch.Metrics, error) {
+		m, err := Measure(f, uarch.DefaultConfig(), false)
+		if err != nil {
+			return nil, err
+		}
+		return m.Metrics, nil
+	}
+
+	base, err := build(false)
+	if err != nil {
+		return "", err
+	}
+	pgo, err := build(true)
+	if err != nil {
+		return "", err
+	}
+	boltedPGO, _, err := Bolt(pgo, mode, core.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	mb, err := measure(base)
+	if err != nil {
+		return "", err
+	}
+	mp, err := measure(pgo)
+	if err != nil {
+		return "", err
+	}
+	mpb, err := measure(boltedPGO)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 2 mechanism: taken conditional branches (lower is better)\n")
+	fmt.Fprintf(&sb, "  %-22s taken=%d  cycles=%d\n", "LTO (no profile)", mb.TakenBranches, mb.Cycles)
+	fmt.Fprintf(&sb, "  %-22s taken=%d  cycles=%d  (merged source profile)\n", "PGO+LTO", mp.TakenBranches, mp.Cycles)
+	fmt.Fprintf(&sb, "  %-22s taken=%d  cycles=%d  (per-copy binary profile)\n", "PGO+LTO+BOLT", mpb.TakenBranches, mpb.Cycles)
+	return sb.String(), nil
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"sort"
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/elfx"
+	"gobolt/internal/perf"
+	"gobolt/internal/vm"
+	"gobolt/internal/workload"
+)
+
+type pageProbe struct {
+	pages map[uint64]uint64
+}
+
+func (p *pageProbe) Inst(addr uint64, size uint8)                           { p.pages[addr>>12] += uint64(size) }
+func (p *pageProbe) Branch(from, to uint64, taken bool, kind vm.BranchKind) {}
+func (p *pageProbe) Mem(addr uint64, size uint8, write bool)                {}
+
+// TestPagePackingImproves asserts the Figure 9 packing effect: after
+// BOLT, 99% of instruction fetches fit in no more pages than before.
+func TestPagePackingImproves(t *testing.T) {
+	spec := Scale(0.3).apply(workload.HHVM())
+	mode := perf.DefaultMode()
+	base, _, err := Build(spec, CfgHFSortLTO, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bolted, _, err := Bolt(base, mode, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := func(name string, f *elfx.File) int {
+		m, err := vm.New(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &pageProbe{pages: map[uint64]uint64{}}
+		m.SetTracer(p)
+		if _, err := m.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		type pg struct {
+			page  uint64
+			bytes uint64
+		}
+		var list []pg
+		var total uint64
+		for k, v := range p.pages {
+			list = append(list, pg{k, v})
+			total += v
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].bytes > list[j].bytes })
+		var cum uint64
+		n99 := 0
+		for _, e := range list {
+			cum += e.bytes
+			n99++
+			if float64(cum) > 0.99*float64(total) {
+				break
+			}
+		}
+		bySec := map[string]int{}
+		for i, e := range list {
+			if i >= 60 {
+				break
+			}
+			sec := f.SectionFor(e.page << 12)
+			name := "?"
+			if sec != nil {
+				name = sec.Name
+			}
+			bySec[name]++
+		}
+		t.Logf("%s: %d pages touched, %d pages for 99%%; top-60 pages by section: %v",
+			name, len(list), n99, bySec)
+		return n99
+	}
+	basePages := probe("baseline", base)
+	boltPages := probe("bolted", bolted)
+	if boltPages > basePages {
+		t.Errorf("99%%-fetch page set grew: %d -> %d", basePages, boltPages)
+	}
+}

@@ -1,0 +1,212 @@
+// Package cc is the mini compiler: it lowers MIR (internal/ir) to x86-64
+// subset machine code in object form (internal/obj).
+//
+// cc exists so the repository can reproduce the paper's *baselines*: plain
+// -O2 builds, PGO builds (-fprofile-use with source-keyed, context-
+// insensitive profiles — the Figure 2 accuracy loss), and LTO builds
+// (cross-module inlining). gobolt then runs on cc+ld output exactly the
+// way BOLT runs on GCC/Clang output.
+package cc
+
+import (
+	"fmt"
+	"sort"
+
+	"gobolt/internal/ir"
+	"gobolt/internal/isa"
+	"gobolt/internal/obj"
+)
+
+// SrcKey identifies a source location; the PGO profile is keyed by it.
+// Keying by (file, line) — with no inline context — is precisely the
+// accuracy limitation of compiler-level profile retrofitting the paper
+// motivates with Figure 2: all inlined copies of a line share one entry.
+type SrcKey struct {
+	File string
+	Line int32
+}
+
+// BranchStat aggregates outcomes of the conditional branch at a source
+// line, keyed by the *successor's* source location (the binary-level
+// taken/fall-through polarity is a layout artifact; successor lines are
+// stable across builds, the way AutoFDO uses discriminators).
+type BranchStat struct {
+	Total  uint64
+	BySucc map[SrcKey]uint64
+}
+
+// SourceProfile is an AutoFDO-style profile mapped back to source.
+type SourceProfile struct {
+	Branch map[SrcKey]*BranchStat
+	Call   map[SrcKey]uint64 // per-call-site execution counts
+	Func   map[string]uint64 // per-function entry counts
+}
+
+// NewSourceProfile returns an empty profile.
+func NewSourceProfile() *SourceProfile {
+	return &SourceProfile{
+		Branch: map[SrcKey]*BranchStat{},
+		Call:   map[SrcKey]uint64{},
+		Func:   map[string]uint64{},
+	}
+}
+
+// AddBranchSample accumulates `count` executions of the branch at key
+// that continued to succ.
+func (sp *SourceProfile) AddBranchSample(key, succ SrcKey, count uint64) {
+	st := sp.Branch[key]
+	if st == nil {
+		st = &BranchStat{BySucc: map[SrcKey]uint64{}}
+		sp.Branch[key] = st
+	}
+	st.Total += count
+	st.BySucc[succ] += count
+}
+
+// Options configures a build.
+type Options struct {
+	// LTO allows cross-module inlining (link-time optimization).
+	LTO bool
+	// PGO, when non-nil, enables profile-guided inlining, block layout,
+	// and branch polarity using the (source-keyed) profile.
+	PGO *SourceProfile
+
+	// AlignFuncs is the function start alignment (default 16).
+	AlignFuncs int
+	// AlignBlocks pads branch-target blocks of loops to 16 bytes with
+	// NOPs, like -falign-loops; gobolt strips these (default true).
+	AlignBlocks bool
+
+	// TinyInlineOps is the always-inline size threshold (default 3).
+	TinyInlineOps int
+	// PGOInlineOps is the PGO hot-call-site inline threshold (default 14).
+	PGOInlineOps int
+	// HotCallCount is the minimum profile count for PGO inlining
+	// (default 32).
+	HotCallCount uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.AlignFuncs == 0 {
+		o.AlignFuncs = 16
+	}
+	if o.TinyInlineOps == 0 {
+		o.TinyInlineOps = 3
+	}
+	if o.PGOInlineOps == 0 {
+		o.PGOInlineOps = 14
+	}
+	if o.HotCallCount == 0 {
+		o.HotCallCount = 32
+	}
+	return o
+}
+
+// DefaultOptions returns the plain -O2 configuration.
+func DefaultOptions() Options { return Options{AlignBlocks: true}.withDefaults() }
+
+// Compile lowers the program to one object per module, plus a synthetic
+// runtime object providing __throw.
+func Compile(p *ir.Program, opts Options) ([]*obj.Object, error) {
+	opts = opts.withDefaults()
+	p.Finalize()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Clone functions so inlining never mutates the caller's program.
+	work := cloneProgram(p)
+	inlineAll(work, opts)
+
+	sharedFuncs := map[string]bool{}
+	for _, m := range work.Modules {
+		if m.Shared {
+			for _, f := range m.Funcs {
+				sharedFuncs[f.Name] = true
+			}
+		}
+	}
+
+	var objs []*obj.Object
+	for _, m := range work.Modules {
+		o := &obj.Object{Name: m.Name}
+		for _, f := range m.Funcs {
+			order := layoutBlocks(f, opts)
+			of, globals, err := lowerFunc(sharedFuncs, f, order, opts)
+			if err != nil {
+				return nil, fmt.Errorf("cc: %s: %w", f.Name, err)
+			}
+			of.Shared = m.Shared
+			o.Funcs = append(o.Funcs, of)
+			o.Globals = append(o.Globals, globals...)
+		}
+		objs = append(objs, o)
+	}
+
+	// Global data lives in a dedicated object.
+	dataObj := &obj.Object{Name: "__data__"}
+	for _, g := range work.Globals {
+		og := &obj.Global{
+			Name: g.Name, Data: g.Data, Align: g.Align, Writable: g.Writable,
+		}
+		for _, fr := range g.FuncRefs {
+			og.Relocs = append(og.Relocs, obj.Reloc{
+				Off: fr.Off, Type: obj.RelAbs64, Sym: fr.Name,
+			})
+		}
+		dataObj.Globals = append(dataObj.Globals, og)
+	}
+	objs = append(objs, dataObj)
+
+	// Runtime: __throw is the unwinder entry point the VM intercepts.
+	rt := &obj.Object{Name: "__runtime__"}
+	rt.Funcs = append(rt.Funcs, &obj.Func{
+		Name:  "__throw",
+		Bytes: []byte{0x0F, 0x0B}, // ud2; never actually executed
+		Align: 16,
+	})
+	objs = append(objs, rt)
+	return objs, nil
+}
+
+// cloneProgram deep-copies the parts the compiler mutates.
+func cloneProgram(p *ir.Program) *ir.Program {
+	q := &ir.Program{Globals: p.Globals}
+	for _, m := range p.Modules {
+		mm := &ir.Module{Name: m.Name, Shared: m.Shared}
+		for _, f := range m.Funcs {
+			mm.Funcs = append(mm.Funcs, cloneFunc(f))
+		}
+		q.Modules = append(q.Modules, mm)
+	}
+	q.Finalize()
+	return q
+}
+
+func cloneFunc(f *ir.Func) *ir.Func {
+	g := &ir.Func{
+		Name: f.Name, File: f.File, Line: f.Line,
+		FrameSlots: f.FrameSlots,
+		SavedRegs:  append([]isa.Reg(nil), f.SavedRegs...),
+		RepzRet:    f.RepzRet,
+		Global:     f.Global,
+	}
+	for _, b := range f.Blocks {
+		nb := &ir.Block{Index: b.Index, Line: b.Line, Cold: b.Cold}
+		nb.Ops = append([]ir.Op(nil), b.Ops...)
+		nb.Term = b.Term
+		nb.Term.Targets = append([]int(nil), b.Term.Targets...)
+		g.Blocks = append(g.Blocks, nb)
+	}
+	return g
+}
+
+// sortedKeys is a tiny helper for deterministic iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

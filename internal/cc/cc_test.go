@@ -1,0 +1,166 @@
+package cc
+
+import (
+	"testing"
+
+	"gobolt/internal/ir"
+	"gobolt/internal/isa"
+	"gobolt/internal/obj"
+)
+
+// branchy builds: entry -> {then(line 3) | else(line 5)} -> ret.
+func branchy(file string) *ir.Func {
+	f := ir.NewFunc("f", file, 2)
+	thenB := f.AddBlock()
+	elseB := f.AddBlock()
+	ret := f.AddBlock()
+	thenB.Line, elseB.Line = 3, 5
+	f.Blocks[0].Term = ir.Term{Kind: ir.TermBranch, Cc: isa.CondG, CmpReg: isa.RDI, CmpImm: 0,
+		Then: thenB.Index, Else: elseB.Index}
+	thenB.Ops = []ir.Op{{Kind: ir.OpMovImm, Dst: isa.RAX, Imm: 1}}
+	thenB.Term = ir.Term{Kind: ir.TermJump, Then: ret.Index}
+	elseB.Ops = []ir.Op{{Kind: ir.OpMovImm, Dst: isa.RAX, Imm: 2}}
+	elseB.Term = ir.Term{Kind: ir.TermJump, Then: ret.Index}
+	ret.Term = ir.Term{Kind: ir.TermReturn}
+	return f
+}
+
+func singleFuncProgram(f *ir.Func) *ir.Program {
+	start := ir.NewFunc("_start", "m.mir", 1)
+	start.Blocks[0].Ops = []ir.Op{
+		{Kind: ir.OpMovImm, Dst: isa.RDI, Imm: 1},
+		{Kind: ir.OpCall, Callee: "f", SpillReg: isa.NoReg, LandingPad: -1},
+	}
+	start.Blocks[0].Term = ir.Term{Kind: ir.TermExit}
+	p := &ir.Program{Modules: []*ir.Module{{Name: "m", Funcs: []*ir.Func{start, f}}}}
+	p.Finalize()
+	return p
+}
+
+func TestPGOBranchPolarityFromSuccessorLines(t *testing.T) {
+	p := singleFuncProgram(branchy("src.mir"))
+	sp := NewSourceProfile()
+	// The else side (line 5) dominates.
+	sp.AddBranchSample(SrcKey{"src.mir", 2}, SrcKey{"src.mir", 3}, 5)
+	sp.AddBranchSample(SrcKey{"src.mir", 2}, SrcKey{"src.mir", 5}, 95)
+	opts := DefaultOptions()
+	opts.PGO = sp
+
+	work := cloneProgram(p)
+	f := work.FuncByName("f")
+	prob := branchProb(f, f.Blocks[0], sp)
+	if prob > 0.1 {
+		t.Fatalf("then-probability should be ~0.05, got %f", prob)
+	}
+	order := layoutBlocks(f, opts)
+	// The hot else block (index 2) must directly follow the entry.
+	if order[1] != 2 {
+		t.Fatalf("hot successor not adjacent: order %v", order)
+	}
+}
+
+func TestTinyInlining(t *testing.T) {
+	callee := ir.NewFunc("tiny", "lib.mir", 8)
+	callee.Blocks[0].Ops = []ir.Op{{Kind: ir.OpMovImm, Dst: isa.RAX, Imm: 7}}
+	callee.Blocks[0].Term = ir.Term{Kind: ir.TermReturn}
+	caller := ir.NewFunc("_start", "m.mir", 1)
+	caller.Blocks[0].Ops = []ir.Op{{Kind: ir.OpCall, Callee: "tiny", SpillReg: isa.NoReg, LandingPad: -1}}
+	caller.Blocks[0].Term = ir.Term{Kind: ir.TermExit}
+	p := &ir.Program{Modules: []*ir.Module{{Name: "m", Funcs: []*ir.Func{caller, callee}}}}
+	p.Finalize()
+
+	work := cloneProgram(p)
+	inlineAll(work, DefaultOptions())
+	got := work.FuncByName("_start")
+	for _, b := range got.Blocks {
+		for _, op := range b.Ops {
+			if op.Kind == ir.OpCall && op.Callee == "tiny" {
+				t.Fatal("tiny callee was not inlined")
+			}
+		}
+	}
+	// Inlined ops keep the callee's source file (the Figure 2 property).
+	found := false
+	for _, b := range got.Blocks {
+		for _, op := range b.Ops {
+			if op.File == "lib.mir" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("inlined ops lost callee source coordinates")
+	}
+}
+
+func TestCrossModuleInliningNeedsLTO(t *testing.T) {
+	callee := ir.NewFunc("tiny", "lib.mir", 8)
+	callee.Blocks[0].Ops = []ir.Op{{Kind: ir.OpMovImm, Dst: isa.RAX, Imm: 7}}
+	callee.Blocks[0].Term = ir.Term{Kind: ir.TermReturn}
+	caller := ir.NewFunc("_start", "m.mir", 1)
+	caller.Blocks[0].Ops = []ir.Op{{Kind: ir.OpCall, Callee: "tiny", SpillReg: isa.NoReg, LandingPad: -1}}
+	caller.Blocks[0].Term = ir.Term{Kind: ir.TermExit}
+	p := &ir.Program{Modules: []*ir.Module{
+		{Name: "m", Funcs: []*ir.Func{caller}},
+		{Name: "lib", Funcs: []*ir.Func{callee}},
+	}}
+	p.Finalize()
+
+	hasCall := func(f *ir.Func) bool {
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if op.Kind == ir.OpCall {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	work := cloneProgram(p)
+	inlineAll(work, DefaultOptions())
+	if !hasCall(work.FuncByName("_start")) {
+		t.Fatal("cross-module inlining happened without LTO")
+	}
+	lto := DefaultOptions()
+	lto.LTO = true
+	work2 := cloneProgram(p)
+	inlineAll(work2, lto)
+	if hasCall(work2.FuncByName("_start")) {
+		t.Fatal("LTO did not inline across modules")
+	}
+}
+
+func TestCompileEmitsCFIAndLines(t *testing.T) {
+	// Make the callee big enough that it is NOT inlined, so _start keeps
+	// its call (and therefore its frame and CFI).
+	big := branchy("src.mir")
+	for i := 0; i < 6; i++ {
+		big.Blocks[1].Ops = append(big.Blocks[1].Ops,
+			ir.Op{Kind: ir.OpAddImm, Dst: isa.RAX, Imm: int64(i)})
+	}
+	p := singleFuncProgram(big)
+	objs, err := Compile(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var start *obj.Func
+	for _, o := range objs {
+		for _, f := range o.Funcs {
+			if f.Name == "_start" {
+				start = f
+			}
+		}
+	}
+	if start == nil {
+		t.Fatal("no _start emitted")
+	}
+	if len(start.CFI) == 0 {
+		t.Error("framed function must carry CFI")
+	}
+	if len(start.Lines) == 0 {
+		t.Error("line info missing")
+	}
+	if len(start.Relocs) == 0 {
+		t.Error("call reloc missing")
+	}
+}

@@ -1,0 +1,328 @@
+// Package cfi models call-frame information and exception tables.
+//
+// It plays the role DWARF CFI and the Itanium-ABI LSDA play in the paper
+// (§3.4): every function carries a little program describing, per code
+// offset, how to compute the canonical frame address (CFA) and where
+// callee-saved registers were spilled; functions with exception handlers
+// additionally carry a call-site table mapping call instructions to landing
+// pads. The binary encoding here is our own compact format rather than
+// DWARF byte-exact (see DESIGN.md substitution table), but it is
+// *load-bearing*: the VM's unwinder evaluates these records at runtime, so
+// a rewriter that fails to update them breaks exception tests.
+package cfi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// OpKind enumerates CFI instruction kinds (names follow DWARF).
+type OpKind uint8
+
+// CFI instruction kinds.
+const (
+	OpDefCfa         OpKind = iota // CFA = Reg + Off
+	OpDefCfaRegister               // CFA register changes to Reg
+	OpDefCfaOffset                 // CFA offset changes to Off
+	OpOffset                       // Reg is saved at CFA + Off
+	OpRestore                      // Reg is no longer saved
+	OpRememberState                // push current state
+	OpRestoreState                 // pop to remembered state
+)
+
+var opKindNames = [...]string{
+	"OpDefCfa", "OpDefCfaRegister", "OpDefCfaOffset",
+	"OpOffset", "OpRestore", "OpRememberState", "OpRestoreState",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", k)
+}
+
+// Inst is a single CFI instruction.
+type Inst struct {
+	Kind OpKind
+	Reg  uint8 // register number in isa encoding (6 = rbp, 7 = rsp is 4... we use isa values)
+	Off  int32
+}
+
+// String renders the instruction in the style of the paper's Figure 4,
+// e.g. "OpDefCfaOffset -16" or "OpOffset Reg6 -16".
+func (in Inst) String() string {
+	switch in.Kind {
+	case OpDefCfa:
+		return fmt.Sprintf("OpDefCfa Reg%d %d", in.Reg, in.Off)
+	case OpDefCfaRegister:
+		return fmt.Sprintf("OpDefCfaRegister Reg%d", in.Reg)
+	case OpDefCfaOffset:
+		return fmt.Sprintf("OpDefCfaOffset %d", in.Off)
+	case OpOffset:
+		return fmt.Sprintf("OpOffset Reg%d %d", in.Reg, in.Off)
+	case OpRestore:
+		return fmt.Sprintf("OpRestore Reg%d", in.Reg)
+	case OpRememberState:
+		return "OpRememberState"
+	case OpRestoreState:
+		return "OpRestoreState"
+	}
+	return "OpUnknown"
+}
+
+// PCInst attaches a CFI instruction to a code offset within its function.
+type PCInst struct {
+	PC   uint32 // offset from function start; the instruction takes effect *at* this offset
+	Inst Inst
+}
+
+// FDE is the frame description entry for one function (or function
+// fragment, after hot/cold splitting).
+type FDE struct {
+	Start uint64 // absolute start address
+	Len   uint32 // code length covered
+	LSDA  uint64 // absolute address of the LSDA record, 0 if none
+	Insts []PCInst
+}
+
+// State is the evaluated unwind state at some program counter.
+type State struct {
+	CfaReg uint8
+	CfaOff int32
+	// Saved maps register -> offset from CFA where its old value lives.
+	Saved map[uint8]int32
+}
+
+func (s *State) clone() State {
+	m := make(map[uint8]int32, len(s.Saved))
+	for k, v := range s.Saved {
+		m[k] = v
+	}
+	return State{CfaReg: s.CfaReg, CfaOff: s.CfaOff, Saved: m}
+}
+
+// InitialState is the ABI-defined state at function entry: CFA = rsp + 8
+// (the call pushed the return address), nothing saved yet.
+func InitialState() State {
+	return State{CfaReg: 4 /* rsp */, CfaOff: 8, Saved: map[uint8]int32{}}
+}
+
+// Evaluate replays the FDE's CFI program up to (and including) code offset
+// pc and returns the unwind state there.
+func (f *FDE) Evaluate(pc uint32) (State, error) {
+	st := InitialState()
+	var stack []State
+	for _, pi := range f.Insts {
+		if pi.PC > pc {
+			break
+		}
+		switch pi.Inst.Kind {
+		case OpDefCfa:
+			st.CfaReg, st.CfaOff = pi.Inst.Reg, pi.Inst.Off
+		case OpDefCfaRegister:
+			st.CfaReg = pi.Inst.Reg
+		case OpDefCfaOffset:
+			st.CfaOff = pi.Inst.Off
+		case OpOffset:
+			st.Saved[pi.Inst.Reg] = pi.Inst.Off
+		case OpRestore:
+			delete(st.Saved, pi.Inst.Reg)
+		case OpRememberState:
+			stack = append(stack, st.clone())
+		case OpRestoreState:
+			if len(stack) == 0 {
+				return st, fmt.Errorf("cfi: restore_state with empty stack at pc %#x", pc)
+			}
+			st = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return st, nil
+}
+
+// --- Binary encoding of the frame table (.eh_frame analogue) ---
+
+const fdeInstSize = 12 // pc u32, kind u8, reg u8, pad u16, off i32
+
+// EncodeFrames serializes FDEs to a frame section payload.
+func EncodeFrames(fdes []FDE) []byte {
+	sorted := make([]FDE, len(fdes))
+	copy(sorted, fdes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(sorted)))
+	for _, f := range sorted {
+		buf = binary.LittleEndian.AppendUint64(buf, f.Start)
+		buf = binary.LittleEndian.AppendUint32(buf, f.Len)
+		buf = binary.LittleEndian.AppendUint64(buf, f.LSDA)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Insts)))
+		for _, pi := range f.Insts {
+			buf = binary.LittleEndian.AppendUint32(buf, pi.PC)
+			buf = append(buf, byte(pi.Inst.Kind), pi.Inst.Reg, 0, 0)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(pi.Inst.Off))
+		}
+	}
+	return buf
+}
+
+// DecodeFrames parses a frame section payload.
+func DecodeFrames(data []byte) ([]FDE, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("cfi: frame section too short")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	p := 4
+	fdes := make([]FDE, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if p+24 > len(data) {
+			return nil, fmt.Errorf("cfi: truncated FDE header")
+		}
+		var f FDE
+		f.Start = binary.LittleEndian.Uint64(data[p:])
+		f.Len = binary.LittleEndian.Uint32(data[p+8:])
+		f.LSDA = binary.LittleEndian.Uint64(data[p+12:])
+		cnt := binary.LittleEndian.Uint32(data[p+20:])
+		p += 24
+		if p+int(cnt)*fdeInstSize > len(data) {
+			return nil, fmt.Errorf("cfi: truncated FDE body")
+		}
+		f.Insts = make([]PCInst, cnt)
+		for j := uint32(0); j < cnt; j++ {
+			f.Insts[j] = PCInst{
+				PC: binary.LittleEndian.Uint32(data[p:]),
+				Inst: Inst{
+					Kind: OpKind(data[p+4]),
+					Reg:  data[p+5],
+					Off:  int32(binary.LittleEndian.Uint32(data[p+8:])),
+				},
+			}
+			p += fdeInstSize
+		}
+		fdes = append(fdes, f)
+	}
+	return fdes, nil
+}
+
+// FindFDE returns the FDE covering the absolute address addr.
+func FindFDE(fdes []FDE, addr uint64) (*FDE, bool) {
+	// fdes are sorted by Start.
+	lo, hi := 0, len(fdes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fdes[mid].Start <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil, false
+	}
+	f := &fdes[lo-1]
+	if addr >= f.Start+uint64(f.Len) {
+		return nil, false
+	}
+	return f, true
+}
+
+// --- LSDA (exception call-site table, .gcc_except_table analogue) ---
+
+// CallSite maps a code range (offsets from the *fragment* start) to a
+// landing pad. Landing pads are absolute addresses so that split-function
+// fragments can point into one another (-split-eh).
+type CallSite struct {
+	Start      uint32 // code offset of the region start
+	Len        uint32
+	LandingPad uint64 // absolute address; 0 = unwind continues past this frame
+	Action     int32  // 0 = cleanup, 1 = catch-all (paper Fig 4 "action: 1")
+}
+
+// LSDA is one function's exception table record.
+type LSDA struct {
+	CallSites []CallSite
+}
+
+const callSiteSize = 20
+
+// EncodeLSDA appends the record to buf and returns the new buffer and the
+// record's offset within it.
+func EncodeLSDA(buf []byte, l *LSDA) ([]byte, uint32) {
+	off := uint32(len(buf))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.CallSites)))
+	for _, cs := range l.CallSites {
+		buf = binary.LittleEndian.AppendUint32(buf, cs.Start)
+		buf = binary.LittleEndian.AppendUint32(buf, cs.Len)
+		buf = binary.LittleEndian.AppendUint64(buf, cs.LandingPad)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(cs.Action))
+	}
+	return buf, off
+}
+
+// DecodeLSDA parses the record at offset off in the section payload.
+func DecodeLSDA(data []byte, off uint32) (*LSDA, error) {
+	if int(off)+4 > len(data) {
+		return nil, fmt.Errorf("cfi: LSDA offset %#x out of range", off)
+	}
+	n := binary.LittleEndian.Uint32(data[off:])
+	p := int(off) + 4
+	if p+int(n)*callSiteSize > len(data) {
+		return nil, fmt.Errorf("cfi: truncated LSDA")
+	}
+	l := &LSDA{CallSites: make([]CallSite, n)}
+	for i := uint32(0); i < n; i++ {
+		l.CallSites[i] = CallSite{
+			Start:      binary.LittleEndian.Uint32(data[p:]),
+			Len:        binary.LittleEndian.Uint32(data[p+4:]),
+			LandingPad: binary.LittleEndian.Uint64(data[p+8:]),
+			Action:     int32(binary.LittleEndian.Uint32(data[p+16:])),
+		}
+		p += callSiteSize
+	}
+	return l, nil
+}
+
+// Lookup returns the landing pad for a return address at code offset pc
+// (offset from fragment start), or 0 if the range has no handler.
+func (l *LSDA) Lookup(pc uint32) (uint64, int32, bool) {
+	for _, cs := range l.CallSites {
+		if pc >= cs.Start && pc < cs.Start+cs.Len {
+			return cs.LandingPad, cs.Action, cs.LandingPad != 0
+		}
+	}
+	return 0, 0, false
+}
+
+// Section names used across the toolchain.
+const (
+	FrameSectionName = ".eh_frame"
+	LSDASectionName  = ".gcc_except_table"
+)
+
+// StateDiff returns the CFI instructions that transform state `from` into
+// state `to`. Code emitters use it to splice correct unwind info between
+// arbitrarily reordered blocks instead of replaying prologue history.
+func StateDiff(from, to *State) []Inst {
+	var out []Inst
+	if from.CfaReg != to.CfaReg || from.CfaOff != to.CfaOff {
+		out = append(out, Inst{Kind: OpDefCfa, Reg: to.CfaReg, Off: to.CfaOff})
+	}
+	// Deterministic order: restores then offsets, by register number.
+	for r := uint8(0); r < 17; r++ {
+		if _, had := from.Saved[r]; had {
+			if _, has := to.Saved[r]; !has {
+				out = append(out, Inst{Kind: OpRestore, Reg: r})
+			}
+		}
+	}
+	for r := uint8(0); r < 17; r++ {
+		off, has := to.Saved[r]
+		if !has {
+			continue
+		}
+		if old, had := from.Saved[r]; !had || old != off {
+			out = append(out, Inst{Kind: OpOffset, Reg: r, Off: off})
+		}
+	}
+	return out
+}

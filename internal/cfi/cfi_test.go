@@ -1,0 +1,165 @@
+package cfi
+
+import (
+	"testing"
+)
+
+// standardPrologue builds the CFI program for:
+//
+//	0: push %rbp        -> def_cfa_offset 16; offset rbp, -16
+//	1: mov %rsp,%rbp    -> def_cfa_register rbp
+//	4: push %rbx        -> offset rbx, -24
+//	5: sub $0x10,%rsp
+func standardPrologue() FDE {
+	return FDE{
+		Start: 0x400000,
+		Len:   0x40,
+		Insts: []PCInst{
+			{PC: 1, Inst: Inst{Kind: OpDefCfaOffset, Off: 16}},
+			{PC: 1, Inst: Inst{Kind: OpOffset, Reg: 6, Off: -16}},
+			{PC: 4, Inst: Inst{Kind: OpDefCfaRegister, Reg: 6}},
+			{PC: 5, Inst: Inst{Kind: OpOffset, Reg: 3, Off: -24}},
+		},
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	f := standardPrologue()
+	st, err := f.Evaluate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CfaReg != 4 || st.CfaOff != 8 || len(st.Saved) != 0 {
+		t.Errorf("entry state wrong: %+v", st)
+	}
+	st, err = f.Evaluate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CfaReg != 4 || st.CfaOff != 16 || st.Saved[6] != -16 {
+		t.Errorf("state after push rbp wrong: %+v", st)
+	}
+	st, err = f.Evaluate(0x20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CfaReg != 6 || st.CfaOff != 16 || st.Saved[3] != -24 || st.Saved[6] != -16 {
+		t.Errorf("steady state wrong: %+v", st)
+	}
+}
+
+func TestRememberRestore(t *testing.T) {
+	f := FDE{
+		Start: 0, Len: 0x100,
+		Insts: []PCInst{
+			{PC: 1, Inst: Inst{Kind: OpDefCfaOffset, Off: 16}},
+			{PC: 8, Inst: Inst{Kind: OpRememberState}},
+			{PC: 8, Inst: Inst{Kind: OpOffset, Reg: 3, Off: -24}},
+			{PC: 8, Inst: Inst{Kind: OpDefCfaOffset, Off: 24}},
+			{PC: 0x20, Inst: Inst{Kind: OpRestoreState}},
+		},
+	}
+	st, _ := f.Evaluate(0x10)
+	if st.CfaOff != 24 || st.Saved[3] != -24 {
+		t.Errorf("inside region: %+v", st)
+	}
+	st, _ = f.Evaluate(0x30)
+	if st.CfaOff != 16 || len(st.Saved) != 0 {
+		t.Errorf("after restore: %+v", st)
+	}
+}
+
+func TestRestoreStateUnderflow(t *testing.T) {
+	f := FDE{Insts: []PCInst{{PC: 0, Inst: Inst{Kind: OpRestoreState}}}}
+	if _, err := f.Evaluate(1); err == nil {
+		t.Fatal("expected underflow error")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	fdes := []FDE{standardPrologue(), {Start: 0x400100, Len: 8, LSDA: 0x500000}}
+	data := EncodeFrames(fdes)
+	got, err := DecodeFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d FDEs", len(got))
+	}
+	if got[0].Start != 0x400000 || len(got[0].Insts) != 4 || got[1].LSDA != 0x500000 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got[0].Insts[3].Inst.String() != "OpOffset Reg3 -24" {
+		t.Errorf("inst formatting: %q", got[0].Insts[3].Inst.String())
+	}
+}
+
+func TestFindFDE(t *testing.T) {
+	fdes := []FDE{
+		{Start: 0x1000, Len: 0x100},
+		{Start: 0x2000, Len: 0x80},
+		{Start: 0x3000, Len: 0x10},
+	}
+	data := EncodeFrames(fdes)
+	sorted, _ := DecodeFrames(data)
+	for _, tc := range []struct {
+		addr uint64
+		want uint64
+		ok   bool
+	}{
+		{0x1000, 0x1000, true},
+		{0x10FF, 0x1000, true},
+		{0x1100, 0, false},
+		{0x2040, 0x2000, true},
+		{0x300F, 0x3000, true},
+		{0x3010, 0, false},
+		{0xFFF, 0, false},
+	} {
+		f, ok := FindFDE(sorted, tc.addr)
+		if ok != tc.ok {
+			t.Errorf("FindFDE(%#x): ok=%v want %v", tc.addr, ok, tc.ok)
+			continue
+		}
+		if ok && f.Start != tc.want {
+			t.Errorf("FindFDE(%#x) = %#x, want %#x", tc.addr, f.Start, tc.want)
+		}
+	}
+}
+
+func TestLSDARoundTrip(t *testing.T) {
+	l := &LSDA{CallSites: []CallSite{
+		{Start: 0x10, Len: 5, LandingPad: 0x400500, Action: 1},
+		{Start: 0x20, Len: 5, LandingPad: 0, Action: 0},
+	}}
+	buf := []byte{0xEE} // existing content: offsets must be respected
+	buf, off := EncodeLSDA(buf, l)
+	got, err := DecodeLSDA(buf, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, action, ok := got.Lookup(0x12)
+	if !ok || lp != 0x400500 || action != 1 {
+		t.Errorf("Lookup(0x12) = %#x, %d, %v", lp, action, ok)
+	}
+	if _, _, ok := got.Lookup(0x22); ok {
+		t.Errorf("zero landing pad must report no handler")
+	}
+	if _, _, ok := got.Lookup(0x100); ok {
+		t.Errorf("outside ranges must report no handler")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeFrames([]byte{1, 2}); err == nil {
+		t.Error("short frame section accepted")
+	}
+	if _, err := DecodeFrames([]byte{5, 0, 0, 0, 1}); err == nil {
+		t.Error("truncated FDE accepted")
+	}
+	if _, err := DecodeLSDA([]byte{1}, 0); err == nil {
+		t.Error("truncated LSDA accepted")
+	}
+	if _, err := DecodeLSDA([]byte{255, 0, 0, 0}, 0); err == nil {
+		t.Error("oversized LSDA accepted")
+	}
+}

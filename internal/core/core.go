@@ -1,0 +1,407 @@
+// Package core is the gobolt engine: the paper's primary contribution.
+//
+// It implements the rewriting pipeline of Figure 3 — function discovery,
+// debug-info and profile reading, disassembly, CFG construction, an
+// optimization pipeline (Table 1, implemented in internal/passes), code
+// emission, and binary rewriting — operating on fully linked ELF
+// executables plus sample-based fdata profiles.
+//
+// Like BOLT, gobolt is conservative: functions it cannot fully analyze
+// (indirect tail calls, unbounded jump tables, undecodable bytes) are
+// marked non-simple and left untouched while the rest of the binary is
+// optimized (paper §3.1, §6.4).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gobolt/internal/cfi"
+	"gobolt/internal/dbg"
+	"gobolt/internal/elfx"
+	"gobolt/internal/hfsort"
+	"gobolt/internal/isa"
+	"gobolt/internal/layout"
+)
+
+// Options mirrors the llvm-bolt command line used in the paper (§6.2.1):
+// -reorder-blocks=cache+ -reorder-functions=hfsort+ -split-functions=3
+// -split-all-cold -split-eh -icf=1.
+type Options struct {
+	ReorderBlocks    layout.Algorithm
+	ReorderFunctions hfsort.Algorithm
+	SplitFunctions   int // 0 = off, >=1 = split cold code
+	SplitAllCold     bool
+	SplitEH          bool
+	ICF              bool
+	ICP              bool
+	InlineSmall      bool
+	SimplifyROLoads  bool
+	PLT              bool
+	Peepholes        bool
+	StripRepRet      bool
+	FrameOpts        bool
+	ShrinkWrapping   bool
+	SCTC             bool
+	UCE              bool
+
+	AlignFunctions      int
+	DynoStats           bool
+	UpdateDebugSections bool
+	// Lite skips functions with no profile samples entirely.
+	Lite bool
+	// ICPThreshold is the minimum fraction of calls going to the dominant
+	// target for indirect-call promotion (e.g. 0.51).
+	ICPThreshold float64
+}
+
+// DefaultOptions reproduces the paper's evaluation configuration.
+func DefaultOptions() Options {
+	return Options{
+		ReorderBlocks:       layout.AlgoCache,
+		ReorderFunctions:    hfsort.AlgoPlus,
+		SplitFunctions:      3,
+		SplitAllCold:        true,
+		SplitEH:             true,
+		ICF:                 true,
+		ICP:                 true,
+		InlineSmall:         true,
+		SimplifyROLoads:     true,
+		PLT:                 true,
+		Peepholes:           true,
+		StripRepRet:         true,
+		FrameOpts:           true,
+		ShrinkWrapping:      true,
+		SCTC:                true,
+		UCE:                 true,
+		AlignFunctions:      16,
+		UpdateDebugSections: true,
+		ICPThreshold:        0.51,
+	}
+}
+
+// Inst is one instruction plus gobolt's annotations (the MCInst
+// annotation mechanism from paper §3.3).
+type Inst struct {
+	I    isa.Inst
+	Size uint8
+	Addr uint64 // original address; 0 for synthesized instructions
+
+	// Source origin (from .debug_line), shown in CFG dumps.
+	File string
+	Line int32
+
+	// CFIIdx indexes the function's interned CFI state table: the unwind
+	// state in effect AT this instruction. -1 = unknown/na.
+	CFIIdx int32
+
+	// LP is the landing pad covering this call, if any.
+	LP       *BasicBlock
+	LPAction int32
+
+	// TargetSym names an external direct-call/branch target.
+	TargetSym string
+	// ImmSym, when set, makes the instruction's 32-bit immediate the
+	// absolute address of the named function (ICP's `cmp $target, %reg`).
+	ImmSym string
+	// MemTarget is the resolved absolute address of a RIP-relative memory
+	// operand (0 = none/unresolved).
+	MemTarget uint64
+	// JT is the jump table driving this indirect jump.
+	JT *JumpTable
+}
+
+// IsCall reports whether the instruction is any call form.
+func (in *Inst) IsCall() bool { return in.I.IsCall() }
+
+// Edge is a weighted CFG edge.
+type Edge struct {
+	To       *BasicBlock
+	Count    uint64
+	Mispreds uint64
+}
+
+// BasicBlock is a node of the reconstructed CFG.
+type BasicBlock struct {
+	Index int
+	Label string
+	Addr  uint64 // original start address
+	Insts []Inst
+
+	// Succs ordering convention: for a conditional branch, Succs[0] is
+	// the taken target and Succs[1] the fall-through; for unconditional
+	// or fall-through blocks, Succs[0] is the sole successor; for jump
+	// tables, one entry per distinct target.
+	Succs []Edge
+	Preds []*BasicBlock
+
+	// LPs are landing pads reachable from calls in this block.
+	LPs []*BasicBlock
+
+	ExecCount uint64
+	CFIIn     int32
+	IsLP      bool
+	IsCold    bool // assigned to the cold fragment by splitting
+	IsEntry   bool
+}
+
+// SuccBlock returns the i-th successor block or nil.
+func (b *BasicBlock) SuccBlock(i int) *BasicBlock {
+	if i < len(b.Succs) {
+		return b.Succs[i].To
+	}
+	return nil
+}
+
+// LastInst returns the final instruction or nil.
+func (b *BasicBlock) LastInst() *Inst {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	return &b.Insts[len(b.Insts)-1]
+}
+
+// JumpTable describes a recovered jump table (paper §3.2: PIC tables must
+// be rediscovered by analysis because their relocations are discarded).
+type JumpTable struct {
+	Addr      uint64
+	EntrySize int
+	PIC       bool
+	Targets   []*BasicBlock
+	SymName   string
+}
+
+// BinaryFunction is one discovered function.
+type BinaryFunction struct {
+	Name    string
+	Aliases []string
+	Addr    uint64
+	Size    uint64
+	Section string
+	Bytes   []byte
+
+	Simple bool
+	Reason string // why non-simple
+
+	Blocks    []*BasicBlock // current layout order
+	cfiStates []cfi.State
+	stateKeys map[string]int32
+	JTs       []*JumpTable
+
+	HasLSDA   bool
+	ExecCount uint64
+	Sampled   bool // any profile data attached
+	// ProfileAcc estimates flow-equation consistency (Fig 4 "Profile Acc").
+	ProfileAcc float64
+
+	// FoldedInto is set by ICF when this function's body was replaced by
+	// a reference to another function.
+	FoldedInto *BinaryFunction
+
+	// IsSplit marks functions whose cold blocks go to the cold section.
+	IsSplit bool
+
+	// Emission results (set during rewrite).
+	OutAddr, OutSize   uint64
+	ColdAddr, ColdSize uint64
+
+	jtPending map[int]*pendingJT
+	instIndex map[uint64]instRef
+}
+
+type instRef struct {
+	b *BasicBlock
+	i int
+}
+
+// RebuildIndex refreshes the address lookup after passes restructure the
+// CFG (block reordering, splitting, splicing).
+func (f *BinaryFunction) RebuildIndex() { f.buildInstIndex() }
+
+// buildInstIndex (re)builds the address -> instruction lookup table.
+func (f *BinaryFunction) buildInstIndex() {
+	f.instIndex = make(map[uint64]instRef)
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].Addr != 0 {
+				f.instIndex[b.Insts[i].Addr] = instRef{b: b, i: i}
+			}
+		}
+	}
+}
+
+// NumBlocks returns the block count.
+func (f *BinaryFunction) NumBlocks() int { return len(f.Blocks) }
+
+// InternState interns a CFI state and returns its index.
+func (f *BinaryFunction) InternState(st cfi.State) int32 {
+	key := stateKey(st)
+	if f.stateKeys == nil {
+		f.stateKeys = map[string]int32{}
+	}
+	if i, ok := f.stateKeys[key]; ok {
+		return i
+	}
+	i := int32(len(f.cfiStates))
+	f.cfiStates = append(f.cfiStates, cloneState(st))
+	f.stateKeys[key] = i
+	return i
+}
+
+// StateAt returns the interned CFI state by index.
+func (f *BinaryFunction) StateAt(idx int32) *cfi.State {
+	if idx < 0 || int(idx) >= len(f.cfiStates) {
+		return nil
+	}
+	return &f.cfiStates[idx]
+}
+
+func stateKey(st cfi.State) string {
+	regs := make([]int, 0, len(st.Saved))
+	for r := range st.Saved {
+		regs = append(regs, int(r))
+	}
+	sort.Ints(regs)
+	key := fmt.Sprintf("%d:%d", st.CfaReg, st.CfaOff)
+	for _, r := range regs {
+		key += fmt.Sprintf(";%d=%d", r, st.Saved[uint8(r)])
+	}
+	return key
+}
+
+func cloneState(st cfi.State) cfi.State {
+	m := make(map[uint8]int32, len(st.Saved))
+	for k, v := range st.Saved {
+		m[k] = v
+	}
+	return cfi.State{CfaReg: st.CfaReg, CfaOff: st.CfaOff, Saved: m}
+}
+
+// BlockAt finds the block starting at the given original address.
+func (f *BinaryFunction) BlockAt(addr uint64) *BasicBlock {
+	for _, b := range f.Blocks {
+		if b.Addr == addr {
+			return b
+		}
+	}
+	return nil
+}
+
+// BlockContaining finds the block whose original instruction range covers
+// addr (used for profile matching).
+func (f *BinaryFunction) BlockContaining(addr uint64) *BasicBlock {
+	if r, ok := f.instIndex[addr]; ok {
+		return r.b
+	}
+	// Fall back to range check (the address may be inside an instruction
+	// or a stripped NOP).
+	var best *BasicBlock
+	for _, b := range f.Blocks {
+		if b.Addr <= addr && (best == nil || b.Addr > best.Addr) {
+			best = b
+		}
+	}
+	return best
+}
+
+// InstAt returns the block and instruction at an original address.
+func (f *BinaryFunction) InstAt(addr uint64) (*BasicBlock, *Inst) {
+	if r, ok := f.instIndex[addr]; ok {
+		return r.b, &r.b.Insts[r.i]
+	}
+	return nil, nil
+}
+
+// BinaryContext owns everything gobolt knows about the input binary.
+type BinaryContext struct {
+	File *elfx.File
+	Opts Options
+
+	Funcs  []*BinaryFunction
+	ByName map[string]*BinaryFunction
+	byAddr map[uint64]*BinaryFunction
+
+	// HasRelocs is true when the binary was linked with --emit-relocs,
+	// enabling relocations mode (function reordering; paper §3.2).
+	HasRelocs bool
+
+	// PLTStubs maps stub address -> final target address (via GOT).
+	PLTStubs map[uint64]uint64
+
+	LineTable *dbg.Table
+
+	fdes     []cfi.FDE
+	lsdaData []byte
+	lsdaBase uint64
+
+	// textRelocs maps absolute patch-site address -> relocation.
+	textRelocs map[uint64]elfx.Rela
+
+	// CallTargets histograms indirect-call targets per call-site address
+	// (filled by profile application, consumed by ICP).
+	CallTargets map[uint64]map[string]uint64
+
+	// CallEdges is the weighted dynamic call graph (caller -> callee)
+	// observed in the profile; reorder-functions feeds it to HFSort.
+	CallEdges map[[2]string]uint64
+
+	// ProfileLBR records which §5 profile mode produced the attached data.
+	ProfileLBR bool
+
+	// FuncOrder is the new function layout (set by reorder-functions).
+	FuncOrder []string
+
+	// Stats accumulates per-pass counters for reporting.
+	Stats map[string]int64
+}
+
+// FuncByAddr returns the function starting at addr.
+func (ctx *BinaryContext) FuncByAddr(addr uint64) *BinaryFunction { return ctx.byAddr[addr] }
+
+// FuncContaining returns the function covering addr.
+func (ctx *BinaryContext) FuncContaining(addr uint64) *BinaryFunction {
+	for _, f := range ctx.Funcs {
+		if addr >= f.Addr && addr < f.Addr+f.Size {
+			return f
+		}
+	}
+	return nil
+}
+
+// CountStat bumps a named statistic.
+func (ctx *BinaryContext) CountStat(name string, delta int64) {
+	if ctx.Stats == nil {
+		ctx.Stats = map[string]int64{}
+	}
+	ctx.Stats[name] += delta
+}
+
+// SimpleFuncs returns the rewritable functions.
+func (ctx *BinaryContext) SimpleFuncs() []*BinaryFunction {
+	var out []*BinaryFunction
+	for _, f := range ctx.Funcs {
+		if f.Simple && f.FoldedInto == nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Pass is one transformation or analysis over the binary context.
+type Pass interface {
+	Name() string
+	Run(ctx *BinaryContext) error
+}
+
+// RunPasses executes the pipeline in order.
+func RunPasses(ctx *BinaryContext, passes []Pass) error {
+	for _, p := range passes {
+		if err := p.Run(ctx); err != nil {
+			return fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+	}
+	return nil
+}
+
+// InitialStateForTest exposes the ABI entry unwind state to tests.
+func InitialStateForTest() cfi.State { return cfi.InitialState() }

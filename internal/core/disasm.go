@@ -1,0 +1,568 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gobolt/internal/cfi"
+	"gobolt/internal/dbg"
+	"gobolt/internal/elfx"
+	"gobolt/internal/isa"
+)
+
+// NewContext discovers functions, disassembles them, and builds CFGs —
+// the front half of the Figure 3 pipeline.
+func NewContext(f *elfx.File, opts Options) (*BinaryContext, error) {
+	if opts.AlignFunctions == 0 {
+		opts.AlignFunctions = 16
+	}
+	ctx := &BinaryContext{
+		File:        f,
+		Opts:        opts,
+		ByName:      map[string]*BinaryFunction{},
+		byAddr:      map[uint64]*BinaryFunction{},
+		PLTStubs:    map[uint64]uint64{},
+		textRelocs:  map[uint64]elfx.Rela{},
+		CallTargets: map[uint64]map[string]uint64{},
+		Stats:       map[string]int64{},
+	}
+
+	// Relocations (--emit-relocs) enable relocations mode.
+	for sectName, relas := range f.Relas {
+		sec := f.Section(sectName)
+		if sec == nil {
+			continue
+		}
+		if sec.Flags&elfx.SHFExecinstr != 0 {
+			for _, r := range relas {
+				ctx.textRelocs[sec.Addr+r.Off] = r
+			}
+		}
+	}
+	ctx.HasRelocs = len(f.Relas) > 0
+
+	// Debug info.
+	if ls := f.Section(dbg.SectionName); ls != nil {
+		if t, err := dbg.Decode(ls.Data); err == nil {
+			ctx.LineTable = t
+		}
+	}
+
+	// Frame info.
+	if fs := f.Section(cfi.FrameSectionName); fs != nil {
+		fdes, err := cfi.DecodeFrames(fs.Data)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		ctx.fdes = fdes
+	}
+	if ls := f.Section(cfi.LSDASectionName); ls != nil {
+		ctx.lsdaData = ls.Data
+		ctx.lsdaBase = ls.Addr
+	}
+
+	// Function discovery: symbol-table driven (paper §3.3). PLT stubs are
+	// recognized separately; alias symbols (ICF'd at link time) attach to
+	// the canonical function at the same address.
+	syms := f.FuncSymbols()
+	for _, sym := range syms {
+		sec := f.SectionFor(sym.Value)
+		if sec == nil || sym.Size == 0 {
+			continue
+		}
+		if sec.Name == ".plt" {
+			ctx.discoverPLTStub(sym)
+			continue
+		}
+		if existing := ctx.byAddr[sym.Value]; existing != nil {
+			existing.Aliases = append(existing.Aliases, sym.Name)
+			ctx.ByName[sym.Name] = existing
+			continue
+		}
+		bytes, err := f.ReadAt(sym.Value, int(sym.Size))
+		if err != nil {
+			continue
+		}
+		fn := &BinaryFunction{
+			Name:    sym.Name,
+			Addr:    sym.Value,
+			Size:    sym.Size,
+			Section: sec.Name,
+			Bytes:   append([]byte(nil), bytes...),
+			Simple:  true,
+		}
+		ctx.Funcs = append(ctx.Funcs, fn)
+		ctx.ByName[sym.Name] = fn
+		ctx.byAddr[sym.Value] = fn
+	}
+	sort.Slice(ctx.Funcs, func(i, j int) bool { return ctx.Funcs[i].Addr < ctx.Funcs[j].Addr })
+
+	for _, fn := range ctx.Funcs {
+		if err := ctx.disassemble(fn); err != nil {
+			// Non-simple rather than fatal: precise disassembly is
+			// undecidable in general (§3.3).
+			fn.Simple = false
+			fn.Reason = err.Error()
+			continue
+		}
+	}
+	for _, fn := range ctx.Funcs {
+		if fn.Simple {
+			ctx.buildCFG(fn)
+			ctx.attachCFI(fn)
+			ctx.attachLSDA(fn)
+		}
+	}
+	return ctx, nil
+}
+
+// discoverPLTStub decodes `jmp *GOT(%rip)` and resolves the target
+// through the GOT contents.
+func (ctx *BinaryContext) discoverPLTStub(sym elfx.Symbol) {
+	data, err := ctx.File.ReadAt(sym.Value, 6)
+	if err != nil {
+		return
+	}
+	inst, n, err := isa.Decode(data, sym.Value)
+	if err != nil || inst.Op != isa.JMPm || !inst.M.RIP {
+		return
+	}
+	gotAddr := sym.Value + uint64(n) + uint64(int64(inst.M.Disp))
+	raw, err := ctx.File.ReadAt(gotAddr, 8)
+	if err != nil {
+		return
+	}
+	var target uint64
+	for i := 7; i >= 0; i-- {
+		target = target<<8 | uint64(raw[i])
+	}
+	ctx.PLTStubs[sym.Value] = target
+}
+
+// rawInst is a decoded instruction before block formation.
+type rawInst struct {
+	inst isa.Inst
+	addr uint64
+	size uint8
+}
+
+// disassemble linearly decodes the function and performs target analysis:
+// internal branch targets become leaders; indirect jumps must match a
+// jump-table pattern or the function is non-simple.
+func (ctx *BinaryContext) disassemble(fn *BinaryFunction) error {
+	var raw []rawInst
+	off := uint64(0)
+	for off < fn.Size {
+		inst, n, err := isa.Decode(fn.Bytes[off:], fn.Addr+off)
+		if err != nil {
+			return fmt.Errorf("undecodable at +%#x: %w", off, err)
+		}
+		raw = append(raw, rawInst{inst: inst, addr: fn.Addr + off, size: uint8(n)})
+		off += uint64(n)
+	}
+
+	inside := func(a uint64) bool { return a >= fn.Addr && a < fn.Addr+fn.Size }
+
+	leaders := map[uint64]bool{fn.Addr: true}
+	jts := map[int]*pendingJT{} // raw index of indirect jump -> table
+
+	for i := range raw {
+		in := &raw[i].inst
+		switch {
+		case in.IsDirectBranch():
+			if inside(in.TargetAddr) {
+				leaders[in.TargetAddr] = true
+				if i+1 < len(raw) {
+					leaders[raw[i+1].addr] = true
+				}
+			} else if i+1 < len(raw) {
+				leaders[raw[i+1].addr] = true
+			}
+		case in.IsReturn() || in.Op == isa.HLT || in.Op == isa.UD2:
+			if i+1 < len(raw) {
+				leaders[raw[i+1].addr] = true
+			}
+		case in.IsIndirectBranch():
+			jt, err := ctx.matchJumpTable(fn, raw, i)
+			if err != nil {
+				return fmt.Errorf("indirect tail call or unbounded jump table at +%#x: %w",
+					raw[i].addr-fn.Addr, err)
+			}
+			jts[i] = jt
+			for _, taddr := range jt.rawTargets {
+				if !inside(taddr) {
+					return fmt.Errorf("jump table entry %#x escapes function", taddr)
+				}
+				leaders[taddr] = true
+			}
+			if i+1 < len(raw) {
+				leaders[raw[i+1].addr] = true
+			}
+		}
+	}
+
+	// LSDA landing pads are leaders too.
+	if fde, ok := cfi.FindFDE(ctx.fdes, fn.Addr); ok && fde.LSDA != 0 {
+		lsda, err := cfi.DecodeLSDA(ctx.lsdaData, uint32(fde.LSDA-ctx.lsdaBase))
+		if err != nil {
+			return fmt.Errorf("bad LSDA: %w", err)
+		}
+		for _, cs := range lsda.CallSites {
+			if cs.LandingPad != 0 {
+				if !inside(cs.LandingPad) {
+					return fmt.Errorf("landing pad %#x outside function", cs.LandingPad)
+				}
+				leaders[cs.LandingPad] = true
+			}
+		}
+		fn.HasLSDA = true
+	}
+
+	// Form blocks (dropping NOPs per the paper's I-cache policy, §4).
+	fn.Blocks = nil
+	var cur *BasicBlock
+	newBlock := func(addr uint64) *BasicBlock {
+		b := &BasicBlock{Index: len(fn.Blocks), Addr: addr, CFIIn: -1}
+		b.Label = fmt.Sprintf(".LBB%d", b.Index)
+		fn.Blocks = append(fn.Blocks, b)
+		return b
+	}
+	rawJTByAddr := map[uint64]*JumpTable{}
+	for i := range raw {
+		r := &raw[i]
+		if leaders[r.addr] || cur == nil {
+			cur = newBlock(r.addr)
+		}
+		if r.inst.Op == isa.NOP {
+			continue // stripped
+		}
+		ci := Inst{I: r.inst, Size: r.size, Addr: r.addr, CFIIdx: -1}
+		if ctx.LineTable != nil {
+			if file, line, ok := ctx.LineTable.Lookup(r.addr); ok {
+				ci.File, ci.Line = file, int32(line)
+			}
+		}
+		if jt, ok := jts[i]; ok {
+			ci.JT = jt.JumpTable
+			rawJTByAddr[r.addr] = jt.JumpTable
+			fn.JTs = append(fn.JTs, jt.JumpTable)
+		}
+		// Resolve RIP memory operands via decode (absolute target).
+		if r.inst.HasMem() && r.inst.M.RIP {
+			ci.MemTarget = r.addr + uint64(r.size) + uint64(int64(r.inst.M.Disp))
+		}
+		// Symbolize external direct targets.
+		if r.inst.Op == isa.CALL || (r.inst.IsDirectBranch() && !inside(r.inst.TargetAddr)) {
+			if g := ctx.FuncContaining(r.inst.TargetAddr); g != nil && g.Addr == r.inst.TargetAddr {
+				ci.TargetSym = g.Name
+			}
+		}
+		cur.Insts = append(cur.Insts, ci)
+	}
+	fn.jtPending = jts
+	return nil
+}
+
+// pendingJT carries raw target addresses until blocks exist.
+type pendingJT struct {
+	*JumpTable
+	rawTargets []uint64
+}
+
+// matchJumpTable recognizes the two lowering patterns for switches:
+//
+//	absolute: lea B,[rip+T] ... jmp [B + idx*8]
+//	PIC:      lea B,[rip+T] ... movslq R,[B+idx*4]; add R,B; jmp R
+//
+// Table extent comes from the rodata symbol covering T; entries are
+// validated against the function bounds. Anything else is an indirect
+// tail call -> non-simple (paper §6.4).
+func (ctx *BinaryContext) matchJumpTable(fn *BinaryFunction, raw []rawInst, i int) (*pendingJT, error) {
+	in := &raw[i].inst
+
+	findLea := func(reg isa.Reg, from int) (uint64, bool) {
+		for k := from; k >= 0 && k > from-8; k-- {
+			r := &raw[k].inst
+			if r.Op == isa.LEA && r.R1 == reg && r.M.RIP {
+				return raw[k].addr + uint64(raw[k].size) + uint64(int64(r.M.Disp)), true
+			}
+			if r.Defs().Has(reg) {
+				return 0, false
+			}
+		}
+		return 0, false
+	}
+
+	var tableAddr uint64
+	var pic bool
+	switch in.Op {
+	case isa.JMPm:
+		if in.M.Base == isa.NoReg || in.M.Scale != 8 {
+			return nil, fmt.Errorf("unrecognized memory jump form")
+		}
+		t, ok := findLea(in.M.Base, i-1)
+		if !ok {
+			return nil, fmt.Errorf("no table base lea found")
+		}
+		tableAddr = t
+	case isa.JMPr:
+		// Expect: movslq R,[B+idx*4]; add R,B; jmp R
+		if i < 2 {
+			return nil, fmt.Errorf("indirect jump with no context")
+		}
+		add := &raw[i-1].inst
+		mov := &raw[i-2].inst
+		if add.Op != isa.ADDrr || add.R1 != in.R1 ||
+			mov.Op != isa.MOVSXDrm || mov.R1 != in.R1 ||
+			mov.M.Base != add.R2 || mov.M.Scale != 4 {
+			return nil, fmt.Errorf("not a PIC jump-table pattern")
+		}
+		t, ok := findLea(add.R2, i-3)
+		if !ok {
+			return nil, fmt.Errorf("no PIC table base lea found")
+		}
+		tableAddr = t
+		pic = true
+	default:
+		return nil, fmt.Errorf("unhandled indirect branch")
+	}
+
+	// Bound the table via its data symbol.
+	var symName string
+	var symSize uint64
+	for _, s := range ctx.File.Symbols {
+		if s.Type == elfx.STTObject && s.Value == tableAddr {
+			symName, symSize = s.Name, s.Size
+			break
+		}
+	}
+	if symSize == 0 {
+		return nil, fmt.Errorf("no symbol bounds table at %#x", tableAddr)
+	}
+	entrySize := 8
+	if pic {
+		entrySize = 4
+	}
+	n := int(symSize) / entrySize
+	if n == 0 || n > 4096 {
+		return nil, fmt.Errorf("implausible table size %d", n)
+	}
+	data, err := ctx.File.ReadAt(tableAddr, n*entrySize)
+	if err != nil {
+		return nil, err
+	}
+	jt := &pendingJT{JumpTable: &JumpTable{Addr: tableAddr, EntrySize: entrySize, PIC: pic, SymName: symName}}
+	for e := 0; e < n; e++ {
+		var target uint64
+		if pic {
+			var v uint32
+			for k := 3; k >= 0; k-- {
+				v = v<<8 | uint32(data[e*4+k])
+			}
+			target = tableAddr + uint64(int64(int32(v)))
+		} else {
+			for k := 7; k >= 0; k-- {
+				target = target<<8 | uint64(data[e*8+k])
+			}
+		}
+		jt.rawTargets = append(jt.rawTargets, target)
+	}
+	return jt, nil
+}
+
+// buildCFG wires successor/predecessor edges and jump-table targets.
+func (ctx *BinaryContext) buildCFG(fn *BinaryFunction) {
+	if len(fn.Blocks) == 0 {
+		fn.Simple = false
+		fn.Reason = "empty function"
+		return
+	}
+	fn.Blocks[0].IsEntry = true
+	byAddr := map[uint64]*BasicBlock{}
+	for _, b := range fn.Blocks {
+		byAddr[b.Addr] = b
+	}
+	addEdge := func(from *BasicBlock, to *BasicBlock) {
+		from.Succs = append(from.Succs, Edge{To: to})
+		to.Preds = append(to.Preds, from)
+	}
+	for bi, b := range fn.Blocks {
+		var next *BasicBlock
+		if bi+1 < len(fn.Blocks) {
+			next = fn.Blocks[bi+1]
+		}
+		last := b.LastInst()
+		if last == nil {
+			if next != nil {
+				addEdge(b, next)
+			}
+			continue
+		}
+		switch {
+		case last.I.Op == isa.JMP:
+			if to := byAddr[last.I.TargetAddr]; to != nil {
+				addEdge(b, to)
+			}
+			// else: external tail call, no successor
+		case last.I.Op == isa.JCC:
+			if to := byAddr[last.I.TargetAddr]; to != nil {
+				addEdge(b, to) // Succs[0] = taken
+			} else {
+				// Conditional tail call: no block successor for taken.
+				addEdge(b, nil)
+			}
+			if next != nil {
+				addEdge(b, next) // Succs[1] = fall-through
+			}
+		case last.JT != nil:
+			// One edge per unique target; the table keeps one slot per
+			// entry (duplicates allowed).
+			seen := map[*BasicBlock]bool{}
+			for _, taddr := range jtRawTargets(fn, last.JT) {
+				to := byAddr[taddr]
+				if to != nil && !seen[to] {
+					seen[to] = true
+					addEdge(b, to)
+				}
+				last.JT.Targets = append(last.JT.Targets, to)
+			}
+		case last.I.IsReturn() || last.I.Op == isa.HLT || last.I.Op == isa.UD2:
+			// no successors
+		case last.I.IsIndirectBranch():
+			// unreachable: would have been non-simple
+		default:
+			if next != nil {
+				addEdge(b, next)
+			}
+		}
+	}
+	// Fix the nil placeholder edges (conditional tail calls).
+	for _, b := range fn.Blocks {
+		out := b.Succs[:0]
+		for _, e := range b.Succs {
+			if e.To != nil {
+				out = append(out, e)
+			}
+		}
+		b.Succs = out
+	}
+	fn.buildInstIndex()
+}
+
+// jtRawTargets retrieves the pending raw target addresses recorded at
+// disassembly time (they live on the function until CFG build).
+func jtRawTargets(fn *BinaryFunction, jt *JumpTable) []uint64 {
+	for _, p := range fn.jtPending {
+		if p.JumpTable == jt {
+			return p.rawTargets
+		}
+	}
+	return nil
+}
+
+// attachCFI replays the FDE over the original instruction order and
+// interns per-instruction unwind states.
+func (ctx *BinaryContext) attachCFI(fn *BinaryFunction) {
+	fde, ok := cfi.FindFDE(ctx.fdes, fn.Addr)
+	if !ok {
+		return
+	}
+	st := cfi.InitialState()
+	var stack []cfi.State
+	k := 0
+	apply := func(upto uint32) {
+		for k < len(fde.Insts) && fde.Insts[k].PC <= upto {
+			in := fde.Insts[k].Inst
+			switch in.Kind {
+			case cfi.OpDefCfa:
+				st.CfaReg, st.CfaOff = in.Reg, in.Off
+			case cfi.OpDefCfaRegister:
+				st.CfaReg = in.Reg
+			case cfi.OpDefCfaOffset:
+				st.CfaOff = in.Off
+			case cfi.OpOffset:
+				st.Saved[in.Reg] = in.Off
+			case cfi.OpRestore:
+				delete(st.Saved, in.Reg)
+			case cfi.OpRememberState:
+				stack = append(stack, cloneState(st))
+			case cfi.OpRestoreState:
+				if len(stack) > 0 {
+					st = stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+				}
+			}
+			k++
+		}
+	}
+	for _, b := range fn.Blocks {
+		first := true
+		for i := range b.Insts {
+			off := uint32(b.Insts[i].Addr - fn.Addr)
+			apply(off)
+			idx := fn.InternState(st)
+			b.Insts[i].CFIIdx = idx
+			if first {
+				b.CFIIn = idx
+				first = false
+			}
+		}
+		if first {
+			// Empty block (all NOPs): state at its address.
+			apply(uint32(b.Addr - fn.Addr))
+			b.CFIIn = fn.InternState(st)
+		}
+	}
+}
+
+// attachLSDA connects calls to their landing pads and marks LP blocks.
+func (ctx *BinaryContext) attachLSDA(fn *BinaryFunction) {
+	if !fn.HasLSDA {
+		return
+	}
+	fde, ok := cfi.FindFDE(ctx.fdes, fn.Addr)
+	if !ok || fde.LSDA == 0 {
+		return
+	}
+	lsda, err := cfi.DecodeLSDA(ctx.lsdaData, uint32(fde.LSDA-ctx.lsdaBase))
+	if err != nil {
+		fn.Simple = false
+		fn.Reason = "bad LSDA"
+		return
+	}
+	byAddr := map[uint64]*BasicBlock{}
+	for _, b := range fn.Blocks {
+		byAddr[b.Addr] = b
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if !in.IsCall() {
+				continue
+			}
+			off := uint32(in.Addr - fn.Addr)
+			if lp, action, ok := lsda.Lookup(off); ok {
+				lpb := byAddr[lp]
+				if lpb == nil {
+					fn.Simple = false
+					fn.Reason = "landing pad not at block boundary"
+					return
+				}
+				in.LP = lpb
+				in.LPAction = action
+				lpb.IsLP = true
+				b.LPs = appendUniqueBlock(b.LPs, lpb)
+				lpb.Preds = append(lpb.Preds, b)
+			}
+		}
+	}
+}
+
+func appendUniqueBlock(s []*BasicBlock, b *BasicBlock) []*BasicBlock {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gobolt/internal/isa"
+)
+
+// DynoStats are the profile-weighted execution statistics BOLT prints
+// with -dyno-stats; Table 2 of the paper compares them before and after
+// optimization. All values are estimated from edge counts applied to a
+// given block layout, so the same profile yields different taken/
+// non-taken splits as the layout changes.
+type DynoStats struct {
+	ExecutedInstructions uint64
+	ExecutedBranches     uint64 // conditional, executed
+	TakenBranches        uint64 // all taken control transfers (cond taken + unconds)
+	NonTakenCondBranches uint64
+	TakenCondBranches    uint64
+	ExecutedForward      uint64
+	TakenForward         uint64
+	ExecutedBackward     uint64
+	TakenBackward        uint64
+	ExecutedUncond       uint64
+	FunctionCalls        uint64
+}
+
+// CollectDynoStats walks every simple, profiled function under its
+// *current* layout.
+func (ctx *BinaryContext) CollectDynoStats() DynoStats {
+	var d DynoStats
+	for _, fn := range ctx.Funcs {
+		if !fn.Simple || fn.FoldedInto != nil {
+			continue
+		}
+		pos := map[*BasicBlock]int{}
+		for i, b := range fn.Blocks {
+			pos[b] = i
+		}
+		for i, b := range fn.Blocks {
+			cnt := b.ExecCount
+			d.ExecutedInstructions += cnt * uint64(len(b.Insts))
+			for k := range b.Insts {
+				if b.Insts[k].IsCall() {
+					d.FunctionCalls += cnt
+				}
+			}
+			last := b.LastInst()
+			if last == nil {
+				continue
+			}
+			var next *BasicBlock
+			if i+1 < len(fn.Blocks) {
+				next = fn.Blocks[i+1]
+			}
+			switch {
+			case last.I.Op == isa.JCC && len(b.Succs) == 2:
+				taken, fall := b.Succs[0], b.Succs[1]
+				exec := taken.Count + fall.Count
+				if exec < cnt {
+					exec = cnt
+				}
+				d.ExecutedBranches += exec
+				// In the materialized layout, the taken edge is Succs[0]
+				// unless it is the next block (then the branch is
+				// emitted inverted and Succs get swapped at emission;
+				// model it here the same way).
+				takenEdge, fallEdge := taken, fall
+				if taken.To == next {
+					takenEdge, fallEdge = fall, taken
+				}
+				d.TakenCondBranches += takenEdge.Count
+				d.NonTakenCondBranches += fallEdge.Count
+				d.TakenBranches += takenEdge.Count
+				forward := pos[takenEdge.To] > i
+				if forward {
+					d.ExecutedForward += exec
+					d.TakenForward += takenEdge.Count
+				} else {
+					d.ExecutedBackward += exec
+					d.TakenBackward += takenEdge.Count
+				}
+			case last.I.Op == isa.JMP && len(b.Succs) == 1:
+				if b.Succs[0].To != next {
+					d.ExecutedUncond += cnt
+					d.TakenBranches += cnt
+				}
+			case len(b.Succs) == 1 && b.Succs[0].To != next:
+				// Fall-through block forced to jump by the layout.
+				d.ExecutedUncond += cnt
+				d.TakenBranches += cnt
+			}
+		}
+	}
+	return d
+}
+
+// Delta returns (new-old)/old as a percentage, guarding zero.
+func Delta(oldV, newV uint64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return 100 * (float64(newV) - float64(oldV)) / float64(oldV)
+}
+
+// PrintComparison renders the Table 2 rows for two stat snapshots.
+func PrintComparison(w io.Writer, name string, before, after DynoStats) {
+	rows := []struct {
+		label    string
+		old, new uint64
+	}{
+		{"executed forward branches", before.ExecutedForward, after.ExecutedForward},
+		{"taken forward branches", before.TakenForward, after.TakenForward},
+		{"executed backward branches", before.ExecutedBackward, after.ExecutedBackward},
+		{"taken backward branches", before.TakenBackward, after.TakenBackward},
+		{"executed unconditional branches", before.ExecutedUncond, after.ExecutedUncond},
+		{"executed instructions", before.ExecutedInstructions, after.ExecutedInstructions},
+		{"total branches", before.ExecutedBranches + before.ExecutedUncond, after.ExecutedBranches + after.ExecutedUncond},
+		{"taken branches", before.TakenBranches, after.TakenBranches},
+		{"non-taken conditional branches", before.NonTakenCondBranches, after.NonTakenCondBranches},
+		{"taken conditional branches", before.TakenCondBranches, after.TakenCondBranches},
+		{"function calls", before.FunctionCalls, after.FunctionCalls},
+	}
+	fmt.Fprintf(w, "dyno-stats (%s):\n", name)
+	fmt.Fprintf(w, "  %-34s %16s %16s %9s\n", "metric", "before", "after", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-34s %16d %16d %+8.1f%%\n", r.label, r.old, r.new, Delta(r.old, r.new))
+	}
+}
+
+// HottestFunctions returns the top-n sampled functions for reports.
+func (ctx *BinaryContext) HottestFunctions(n int) []*BinaryFunction {
+	var fns []*BinaryFunction
+	for _, f := range ctx.Funcs {
+		if f.Sampled {
+			fns = append(fns, f)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].ExecCount > fns[j].ExecCount })
+	if n > 0 && len(fns) > n {
+		fns = fns[:n]
+	}
+	return fns
+}

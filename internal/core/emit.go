@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"gobolt/internal/asmx"
+	"gobolt/internal/cfi"
+	"gobolt/internal/isa"
+	"gobolt/internal/obj"
+)
+
+// Emission relocation symbol encoding. Emitted code references targets
+// symbolically until the whole-binary layout is fixed:
+//
+//	F:<name>       — function entry (new address if moved)
+//	B:<name>:<idx> — basic block <idx> of function <name>
+//	A:<hexaddr>    — absolute address (data, PLT stubs, unmoved code)
+func symFunc(name string) string         { return "F:" + name }
+func symBlock(name string, i int) string { return "B:" + name + ":" + strconv.Itoa(i) }
+func symAbs(addr uint64) string          { return "A:" + strconv.FormatUint(addr, 16) }
+
+// relImmAbs32 marks an emission relocation whose 4 patched bytes hold an
+// absolute 32-bit address (ICP immediates) rather than a PC32 value.
+const relImmAbs32 uint32 = 900
+
+// fragCallSite is an LSDA entry before landing-pad addresses are known.
+type fragCallSite struct {
+	Start, Len uint32
+	LP         *BasicBlock
+	Action     int32
+}
+
+// emittedFrag is one assembled function fragment (hot or cold).
+type emittedFrag struct {
+	Code      []byte
+	Relocs    []obj.Reloc
+	BlockOffs map[int]uint32
+	CFI       []cfi.PCInst
+	CallSites []fragCallSite
+	Lines     []obj.LineEntry
+}
+
+// emitted bundles both fragments of a function.
+type emitted struct {
+	fn   *BinaryFunction
+	Hot  *emittedFrag
+	Cold *emittedFrag // nil when not split
+}
+
+// fragmentBlocks partitions the layout into hot and cold lists.
+func fragmentBlocks(fn *BinaryFunction) (hot, cold []*BasicBlock) {
+	for _, b := range fn.Blocks {
+		if b.IsCold && fn.IsSplit {
+			cold = append(cold, b)
+		} else {
+			hot = append(hot, b)
+		}
+	}
+	return
+}
+
+// emitFunction assembles the function's current block layout into machine
+// code: terminators are materialized against the layout (the
+// fixup-branches responsibility), CFI is spliced by state diffing, and
+// exception call sites are collected per fragment.
+func emitFunction(fn *BinaryFunction) (*emitted, error) {
+	hot, cold := fragmentBlocks(fn)
+	if len(hot) == 0 || !hot[0].IsEntry {
+		return nil, fmt.Errorf("core: %s: entry block must lead the hot fragment", fn.Name)
+	}
+	out := &emitted{fn: fn}
+	var err error
+	out.Hot, err = emitFragment(fn, hot)
+	if err != nil {
+		return nil, err
+	}
+	if len(cold) > 0 {
+		out.Cold, err = emitFragment(fn, cold)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error) {
+	a := asmx.New()
+	labels := map[*BasicBlock]asmx.Label{}
+	for _, b := range blocks {
+		labels[b] = a.NewLabel()
+	}
+
+	type cfiMark struct {
+		label asmx.Label
+		inst  cfi.Inst
+	}
+	type csMark struct {
+		start, end asmx.Label
+		lp         *BasicBlock
+		action     int32
+	}
+	type lineMark struct {
+		label asmx.Label
+		file  string
+		line  int32
+	}
+	var cfiMarks []cfiMark
+	var csMarks []csMark
+	var lineMarks []lineMark
+
+	running := cfi.InitialState()
+	lastFile, lastLine := "", int32(-1)
+
+	emitCFIDiff := func(target *cfi.State) {
+		if target == nil {
+			return
+		}
+		diff := cfi.StateDiff(&running, target)
+		if len(diff) == 0 {
+			return
+		}
+		l := a.NewLabel()
+		a.Bind(l)
+		for _, d := range diff {
+			cfiMarks = append(cfiMarks, cfiMark{label: l, inst: d})
+		}
+		running = *target
+		// Clone the map so later mutations don't alias.
+		saved := make(map[uint8]int32, len(target.Saved))
+		for k, v := range target.Saved {
+			saved[k] = v
+		}
+		running.Saved = saved
+	}
+
+	// branchTo emits a direct branch instruction to a block, via label
+	// (same fragment, relaxable) or symbolic reloc (cross fragment).
+	branchTo := func(inst isa.Inst, to *BasicBlock) {
+		if _, same := labels[to]; same {
+			a.EmitBranch(inst, labels[to])
+			return
+		}
+		a.EmitReloc(inst, obj.RelPC32, symBlock(fn.Name, to.Index), -4)
+	}
+
+	for bi, b := range blocks {
+		a.Bind(labels[b])
+		var next *BasicBlock
+		if bi+1 < len(blocks) {
+			next = blocks[bi+1]
+		}
+
+		// Determine where the control-flow tail begins: the final
+		// instruction if it is a branch/return; everything before it is
+		// body.
+		nInsts := len(b.Insts)
+		tail := -1
+		if nInsts > 0 && b.Insts[nInsts-1].I.IsBranch() {
+			tail = nInsts - 1
+		} else if nInsts > 0 {
+			op := b.Insts[nInsts-1].I.Op
+			if op == isa.HLT || op == isa.UD2 {
+				tail = nInsts - 1
+			}
+		}
+
+		emitOne := func(in *Inst) {
+			emitCFIDiff(fn.StateAt(in.CFIIdx))
+			if in.File != lastFile || in.Line != lastLine {
+				l := a.NewLabel()
+				a.Bind(l)
+				lineMarks = append(lineMarks, lineMark{label: l, file: in.File, line: in.Line})
+				lastFile, lastLine = in.File, in.Line
+			}
+			inst := in.I
+			var start, end asmx.Label
+			if in.LP != nil {
+				start, end = a.NewLabel(), a.NewLabel()
+				a.Bind(start)
+			}
+			switch {
+			case inst.Op == isa.NOP:
+				// dropped
+			case in.ImmSym != "":
+				a.EmitReloc(inst, relImmAbs32, symFunc(in.ImmSym), 0)
+			case inst.Op == isa.CALL:
+				switch {
+				case in.TargetSym != "":
+					a.EmitReloc(inst, obj.RelPC32, symFunc(in.TargetSym), -4)
+				default:
+					a.EmitReloc(inst, obj.RelPC32, symAbs(inst.TargetAddr), -4)
+				}
+			case inst.HasMem() && inst.M.RIP && in.MemTarget != 0:
+				m := inst
+				m.M.Disp = 0
+				a.EmitReloc(m, obj.RelPC32, symAbs(in.MemTarget), -4)
+			default:
+				a.Emit(inst)
+			}
+			if in.LP != nil {
+				a.Bind(end)
+				csMarks = append(csMarks, csMark{start: start, end: end, lp: in.LP, action: in.LPAction})
+			}
+		}
+
+		bodyEnd := nInsts
+		if tail >= 0 {
+			bodyEnd = tail
+		}
+		for i := 0; i < bodyEnd; i++ {
+			emitOne(&b.Insts[i])
+		}
+
+		// Control-flow tail, materialized against the layout.
+		if tail < 0 {
+			// Fall-through block: synthesize a jump if the successor is
+			// not next in this fragment.
+			if len(b.Succs) == 1 && b.Succs[0].To != next {
+				branchTo(isa.NewInst(isa.JMP), b.Succs[0].To)
+			}
+			continue
+		}
+		in := &b.Insts[tail]
+		emitCFIDiff(fn.StateAt(in.CFIIdx))
+		inst := in.I
+		switch {
+		case inst.Op == isa.JCC && in.TargetSym != "":
+			// Conditional tail call (SCTC output).
+			a.EmitReloc(inst, obj.RelPC32, symFunc(in.TargetSym), -4)
+			if len(b.Succs) == 1 && b.Succs[0].To != next {
+				branchTo(isa.NewInst(isa.JMP), b.Succs[0].To)
+			}
+		case inst.Op == isa.JCC:
+			if len(b.Succs) != 2 {
+				return nil, fmt.Errorf("core: %s block %d: jcc with %d successors", fn.Name, b.Index, len(b.Succs))
+			}
+			taken, fall := b.Succs[0].To, b.Succs[1].To
+			switch {
+			case fall == next:
+				branchTo(inst, taken)
+			case taken == next:
+				// Invert the condition so the hot target falls through;
+				// persist the inversion in the CFG (edge semantics: the
+				// recorded taken edge becomes the fall-through).
+				in.I.Cc = inst.Cc.Invert()
+				b.Succs[0], b.Succs[1] = b.Succs[1], b.Succs[0]
+				branchTo(in.I, fall)
+			default:
+				branchTo(inst, taken)
+				branchTo(isa.NewInst(isa.JMP), fall)
+			}
+		case inst.Op == isa.JMP && in.TargetSym != "":
+			// Tail call to another function.
+			a.EmitReloc(inst, obj.RelPC32, symFunc(in.TargetSym), -4)
+		case inst.Op == isa.JMP:
+			if len(b.Succs) != 1 {
+				return nil, fmt.Errorf("core: %s block %d: jmp with %d successors", fn.Name, b.Index, len(b.Succs))
+			}
+			if b.Succs[0].To != next {
+				branchTo(inst, b.Succs[0].To)
+			}
+		case inst.IsIndirectBranch():
+			// Jump-table dispatch: emit verbatim; the table bytes are
+			// rewritten at layout time.
+			emitOne(in)
+		default:
+			// ret / repz ret / hlt / ud2
+			emitOne(in)
+		}
+	}
+
+	res, err := a.Finish(0)
+	if err != nil {
+		return nil, fmt.Errorf("core: emitting %s: %w", fn.Name, err)
+	}
+	frag := &emittedFrag{
+		Code:      res.Code,
+		Relocs:    res.Relocs,
+		BlockOffs: map[int]uint32{},
+	}
+	for _, b := range blocks {
+		frag.BlockOffs[b.Index] = res.LabelOffs[labels[b]]
+	}
+	for _, m := range cfiMarks {
+		frag.CFI = append(frag.CFI, cfi.PCInst{PC: res.LabelOffs[m.label], Inst: m.inst})
+	}
+	for _, m := range csMarks {
+		frag.CallSites = append(frag.CallSites, fragCallSite{
+			Start:  res.LabelOffs[m.start],
+			Len:    res.LabelOffs[m.end] - res.LabelOffs[m.start],
+			LP:     m.lp,
+			Action: m.action,
+		})
+	}
+	for _, m := range lineMarks {
+		if m.file == "" {
+			continue
+		}
+		frag.Lines = append(frag.Lines, obj.LineEntry{Off: res.LabelOffs[m.label], File: m.file, Line: m.line})
+	}
+	return frag, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrintCFG dumps a function in the style of the paper's Figure 4: header
+// metadata, then each block with CFI placeholders, landing-pad
+// annotations, source lines, successor edges with counts/mispredicts,
+// and landing pads.
+func (ctx *BinaryContext) PrintCFG(w io.Writer, fn *BinaryFunction) {
+	fmt.Fprintf(w, "Binary Function \"%s\" after building cfg {\n", fn.Name)
+	fmt.Fprintf(w, "  State       : CFG constructed\n")
+	fmt.Fprintf(w, "  Address     : %#x\n", fn.Addr)
+	fmt.Fprintf(w, "  Size        : %#x\n", fn.Size)
+	fmt.Fprintf(w, "  Section     : %s\n", fn.Section)
+	if fn.HasLSDA {
+		fmt.Fprintf(w, "  LSDA        : present\n")
+	}
+	fmt.Fprintf(w, "  IsSimple    : %d\n", boolInt(fn.Simple))
+	fmt.Fprintf(w, "  IsSplit     : %d\n", boolInt(fn.IsSplit))
+	fmt.Fprintf(w, "  BB Count    : %d\n", len(fn.Blocks))
+	fmt.Fprintf(w, "  CFI States  : %d\n", len(fn.cfiStates))
+	fmt.Fprintf(w, "  BB Layout   : %s\n", layoutString(fn))
+	fmt.Fprintf(w, "  Exec Count  : %d\n", fn.ExecCount)
+	fmt.Fprintf(w, "  Profile Acc : %.1f%%\n", 100*fn.ProfileAcc)
+	fmt.Fprintf(w, "}\n")
+	if !fn.Simple {
+		fmt.Fprintf(w, "  (non-simple: %s)\n\n", fn.Reason)
+		return
+	}
+	for _, b := range fn.Blocks {
+		fmt.Fprintf(w, "%s (%d instructions, align : 1)\n", b.Label, len(b.Insts))
+		if b.IsEntry {
+			fmt.Fprintf(w, "  Entry Point\n")
+		}
+		if b.IsLP {
+			fmt.Fprintf(w, "  Landing Pad\n")
+		}
+		if b.IsCold {
+			fmt.Fprintf(w, "  Cold\n")
+		}
+		fmt.Fprintf(w, "  Exec Count : %d\n", b.ExecCount)
+		if b.CFIIn >= 0 {
+			fmt.Fprintf(w, "  CFI State : %d\n", b.CFIIn)
+		}
+		if len(b.Preds) > 0 {
+			names := make([]string, 0, len(b.Preds))
+			for _, p := range b.Preds {
+				names = append(names, p.Label)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(w, "  Predecessors: %s\n", strings.Join(dedup(names), ", "))
+		}
+		lastCFI := int32(-1)
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.CFIIdx >= 0 && in.CFIIdx != lastCFI && lastCFI >= 0 {
+				fmt.Fprintf(w, "    %08x: !CFI state %d\n", in.Addr-fn.Addr, in.CFIIdx)
+			}
+			lastCFI = in.CFIIdx
+			line := fmt.Sprintf("    %08x: %s", in.Addr-fn.Addr, in.I.Format(ctx.symNamer()))
+			var notes []string
+			if in.LP != nil {
+				notes = append(notes, fmt.Sprintf("handler: %s; action: %d", in.LP.Label, in.LPAction))
+			}
+			if in.TargetSym != "" && in.IsCall() {
+				notes = append(notes, in.TargetSym)
+			}
+			if in.File != "" {
+				notes = append(notes, fmt.Sprintf("%s:%d", in.File, in.Line))
+			}
+			if len(notes) > 0 {
+				line += " # " + strings.Join(notes, " # ")
+			}
+			fmt.Fprintln(w, line)
+		}
+		if len(b.Succs) > 0 {
+			parts := make([]string, 0, len(b.Succs))
+			for _, e := range b.Succs {
+				parts = append(parts, fmt.Sprintf("%s (mispreds: %d, count: %d)", e.To.Label, e.Mispreds, e.Count))
+			}
+			fmt.Fprintf(w, "  Successors: %s\n", strings.Join(parts, ", "))
+		}
+		if len(b.LPs) > 0 {
+			parts := make([]string, 0, len(b.LPs))
+			for _, lp := range b.LPs {
+				parts = append(parts, fmt.Sprintf("%s (count: %d)", lp.Label, lp.ExecCount))
+			}
+			fmt.Fprintf(w, "  Landing Pads: %s\n", strings.Join(parts, ", "))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (ctx *BinaryContext) symNamer() func(uint64) string {
+	return func(addr uint64) string {
+		if fn := ctx.byAddr[addr]; fn != nil {
+			return fn.Name
+		}
+		if _, ok := ctx.PLTStubs[addr]; ok {
+			if sym, found := ctx.File.SymbolAt(addr); found {
+				return sym.Name
+			}
+		}
+		return ""
+	}
+}
+
+func layoutString(fn *BinaryFunction) string {
+	names := make([]string, 0, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		names = append(names, b.Label)
+	}
+	return strings.Join(names, ", ")
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BadLayoutReport lists hot functions whose layout interleaves cold
+// blocks between hot ones (paper §6.3, Figure 10) and traces them to
+// source. Returns formatted findings, hottest first.
+func (ctx *BinaryContext) BadLayoutReport(limit int) string {
+	type finding struct {
+		fn    *BinaryFunction
+		block *BasicBlock
+		score uint64
+	}
+	var finds []finding
+	for _, fn := range ctx.Funcs {
+		if !fn.Simple || !fn.Sampled {
+			continue
+		}
+		for i := 1; i+1 < len(fn.Blocks); i++ {
+			prev, cur, next := fn.Blocks[i-1], fn.Blocks[i], fn.Blocks[i+1]
+			if cur.ExecCount == 0 && prev.ExecCount > 0 && next.ExecCount > 0 {
+				score := prev.ExecCount
+				if next.ExecCount > score {
+					score = next.ExecCount
+				}
+				finds = append(finds, finding{fn: fn, block: cur, score: score})
+			}
+		}
+	}
+	sort.Slice(finds, func(i, j int) bool { return finds[i].score > finds[j].score })
+	if limit > 0 && len(finds) > limit {
+		finds = finds[:limit]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "report-bad-layout: %d cold blocks interleaved between hot blocks\n", len(finds))
+	for _, f := range finds {
+		src := ""
+		if len(f.block.Insts) > 0 && f.block.Insts[0].File != "" {
+			src = fmt.Sprintf(" # %s:%d", f.block.Insts[0].File, f.block.Insts[0].Line)
+		}
+		fmt.Fprintf(&sb, "  %s: block %s (Exec Count: 0) between hot blocks (count %d)%s\n",
+			f.fn.Name, f.block.Label, f.score, src)
+	}
+	return sb.String()
+}

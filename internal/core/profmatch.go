@@ -1,0 +1,219 @@
+package core
+
+import (
+	"gobolt/internal/isa"
+	"gobolt/internal/profile"
+)
+
+// ApplyProfile attaches an fdata profile to the CFGs: branch records
+// become edge counts, call records become function execution counts and
+// indirect-call histograms, and flow repair fills in the fall-through
+// counts LBRs cannot observe (paper §5.2). Non-LBR profiles set block
+// counts from PC samples and infer edges proportionally — the weaker
+// inference whose cost Figure 11 quantifies.
+func (ctx *BinaryContext) ApplyProfile(fd *profile.Fdata) {
+	ctx.ProfileLBR = fd.LBR
+	if ctx.CallEdges == nil {
+		ctx.CallEdges = map[[2]string]uint64{}
+	}
+	if fd.LBR {
+		ctx.applyLBR(fd)
+	} else {
+		ctx.applySamples(fd)
+	}
+	for _, fn := range ctx.Funcs {
+		if fn.Simple && fn.Sampled {
+			if fd.LBR {
+				repairFlow(fn)
+			} else {
+				inferEdgesFromBlockCounts(fn)
+			}
+			fn.ProfileAcc = flowAccuracy(fn)
+		}
+	}
+}
+
+func (ctx *BinaryContext) applyLBR(fd *profile.Fdata) {
+	for _, br := range fd.Branches {
+		fromFn := ctx.ByName[br.From.Sym]
+		toFn := ctx.ByName[br.To.Sym]
+		if fromFn == nil || toFn == nil {
+			continue
+		}
+		fromAddr := fromFn.Addr + br.From.Off
+		toAddr := toFn.Addr + br.To.Off
+
+		if fromFn == toFn && fromFn.Simple {
+			fn := fromFn
+			fb, fi := fn.InstAt(fromAddr)
+			if fb == nil {
+				continue
+			}
+			fn.Sampled = true
+			// Return-to-self or call-to-self noise: only branch sources
+			// contribute to edges.
+			if !fi.I.IsBranch() {
+				continue
+			}
+			tb := fn.BlockAt(toAddr)
+			if tb == nil {
+				continue
+			}
+			for k := range fb.Succs {
+				if fb.Succs[k].To == tb {
+					fb.Succs[k].Count += br.Count
+					fb.Succs[k].Mispreds += br.Mispreds
+					break
+				}
+			}
+			continue
+		}
+
+		// Inter-function records.
+		if br.To.Off == 0 {
+			// Call, tail call, or conditional tail call into toFn's entry.
+			toFn.ExecCount += br.Count
+			toFn.Sampled = true
+			ctx.CallEdges[[2]string{fromFn.Name, toFn.Name}] += br.Count
+			if fromFn.Simple {
+				fromFn.Sampled = true
+				if _, fi := fromFn.InstAt(fromAddr); fi != nil {
+					if fi.I.Op == isa.CALLr || fi.I.Op == isa.CALLm {
+						m := ctx.CallTargets[fromAddr]
+						if m == nil {
+							m = map[string]uint64{}
+							ctx.CallTargets[fromAddr] = m
+						}
+						m[toFn.Name] += br.Count
+					}
+				}
+			}
+		}
+		// Returns land mid-function; they carry no CFG information here.
+	}
+}
+
+func (ctx *BinaryContext) applySamples(fd *profile.Fdata) {
+	for _, s := range fd.Samples {
+		fn := ctx.ByName[s.At.Sym]
+		if fn == nil || !fn.Simple {
+			continue
+		}
+		b := fn.BlockContaining(fn.Addr + s.At.Off)
+		if b == nil {
+			continue
+		}
+		b.ExecCount += s.Count
+		fn.Sampled = true
+	}
+	// Function exec counts approximate entry-block sample counts.
+	for _, fn := range ctx.Funcs {
+		if fn.Simple && len(fn.Blocks) > 0 {
+			fn.ExecCount = fn.Blocks[0].ExecCount
+		}
+	}
+}
+
+// isCondTerm reports whether block b ends in a conditional branch with a
+// fall-through (Succs = [taken, fallthrough]).
+func isCondTerm(b *BasicBlock) bool {
+	last := b.LastInst()
+	return last != nil && last.I.Op == isa.JCC && len(b.Succs) == 2
+}
+
+// repairFlow reconstructs block counts and fall-through edge counts from
+// taken-branch counts. Following §5.2, surplus flow is attributed to the
+// fall-through path: the static compiler's layout is trusted unless the
+// trace shows taken branches contradicting it.
+func repairFlow(fn *BinaryFunction) {
+	for iter := 0; iter < 5; iter++ {
+		for _, b := range fn.Blocks {
+			in := uint64(0)
+			for _, p := range b.Preds {
+				for _, e := range p.Succs {
+					if e.To == b {
+						in += e.Count
+					}
+				}
+			}
+			if b.IsEntry && fn.ExecCount > in {
+				in = fn.ExecCount
+			}
+			out := uint64(0)
+			for _, e := range b.Succs {
+				out += e.Count
+			}
+			cnt := in
+			if out > cnt {
+				cnt = out
+			}
+			if cnt > b.ExecCount {
+				b.ExecCount = cnt
+			}
+			// Distribute surplus to the fall-through (non-taken) path.
+			switch {
+			case isCondTerm(b):
+				taken := b.Succs[0].Count
+				if b.ExecCount > taken {
+					b.Succs[1].Count = b.ExecCount - taken
+				}
+			case len(b.Succs) == 1:
+				if b.Succs[0].Count < b.ExecCount {
+					b.Succs[0].Count = b.ExecCount
+				}
+			}
+		}
+	}
+}
+
+// inferEdgesFromBlockCounts is the non-LBR edge estimator: block counts
+// come from PC samples; each block's outflow is split across successors
+// in proportion to the successors' own sample counts. This is the
+// deliberately "non-ideal algorithm" of §5.1 (a production system would
+// solve minimum cost flow).
+func inferEdgesFromBlockCounts(fn *BinaryFunction) {
+	for iter := 0; iter < 3; iter++ {
+		for _, b := range fn.Blocks {
+			if len(b.Succs) == 0 {
+				continue
+			}
+			total := uint64(0)
+			for _, e := range b.Succs {
+				total += e.To.ExecCount + 1
+			}
+			for k := range b.Succs {
+				share := float64(b.Succs[k].To.ExecCount+1) / float64(total)
+				b.Succs[k].Count = uint64(float64(b.ExecCount) * share)
+			}
+		}
+	}
+}
+
+// flowAccuracy measures how consistently the final counts satisfy the
+// flow equations (1.0 = every block's inflow equals its outflow).
+func flowAccuracy(fn *BinaryFunction) float64 {
+	var total, violation float64
+	for _, b := range fn.Blocks {
+		if len(b.Succs) == 0 || b.ExecCount == 0 {
+			continue
+		}
+		out := uint64(0)
+		for _, e := range b.Succs {
+			out += e.Count
+		}
+		diff := int64(b.ExecCount) - int64(out)
+		if diff < 0 {
+			diff = -diff
+		}
+		total += float64(b.ExecCount)
+		violation += float64(diff)
+	}
+	if total == 0 {
+		return 1
+	}
+	acc := 1 - violation/total
+	if acc < 0 {
+		return 0
+	}
+	return acc
+}

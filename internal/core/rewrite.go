@@ -1,0 +1,527 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gobolt/internal/cfi"
+	"gobolt/internal/dbg"
+	"gobolt/internal/elfx"
+	"gobolt/internal/obj"
+)
+
+// RewriteResult reports what the rewrite did.
+type RewriteResult struct {
+	File *elfx.File
+
+	MovedFuncs   int
+	SkippedFuncs int
+	HotTextSize  uint64
+	ColdTextSize uint64
+	OrigTextSize uint64
+	FoldedFuncs  int
+	SplitFuncs   int
+}
+
+// Rewrite emits all simple functions into a fresh .text (hot) and
+// .text.cold (split) layout, patches every reference the relocations
+// reveal, rebuilds CFI/LSDA/line metadata, and returns the new
+// executable. Non-simple functions stay at their original addresses in
+// the renamed ".bolt.org.text" section with their outgoing calls patched
+// in place (paper §3.2 relocations mode).
+func (ctx *BinaryContext) Rewrite() (*RewriteResult, error) {
+	if !ctx.HasRelocs {
+		return nil, fmt.Errorf("core: relocations mode requires a binary linked with --emit-relocs")
+	}
+	f := ctx.File
+	res := &RewriteResult{}
+
+	// Ordered list of functions to move.
+	moved := ctx.orderedSimpleFuncs()
+	for _, fn := range ctx.Funcs {
+		if fn.FoldedInto != nil {
+			res.FoldedFuncs++
+		} else if !fn.Simple {
+			res.SkippedFuncs++
+		}
+	}
+
+	// Emit.
+	var emits []*emitted
+	for _, fn := range moved {
+		e, err := emitFunction(fn)
+		if err != nil {
+			return nil, err
+		}
+		emits = append(emits, e)
+	}
+
+	// New section layout after the last alloc section.
+	align := func(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+	end := uint64(0)
+	for _, s := range f.Sections {
+		if s.Flags&elfx.SHFAlloc != 0 && s.Addr+s.Size() > end {
+			end = s.Addr + s.Size()
+		}
+	}
+	hotBase := align(end, 0x1000)
+	addr := hotBase
+	fa := uint64(ctx.Opts.AlignFunctions)
+	if fa == 0 {
+		fa = 16
+	}
+	for _, e := range emits {
+		addr = align(addr, fa)
+		e.fn.OutAddr = addr
+		e.fn.OutSize = uint64(len(e.Hot.Code))
+		addr += e.fn.OutSize
+	}
+	hotEnd := addr
+	coldBase := align(hotEnd, 64)
+	addr = coldBase
+	for _, e := range emits {
+		if e.Cold == nil {
+			continue
+		}
+		addr = align(addr, 16)
+		e.fn.ColdAddr = addr
+		e.fn.ColdSize = uint64(len(e.Cold.Code))
+		addr += e.fn.ColdSize
+		res.SplitFuncs++
+	}
+	coldEnd := addr
+	res.MovedFuncs = len(emits)
+	res.HotTextSize = hotEnd - hotBase
+	res.ColdTextSize = coldEnd - coldBase
+
+	// Symbol resolution for emitted relocations.
+	blockAddr := func(fn *BinaryFunction, idx int, e *emitted) (uint64, bool) {
+		if off, ok := e.Hot.BlockOffs[idx]; ok {
+			return fn.OutAddr + uint64(off), true
+		}
+		if e.Cold != nil {
+			if off, ok := e.Cold.BlockOffs[idx]; ok {
+				return fn.ColdAddr + uint64(off), true
+			}
+		}
+		return 0, false
+	}
+	emitOf := map[*BinaryFunction]*emitted{}
+	for _, e := range emits {
+		emitOf[e.fn] = e
+	}
+	// finalFuncAddr resolves a function name to its final entry address,
+	// following ICF folds.
+	finalFuncAddr := func(name string) (uint64, bool) {
+		fn := ctx.ByName[name]
+		if fn == nil {
+			return 0, false
+		}
+		for fn.FoldedInto != nil {
+			fn = fn.FoldedInto
+		}
+		if _, ok := emitOf[fn]; ok {
+			return fn.OutAddr, true
+		}
+		return fn.Addr, true
+	}
+	resolveSym := func(sym string) (uint64, error) {
+		switch {
+		case strings.HasPrefix(sym, "F:"):
+			if v, ok := finalFuncAddr(sym[2:]); ok {
+				return v, nil
+			}
+			return 0, fmt.Errorf("core: unresolved function %q", sym[2:])
+		case strings.HasPrefix(sym, "B:"):
+			rest := sym[2:]
+			i := strings.LastIndexByte(rest, ':')
+			name := rest[:i]
+			idx, _ := strconv.Atoi(rest[i+1:])
+			fn := ctx.ByName[name]
+			if fn == nil {
+				return 0, fmt.Errorf("core: unresolved block sym %q", sym)
+			}
+			e := emitOf[fn]
+			if e == nil {
+				return 0, fmt.Errorf("core: block sym for unmoved function %q", name)
+			}
+			if v, ok := blockAddr(fn, idx, e); ok {
+				return v, nil
+			}
+			return 0, fmt.Errorf("core: block %d of %s not emitted", idx, name)
+		case strings.HasPrefix(sym, "A:"):
+			return strconv.ParseUint(sym[2:], 16, 64)
+		}
+		return 0, fmt.Errorf("core: bad emission sym %q", sym)
+	}
+
+	// Patch emitted code.
+	patch32 := func(code []byte, off uint32, v uint32) {
+		binary.LittleEndian.PutUint32(code[off:], v)
+	}
+	patchFrag := func(frag *emittedFrag, base uint64) error {
+		for _, r := range frag.Relocs {
+			s, err := resolveSym(r.Sym)
+			if err != nil {
+				return err
+			}
+			if r.Type == relImmAbs32 {
+				patch32(frag.Code, r.Off, uint32(int64(s)+r.Addend))
+				continue
+			}
+			p := base + uint64(r.Off)
+			patch32(frag.Code, r.Off, uint32(int64(s)+r.Addend-int64(p)))
+		}
+		return nil
+	}
+	for _, e := range emits {
+		if err := patchFrag(e.Hot, e.fn.OutAddr); err != nil {
+			return nil, err
+		}
+		if e.Cold != nil {
+			if err := patchFrag(e.Cold, e.fn.ColdAddr); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Build the output file: copy sections (patched below).
+	out := elfx.New()
+	movedFn := func(name string) *BinaryFunction {
+		fn := ctx.ByName[name]
+		if fn == nil {
+			return nil
+		}
+		for fn.FoldedInto != nil {
+			fn = fn.FoldedInto
+		}
+		if _, ok := emitOf[fn]; ok {
+			return fn
+		}
+		return nil
+	}
+
+	// mapOldAddr translates an address inside a moved function's original
+	// body to its new location (block-granular; used for data relocs and
+	// jump tables).
+	mapOldAddr := func(old uint64) (uint64, bool) {
+		fn := ctx.FuncContaining(old)
+		if fn == nil {
+			return 0, false
+		}
+		for fn.FoldedInto != nil {
+			// Identical bodies: same offsets.
+			canon := fn.FoldedInto
+			old = canon.Addr + (old - fn.Addr)
+			fn = canon
+		}
+		e := emitOf[fn]
+		if e == nil {
+			return old, true // unmoved
+		}
+		if old == fn.Addr {
+			return fn.OutAddr, true
+		}
+		if b := fn.BlockAt(old); b != nil {
+			if v, ok := blockAddr(fn, b.Index, e); ok {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+
+	for _, s := range f.Sections {
+		ns := &elfx.Section{
+			Name: s.Name, Type: s.Type, Flags: s.Flags, Addr: s.Addr,
+			Data: append([]byte(nil), s.Data...), Link: s.Link, Info: s.Info,
+			Addralign: s.Addralign, Entsize: s.Entsize,
+		}
+		switch s.Name {
+		case ".text":
+			ns.Name = ".bolt.org.text"
+			res.OrigTextSize = s.Size()
+		case cfi.FrameSectionName, cfi.LSDASectionName, dbg.SectionName:
+			continue // regenerated below
+		}
+		out.AddSection(ns)
+	}
+
+	// Patch stale references inside kept sections.
+	for sectName, relas := range f.Relas {
+		sec := f.Section(sectName)
+		outName := sectName
+		if sectName == ".text" {
+			outName = ".bolt.org.text"
+		}
+		osec := out.Section(outName)
+		if sec == nil || osec == nil {
+			continue
+		}
+		isCode := sec.Flags&elfx.SHFExecinstr != 0
+		for _, r := range relas {
+			p := sec.Addr + r.Off
+			if isCode {
+				// Only patch code of functions that stay in place.
+				owner := ctx.FuncContaining(p)
+				if owner == nil || movedFn(owner.Name) != nil || owner.FoldedInto != nil {
+					continue
+				}
+				target := ctx.ByName[r.Sym]
+				if target == nil {
+					continue
+				}
+				tm := movedFn(r.Sym)
+				foldTarget := target.FoldedInto != nil
+				if tm == nil && !foldTarget {
+					continue // target did not move
+				}
+				switch r.Type {
+				case obj.RelPC32, obj.RelPLT32:
+					// Calls/tail-calls target function entries (addend is
+					// the conventional -4).
+					entry, ok := finalFuncAddr(r.Sym)
+					if !ok {
+						continue
+					}
+					binary.LittleEndian.PutUint32(osec.Data[r.Off:],
+						uint32(int64(entry)+r.Addend-int64(p)))
+				case obj.RelAbs64:
+					oldVal := target.Addr + uint64(r.Addend)
+					if nv, ok := mapOldAddr(oldVal); ok {
+						binary.LittleEndian.PutUint64(osec.Data[r.Off:], nv)
+					}
+				}
+				continue
+			}
+			// Data sections: retarget absolute words into moved code.
+			if r.Type == obj.RelAbs64 {
+				target := ctx.ByName[r.Sym]
+				if target == nil {
+					continue
+				}
+				oldVal := target.Addr + uint64(r.Addend)
+				if nv, ok := mapOldAddr(oldVal); ok && nv != oldVal {
+					binary.LittleEndian.PutUint64(osec.Data[r.Off:], nv)
+				}
+			}
+		}
+	}
+
+	// Rewrite PIC jump tables of moved functions (no relocations exist
+	// for them; gobolt recovered the tables by analysis, §3.2).
+	for _, e := range emits {
+		for _, jt := range e.fn.JTs {
+			sec := out.SectionFor(jt.Addr)
+			if sec == nil {
+				continue
+			}
+			off := jt.Addr - sec.Addr
+			for i, tb := range jt.Targets {
+				if tb == nil {
+					continue
+				}
+				nv, ok := blockAddr(e.fn, tb.Index, e)
+				if !ok {
+					return nil, fmt.Errorf("core: jump table of %s references unemitted block %d", e.fn.Name, tb.Index)
+				}
+				if jt.PIC {
+					binary.LittleEndian.PutUint32(sec.Data[off+uint64(4*i):], uint32(int64(nv)-int64(jt.Addr)))
+				} else {
+					binary.LittleEndian.PutUint64(sec.Data[off+uint64(8*i):], nv)
+				}
+			}
+		}
+	}
+
+	// Assemble new text sections.
+	hotData := make([]byte, hotEnd-hotBase)
+	for _, e := range emits {
+		copy(hotData[e.fn.OutAddr-hotBase:], e.Hot.Code)
+	}
+	out.AddSection(&elfx.Section{
+		Name: ".text", Type: elfx.SHTProgbits,
+		Flags: elfx.SHFAlloc | elfx.SHFExecinstr,
+		Addr:  hotBase, Data: hotData, Addralign: 16,
+	})
+	if coldEnd > coldBase {
+		coldData := make([]byte, coldEnd-coldBase)
+		for _, e := range emits {
+			if e.Cold != nil {
+				copy(coldData[e.fn.ColdAddr-coldBase:], e.Cold.Code)
+			}
+		}
+		out.AddSection(&elfx.Section{
+			Name: ".text.cold", Type: elfx.SHTProgbits,
+			Flags: elfx.SHFAlloc | elfx.SHFExecinstr,
+			Addr:  coldBase, Data: coldData, Addralign: 16,
+		})
+	}
+
+	// Exception tables: regenerate the LSDA section and all FDEs.
+	var lsdaData []byte
+	var fdes []cfi.FDE
+	lsdaBase := align(coldEnd, 8)
+	encodeCallSites := func(frag *emittedFrag, e *emitted) (uint64, error) {
+		if len(frag.CallSites) == 0 {
+			return 0, nil
+		}
+		l := &cfi.LSDA{}
+		for _, cs := range frag.CallSites {
+			lp, ok := blockAddr(e.fn, cs.LP.Index, e)
+			if !ok {
+				return 0, fmt.Errorf("core: landing pad block %d of %s not emitted", cs.LP.Index, e.fn.Name)
+			}
+			l.CallSites = append(l.CallSites, cfi.CallSite{
+				Start: cs.Start, Len: cs.Len, LandingPad: lp, Action: cs.Action,
+			})
+		}
+		var off uint32
+		lsdaData, off = cfi.EncodeLSDA(lsdaData, l)
+		return lsdaBase + uint64(off), nil
+	}
+	for _, e := range emits {
+		lsda, err := encodeCallSites(e.Hot, e)
+		if err != nil {
+			return nil, err
+		}
+		fdes = append(fdes, cfi.FDE{
+			Start: e.fn.OutAddr, Len: uint32(len(e.Hot.Code)), LSDA: lsda, Insts: e.Hot.CFI,
+		})
+		if e.Cold != nil {
+			lsdaC, err := encodeCallSites(e.Cold, e)
+			if err != nil {
+				return nil, err
+			}
+			fdes = append(fdes, cfi.FDE{
+				Start: e.fn.ColdAddr, Len: uint32(len(e.Cold.Code)), LSDA: lsdaC, Insts: e.Cold.CFI,
+			})
+		}
+	}
+	// Keep FDEs (and LSDA records) of unmoved functions.
+	for _, fde := range ctx.fdes {
+		fn := ctx.FuncContaining(fde.Start)
+		if fn != nil && (emitOf[fn] != nil || fn.FoldedInto != nil) {
+			continue
+		}
+		nf := fde
+		if fde.LSDA != 0 {
+			old, err := cfi.DecodeLSDA(ctx.lsdaData, uint32(fde.LSDA-ctx.lsdaBase))
+			if err != nil {
+				return nil, err
+			}
+			var off uint32
+			lsdaData, off = cfi.EncodeLSDA(lsdaData, old)
+			nf.LSDA = lsdaBase + uint64(off)
+		}
+		fdes = append(fdes, nf)
+	}
+	if len(lsdaData) > 0 {
+		out.AddSection(&elfx.Section{
+			Name: cfi.LSDASectionName, Type: elfx.SHTProgbits, Flags: elfx.SHFAlloc,
+			Addr: lsdaBase, Data: lsdaData, Addralign: 8,
+		})
+	}
+	out.AddSection(&elfx.Section{
+		Name: cfi.FrameSectionName, Type: elfx.SHTProgbits,
+		Data: cfi.EncodeFrames(fdes), Addralign: 8,
+	})
+
+	// Debug line table (-update-debug-sections).
+	if ctx.Opts.UpdateDebugSections {
+		nt := &dbg.Table{}
+		if ctx.LineTable != nil {
+			for _, en := range ctx.LineTable.Entries {
+				fn := ctx.FuncContaining(en.Addr)
+				if fn != nil && (emitOf[fn] != nil || fn.FoldedInto != nil) {
+					continue
+				}
+				if int(en.File) < len(ctx.LineTable.Files) {
+					nt.Add(en.Addr, ctx.LineTable.Files[en.File], en.Line)
+				}
+			}
+		}
+		for _, e := range emits {
+			for _, ln := range e.Hot.Lines {
+				nt.Add(e.fn.OutAddr+uint64(ln.Off), ln.File, uint32(ln.Line))
+			}
+			if e.Cold != nil {
+				for _, ln := range e.Cold.Lines {
+					nt.Add(e.fn.ColdAddr+uint64(ln.Off), ln.File, uint32(ln.Line))
+				}
+			}
+		}
+		nt.Sort()
+		out.AddSection(&elfx.Section{
+			Name: dbg.SectionName, Type: elfx.SHTProgbits,
+			Data: nt.Encode(), Addralign: 8,
+		})
+	}
+
+	// Symbols.
+	for _, sym := range f.Symbols {
+		ns := sym
+		if sym.Type == elfx.STTFunc {
+			if fn := ctx.ByName[sym.Name]; fn != nil {
+				canon := fn
+				for canon.FoldedInto != nil {
+					canon = canon.FoldedInto
+				}
+				if e := emitOf[canon]; e != nil {
+					ns.Value = canon.OutAddr
+					ns.Size = canon.OutSize
+					ns.Section = ".text"
+				} else if sym.Section == ".text" {
+					ns.Section = ".bolt.org.text"
+				}
+			} else if sym.Section == ".text" {
+				ns.Section = ".bolt.org.text"
+			}
+		} else if sym.Section == ".text" {
+			ns.Section = ".bolt.org.text"
+		}
+		out.Symbols = append(out.Symbols, ns)
+	}
+	for _, e := range emits {
+		if e.Cold != nil {
+			out.Symbols = append(out.Symbols, elfx.Symbol{
+				Name: e.fn.Name + ".cold.0", Value: e.fn.ColdAddr, Size: e.fn.ColdSize,
+				Type: elfx.STTFunc, Bind: elfx.STBLocal, Section: ".text.cold",
+			})
+		}
+	}
+
+	// Entry point.
+	out.Entry = f.Entry
+	if v, ok := finalFuncAddr("_start"); ok {
+		out.Entry = v
+	}
+	res.File = out
+	return res, nil
+}
+
+// orderedSimpleFuncs returns movable functions in the final layout order
+// (FuncOrder from reorder-functions first, the rest in original order).
+func (ctx *BinaryContext) orderedSimpleFuncs() []*BinaryFunction {
+	simple := ctx.SimpleFuncs()
+	if len(ctx.FuncOrder) == 0 {
+		return simple
+	}
+	placed := map[*BinaryFunction]bool{}
+	var out []*BinaryFunction
+	for _, name := range ctx.FuncOrder {
+		fn := ctx.ByName[name]
+		if fn == nil || !fn.Simple || fn.FoldedInto != nil || placed[fn] {
+			continue
+		}
+		placed[fn] = true
+		out = append(out, fn)
+	}
+	for _, fn := range simple {
+		if !placed[fn] {
+			out = append(out, fn)
+		}
+	}
+	return out
+}

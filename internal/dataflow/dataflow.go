@@ -1,0 +1,81 @@
+// Package dataflow provides the worklist solver behind gobolt's analyses
+// (paper §4: "BOLT is also equipped with a dataflow-analysis framework").
+// The frame-opts and shrink-wrapping passes use register liveness; the
+// solver is generic over block graphs described by index functions.
+package dataflow
+
+import "gobolt/internal/isa"
+
+// Liveness computes per-block live-in/live-out register sets with a
+// backward worklist iteration.
+//
+//	n      — number of blocks
+//	succs  — successor indices of block i (including exception edges)
+//	use    — registers read before any write in block i
+//	def    — registers written in block i
+func Liveness(n int, succs func(int) []int, use, def func(int) isa.RegSet) (liveIn, liveOut []isa.RegSet) {
+	liveIn = make([]isa.RegSet, n)
+	liveOut = make([]isa.RegSet, n)
+	inWork := make([]bool, n)
+	work := make([]int, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	// Precompute predecessor lists for efficient requeueing.
+	preds := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, s := range succs(i) {
+			if s >= 0 && s < n {
+				preds[s] = append(preds[s], i)
+			}
+		}
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b] = false
+		var out isa.RegSet
+		for _, s := range succs(b) {
+			if s >= 0 && s < n {
+				out |= liveIn[s]
+			}
+		}
+		in := use(b) | (out &^ def(b))
+		if out == liveOut[b] && in == liveIn[b] {
+			continue
+		}
+		liveOut[b] = out
+		liveIn[b] = in
+		for _, p := range preds[b] {
+			if !inWork[p] {
+				inWork[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	return liveIn, liveOut
+}
+
+// UseDefOfInsts folds an instruction sequence into block-level use/def
+// sets (use = read before written; def = written anywhere).
+func UseDefOfInsts(uses, defs []isa.RegSet) (use, def isa.RegSet) {
+	for i := range uses {
+		use |= uses[i] &^ def
+		def |= defs[i]
+	}
+	return use, def
+}
+
+// LiveAtEachInst walks a block backward from liveOut and returns the
+// live-after set for every instruction.
+func LiveAtEachInst(uses, defs []isa.RegSet, liveOut isa.RegSet) []isa.RegSet {
+	n := len(uses)
+	liveAfter := make([]isa.RegSet, n)
+	cur := liveOut
+	for i := n - 1; i >= 0; i-- {
+		liveAfter[i] = cur
+		cur = uses[i] | (cur &^ defs[i])
+	}
+	return liveAfter
+}

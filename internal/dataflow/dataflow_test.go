@@ -1,0 +1,117 @@
+package dataflow
+
+import (
+	"testing"
+
+	"gobolt/internal/isa"
+)
+
+func TestLivenessStraightLine(t *testing.T) {
+	// b0 -> b1; b0 defs RAX, b1 uses RAX.
+	succs := func(i int) []int {
+		if i == 0 {
+			return []int{1}
+		}
+		return nil
+	}
+	use := func(i int) isa.RegSet {
+		if i == 1 {
+			return isa.RegMask(isa.RAX)
+		}
+		return 0
+	}
+	def := func(i int) isa.RegSet {
+		if i == 0 {
+			return isa.RegMask(isa.RAX)
+		}
+		return 0
+	}
+	liveIn, liveOut := Liveness(2, succs, use, def)
+	if !liveOut[0].Has(isa.RAX) {
+		t.Errorf("RAX must be live out of b0: %v", liveOut[0])
+	}
+	if liveIn[0].Has(isa.RAX) {
+		t.Errorf("RAX must not be live into b0 (defined there): %v", liveIn[0])
+	}
+	if !liveIn[1].Has(isa.RAX) {
+		t.Errorf("RAX must be live into b1: %v", liveIn[1])
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// b0 -> b1 -> b2 -> b1 (loop), b1 -> b3. RBX used in b2, defined in b0.
+	succs := func(i int) []int {
+		switch i {
+		case 0:
+			return []int{1}
+		case 1:
+			return []int{2, 3}
+		case 2:
+			return []int{1}
+		}
+		return nil
+	}
+	use := func(i int) isa.RegSet {
+		if i == 2 {
+			return isa.RegMask(isa.RBX)
+		}
+		return 0
+	}
+	def := func(i int) isa.RegSet {
+		if i == 0 {
+			return isa.RegMask(isa.RBX)
+		}
+		return 0
+	}
+	liveIn, liveOut := Liveness(4, succs, use, def)
+	// RBX must be live around the whole loop.
+	for _, b := range []int{1, 2} {
+		if !liveIn[b].Has(isa.RBX) {
+			t.Errorf("RBX must be live into b%d", b)
+		}
+	}
+	if !liveOut[0].Has(isa.RBX) {
+		t.Errorf("RBX must be live out of b0")
+	}
+	if liveIn[3].Has(isa.RBX) {
+		t.Errorf("RBX must be dead in the exit block")
+	}
+}
+
+func TestLiveAtEachInst(t *testing.T) {
+	// push r9 (uses r9); call (defs caller-saved); pop r9 (defs r9).
+	push := isa.NewInst(isa.PUSH)
+	push.R1 = isa.R9
+	call := isa.NewInst(isa.CALL)
+	pop := isa.NewInst(isa.POP)
+	pop.R1 = isa.R9
+	uses := []isa.RegSet{push.Uses(), call.Uses(), pop.Uses()}
+	defs := []isa.RegSet{push.Defs(), call.Defs(), pop.Defs()}
+	// R9 dead at block end.
+	liveAfter := LiveAtEachInst(uses, defs, 0)
+	if liveAfter[2].Has(isa.R9) {
+		t.Errorf("R9 must be dead after pop")
+	}
+	// R9 live at block end -> live after pop.
+	liveAfter = LiveAtEachInst(uses, defs, isa.RegMask(isa.R9))
+	if !liveAfter[2].Has(isa.R9) {
+		t.Errorf("R9 must be live after pop when live-out")
+	}
+}
+
+func TestUseDefOfInsts(t *testing.T) {
+	mov := isa.NewInst(isa.MOVrr) // rax = rbx
+	mov.R1, mov.R2 = isa.RAX, isa.RBX
+	add := isa.NewInst(isa.ADDrr) // rax += rax (uses rax after def: not upward-exposed)
+	add.R1, add.R2 = isa.RAX, isa.RAX
+	use, def := UseDefOfInsts(
+		[]isa.RegSet{mov.Uses(), add.Uses()},
+		[]isa.RegSet{mov.Defs(), add.Defs()},
+	)
+	if !use.Has(isa.RBX) || use.Has(isa.RAX) {
+		t.Errorf("use set wrong: %v", use)
+	}
+	if !def.Has(isa.RAX) {
+		t.Errorf("def set wrong: %v", def)
+	}
+}

@@ -1,0 +1,207 @@
+// Package elfx reads and writes ELF64 executables.
+//
+// The standard library's debug/elf is read-only; a post-link optimizer must
+// also *write* executables, so elfx implements both directions over a small
+// mutable model (File / Section / Symbol / Rela). The output is a
+// well-formed ELF64 little-endian x86-64 executable: readelf-compatible
+// headers, program headers derived from the allocatable sections, a symbol
+// table, and (optionally) relocation sections as produced by a linker's
+// --emit-relocs.
+package elfx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Section types (subset of the ELF spec).
+const (
+	SHTNull     uint32 = 0
+	SHTProgbits uint32 = 1
+	SHTSymtab   uint32 = 2
+	SHTStrtab   uint32 = 3
+	SHTRela     uint32 = 4
+	SHTNobits   uint32 = 8
+)
+
+// Section flags.
+const (
+	SHFWrite     uint64 = 0x1
+	SHFAlloc     uint64 = 0x2
+	SHFExecinstr uint64 = 0x4
+)
+
+// Symbol types and bindings.
+const (
+	STTNotype  byte = 0
+	STTObject  byte = 1
+	STTFunc    byte = 2
+	STTSection byte = 3
+
+	STBLocal  byte = 0
+	STBGlobal byte = 1
+)
+
+// Relocation types. The first three match the x86-64 psABI numbering; JT32
+// is our stand-in for the compiler-internal PIC jump-table relocation the
+// paper notes is *not* preserved by linkers (§3.2) — the linker resolves
+// and discards it, so gobolt must rediscover those tables by analysis.
+const (
+	RX8664None  uint32 = 0
+	RX866464    uint32 = 1   // S + A      (64-bit absolute)
+	RX8664PC32  uint32 = 2   // S + A - P  (32-bit PC-relative)
+	RX8664PLT32 uint32 = 4   // L + A - P  (via PLT)
+	RJT32       uint32 = 250 // S + A - JTBASE (PIC jump-table entry; never emitted to files)
+)
+
+// Section is a named chunk of the address space (or of metadata).
+type Section struct {
+	Name      string
+	Type      uint32
+	Flags     uint64
+	Addr      uint64
+	Data      []byte
+	Link      uint32
+	Info      uint32
+	Addralign uint64
+	Entsize   uint64
+}
+
+// Size returns the section's size in bytes.
+func (s *Section) Size() uint64 { return uint64(len(s.Data)) }
+
+// Contains reports whether vaddr falls inside the section.
+func (s *Section) Contains(vaddr uint64) bool {
+	return s.Flags&SHFAlloc != 0 && vaddr >= s.Addr && vaddr < s.Addr+s.Size()
+}
+
+// Symbol is an entry of the symbol table.
+type Symbol struct {
+	Name    string
+	Value   uint64
+	Size    uint64
+	Type    byte
+	Bind    byte
+	Section string // owning section name; "" = SHN_UNDEF, "*ABS*" = SHN_ABS
+}
+
+// Rela is a relocation with explicit addend, attached to a target section.
+type Rela struct {
+	Off    uint64 // offset within the target section
+	Type   uint32
+	Sym    string // referenced symbol name
+	Addend int64
+}
+
+// File is a mutable ELF64 executable image.
+type File struct {
+	Entry    uint64
+	Sections []*Section
+	Symbols  []Symbol
+	// Relas maps a target section name to its relocations (".text" ->
+	// entries that would live in ".rela.text"). Populated on write only
+	// when EmitRelocs is set; populated on read when the sections exist.
+	Relas      map[string][]Rela
+	EmitRelocs bool
+}
+
+// New returns an empty executable image.
+func New() *File {
+	return &File{Relas: make(map[string][]Rela)}
+}
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for _, s := range f.Sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// AddSection appends a section and returns it.
+func (f *File) AddSection(s *Section) *Section {
+	f.Sections = append(f.Sections, s)
+	return s
+}
+
+// RemoveSection deletes the named section if present.
+func (f *File) RemoveSection(name string) {
+	for i, s := range f.Sections {
+		if s.Name == name {
+			f.Sections = append(f.Sections[:i], f.Sections[i+1:]...)
+			return
+		}
+	}
+}
+
+// SectionFor returns the allocatable section containing vaddr, or nil.
+func (f *File) SectionFor(vaddr uint64) *Section {
+	for _, s := range f.Sections {
+		if s.Contains(vaddr) {
+			return s
+		}
+	}
+	return nil
+}
+
+// ReadAt copies out bytes at virtual address vaddr from whichever section
+// holds them.
+func (f *File) ReadAt(vaddr uint64, n int) ([]byte, error) {
+	s := f.SectionFor(vaddr)
+	if s == nil {
+		return nil, fmt.Errorf("elfx: address %#x not mapped", vaddr)
+	}
+	off := vaddr - s.Addr
+	if off+uint64(n) > s.Size() {
+		return nil, fmt.Errorf("elfx: read of %d bytes at %#x crosses end of %s", n, vaddr, s.Name)
+	}
+	return s.Data[off : off+uint64(n)], nil
+}
+
+// FuncSymbols returns all STT_FUNC symbols sorted by value.
+func (f *File) FuncSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range f.Symbols {
+		if s.Type == STTFunc {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value < out[j].Value
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SymbolByName returns the first symbol with the given name.
+func (f *File) SymbolByName(name string) (Symbol, bool) {
+	for _, s := range f.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// SymbolAt returns the function symbol whose [Value, Value+Size) covers
+// vaddr, preferring the tightest match.
+func (f *File) SymbolAt(vaddr uint64) (Symbol, bool) {
+	best := Symbol{}
+	found := false
+	for _, s := range f.Symbols {
+		if s.Type != STTFunc {
+			continue
+		}
+		if vaddr >= s.Value && vaddr < s.Value+s.Size {
+			if !found || s.Size < best.Size {
+				best = s
+				found = true
+			}
+		}
+	}
+	return best, found
+}

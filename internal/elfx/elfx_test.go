@@ -1,0 +1,191 @@
+package elfx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFile() *File {
+	f := New()
+	f.Entry = 0x401000
+	f.AddSection(&Section{
+		Name: ".text", Type: SHTProgbits, Flags: SHFAlloc | SHFExecinstr,
+		Addr: 0x401000, Data: []byte{0xC3, 0x90, 0x90, 0xF4}, Addralign: 16,
+	})
+	f.AddSection(&Section{
+		Name: ".rodata", Type: SHTProgbits, Flags: SHFAlloc,
+		Addr: 0x402000, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}, Addralign: 8,
+	})
+	f.AddSection(&Section{
+		Name: ".data", Type: SHTProgbits, Flags: SHFAlloc | SHFWrite,
+		Addr: 0x403000, Data: bytes.Repeat([]byte{0xAB}, 32), Addralign: 8,
+	})
+	f.AddSection(&Section{
+		Name: ".comment", Type: SHTProgbits, Data: []byte("gobolt"), Addralign: 1,
+	})
+	f.Symbols = []Symbol{
+		{Name: "main", Value: 0x401000, Size: 1, Type: STTFunc, Bind: STBGlobal, Section: ".text"},
+		{Name: "pad", Value: 0x401001, Size: 3, Type: STTFunc, Bind: STBLocal, Section: ".text"},
+		{Name: "table", Value: 0x402000, Size: 8, Type: STTObject, Bind: STBLocal, Section: ".rodata"},
+	}
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sampleFile()
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Entry != f.Entry {
+		t.Errorf("entry: got %#x want %#x", g.Entry, f.Entry)
+	}
+	for _, name := range []string{".text", ".rodata", ".data", ".comment"} {
+		a, b := f.Section(name), g.Section(name)
+		if b == nil {
+			t.Fatalf("section %s missing after round trip", name)
+		}
+		if a.Addr != b.Addr || a.Flags != b.Flags || !bytes.Equal(a.Data, b.Data) {
+			t.Errorf("section %s mismatch: addr %#x/%#x flags %#x/%#x", name, a.Addr, b.Addr, a.Flags, b.Flags)
+		}
+	}
+	if len(g.Symbols) != len(f.Symbols) {
+		t.Fatalf("symbols: got %d want %d", len(g.Symbols), len(f.Symbols))
+	}
+	m, ok := g.SymbolByName("main")
+	if !ok || m.Value != 0x401000 || m.Type != STTFunc || m.Bind != STBGlobal || m.Section != ".text" {
+		t.Errorf("main symbol corrupted: %+v", m)
+	}
+}
+
+func TestRelocRoundTrip(t *testing.T) {
+	f := sampleFile()
+	f.EmitRelocs = true
+	f.Relas[".text"] = []Rela{
+		{Off: 0, Type: RX8664PC32, Sym: "table", Addend: -4},
+		{Off: 2, Type: RX866464, Sym: "main", Addend: 0},
+	}
+	data, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := g.Relas[".text"]
+	if len(rl) != 2 {
+		t.Fatalf("got %d relocs, want 2", len(rl))
+	}
+	if rl[0].Sym != "table" || rl[0].Type != RX8664PC32 || rl[0].Addend != -4 || rl[0].Off != 0 {
+		t.Errorf("reloc 0 corrupted: %+v", rl[0])
+	}
+	if rl[1].Sym != "main" || rl[1].Type != RX866464 || rl[1].Off != 2 {
+		t.Errorf("reloc 1 corrupted: %+v", rl[1])
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	f := sampleFile()
+	s, ok := f.SymbolAt(0x401002)
+	if !ok || s.Name != "pad" {
+		t.Errorf("SymbolAt(0x401002) = %v, %v; want pad", s.Name, ok)
+	}
+	if _, ok := f.SymbolAt(0x500000); ok {
+		t.Errorf("SymbolAt out of range must fail")
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	f := sampleFile()
+	b, err := f.ReadAt(0x402002, 3)
+	if err != nil || !bytes.Equal(b, []byte{3, 4, 5}) {
+		t.Errorf("ReadAt: %v % x", err, b)
+	}
+	if _, err := f.ReadAt(0x402006, 4); err == nil {
+		t.Errorf("cross-section read must fail")
+	}
+	if _, err := f.ReadAt(0x999999, 1); err == nil {
+		t.Errorf("unmapped read must fail")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	f := New()
+	f.AddSection(&Section{Name: "a", Flags: SHFAlloc, Addr: 0x1000, Data: make([]byte, 32), Type: SHTProgbits})
+	f.AddSection(&Section{Name: "b", Flags: SHFAlloc, Addr: 0x1010, Data: make([]byte, 32), Type: SHTProgbits})
+	if _, err := f.Bytes(); err == nil {
+		t.Fatal("overlapping sections must be rejected")
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	for _, b := range [][]byte{nil, []byte("hello"), bytes.Repeat([]byte{0}, 100)} {
+		if _, err := Read(b); err == nil {
+			t.Errorf("Read(%d bytes of garbage) succeeded", len(b))
+		}
+	}
+}
+
+// Property: random section payloads and symbols survive a write/read cycle.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	check := func() bool {
+		f := New()
+		f.Entry = 0x400000 + uint64(r.Intn(0x1000))
+		addr := uint64(0x400000)
+		n := 1 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			size := 1 + r.Intn(300)
+			data := make([]byte, size)
+			r.Read(data)
+			flags := SHFAlloc
+			if i%2 == 1 {
+				flags |= SHFWrite
+			} else {
+				flags |= SHFExecinstr
+			}
+			f.AddSection(&Section{
+				Name: string(rune('a'+i)) + ".sect", Type: SHTProgbits,
+				Flags: flags, Addr: addr, Data: data, Addralign: 1,
+			})
+			addr += uint64(size) + uint64(r.Intn(0x1000))
+		}
+		for i := 0; i < r.Intn(5); i++ {
+			f.Symbols = append(f.Symbols, Symbol{
+				Name: string(rune('f'+i)) + "unc", Value: 0x400000 + uint64(r.Intn(100)),
+				Size: uint64(r.Intn(50)), Type: STTFunc, Bind: byte(r.Intn(2)),
+				Section: f.Sections[0].Name,
+			})
+		}
+		data, err := f.Bytes()
+		if err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		g, err := Read(data)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		if g.Entry != f.Entry || len(g.Sections) != len(f.Sections) || len(g.Symbols) != len(f.Symbols) {
+			return false
+		}
+		for _, s := range f.Sections {
+			gs := g.Section(s.Name)
+			if gs == nil || gs.Addr != s.Addr || !bytes.Equal(gs.Data, s.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package elfx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Read parses an ELF64 image previously produced by Bytes (or any simple
+// statically linked ELF64 executable using the same subset of features).
+func Read(data []byte) (*File, error) {
+	if len(data) < ehdrSize {
+		return nil, fmt.Errorf("elfx: file too short")
+	}
+	if string(data[:4]) != "\x7fELF" || data[4] != 2 || data[5] != 1 {
+		return nil, fmt.Errorf("elfx: not a little-endian ELF64 file")
+	}
+	f := New()
+	f.Entry = binary.LittleEndian.Uint64(data[24:])
+	shoff := binary.LittleEndian.Uint64(data[40:])
+	shentsize := uint64(binary.LittleEndian.Uint16(data[58:]))
+	shnum := uint64(binary.LittleEndian.Uint16(data[60:]))
+	shstrndx := uint64(binary.LittleEndian.Uint16(data[62:]))
+	if shentsize != shdrSize {
+		return nil, fmt.Errorf("elfx: unexpected shentsize %d", shentsize)
+	}
+	if shoff+shnum*shdrSize > uint64(len(data)) {
+		return nil, fmt.Errorf("elfx: section header table out of range")
+	}
+
+	type rawShdr struct {
+		nameOff, typ           uint32
+		flags, addr, off, size uint64
+		link, info             uint32
+		addralign, entsize     uint64
+	}
+	hdrs := make([]rawShdr, shnum)
+	for i := uint64(0); i < shnum; i++ {
+		h := data[shoff+i*shdrSize:]
+		hdrs[i] = rawShdr{
+			nameOff:   binary.LittleEndian.Uint32(h[0:]),
+			typ:       binary.LittleEndian.Uint32(h[4:]),
+			flags:     binary.LittleEndian.Uint64(h[8:]),
+			addr:      binary.LittleEndian.Uint64(h[16:]),
+			off:       binary.LittleEndian.Uint64(h[24:]),
+			size:      binary.LittleEndian.Uint64(h[32:]),
+			link:      binary.LittleEndian.Uint32(h[40:]),
+			info:      binary.LittleEndian.Uint32(h[44:]),
+			addralign: binary.LittleEndian.Uint64(h[48:]),
+			entsize:   binary.LittleEndian.Uint64(h[56:]),
+		}
+	}
+	if shstrndx >= shnum {
+		return nil, fmt.Errorf("elfx: bad shstrndx")
+	}
+	shstr := hdrs[shstrndx]
+	strAt := func(tab rawShdr, off uint32) string {
+		start := tab.off + uint64(off)
+		if start >= uint64(len(data)) {
+			return ""
+		}
+		end := start
+		for end < uint64(len(data)) && data[end] != 0 {
+			end++
+		}
+		return string(data[start:end])
+	}
+
+	names := make([]string, shnum)
+	secByIdx := make([]*Section, shnum)
+	for i := uint64(1); i < shnum; i++ {
+		h := hdrs[i]
+		names[i] = strAt(shstr, h.nameOff)
+		var payload []byte
+		if h.typ != SHTNobits {
+			if h.off+h.size > uint64(len(data)) {
+				return nil, fmt.Errorf("elfx: section %s out of range", names[i])
+			}
+			payload = append([]byte(nil), data[h.off:h.off+h.size]...)
+		} else {
+			payload = make([]byte, h.size)
+		}
+		s := &Section{
+			Name: names[i], Type: h.typ, Flags: h.flags, Addr: h.addr,
+			Data: payload, Link: h.link, Info: h.info,
+			Addralign: h.addralign, Entsize: h.entsize,
+		}
+		secByIdx[i] = s
+		switch h.typ {
+		case SHTSymtab, SHTRela, SHTStrtab:
+			// Metadata sections are re-synthesized on write; keep the
+			// payload out of Sections but remember symtab/rela below.
+		default:
+			f.Sections = append(f.Sections, s)
+		}
+	}
+
+	// Symbols.
+	var symNames []string
+	for i := uint64(1); i < shnum; i++ {
+		if hdrs[i].typ != SHTSymtab {
+			continue
+		}
+		strtab := hdrs[hdrs[i].link]
+		n := hdrs[i].size / symSize
+		symNames = make([]string, n)
+		for j := uint64(1); j < n; j++ {
+			e := data[hdrs[i].off+j*symSize:]
+			nameOff := binary.LittleEndian.Uint32(e[0:])
+			info := e[4]
+			shndx := binary.LittleEndian.Uint16(e[6:])
+			val := binary.LittleEndian.Uint64(e[8:])
+			size := binary.LittleEndian.Uint64(e[16:])
+			name := strAt(strtab, nameOff)
+			symNames[j] = name
+			var secName string
+			switch {
+			case shndx == 0:
+				secName = ""
+			case shndx == 0xFFF1:
+				secName = "*ABS*"
+			case uint64(shndx) < shnum:
+				secName = names[shndx]
+			}
+			f.Symbols = append(f.Symbols, Symbol{
+				Name: name, Value: val, Size: size,
+				Type: info & 0xF, Bind: info >> 4, Section: secName,
+			})
+		}
+	}
+
+	// Relocations.
+	for i := uint64(1); i < shnum; i++ {
+		if hdrs[i].typ != SHTRela {
+			continue
+		}
+		targetName := strings.TrimPrefix(names[i], ".rela")
+		target := f.Section(targetName)
+		if target == nil {
+			continue
+		}
+		n := hdrs[i].size / relaSize
+		for j := uint64(0); j < n; j++ {
+			e := data[hdrs[i].off+j*relaSize:]
+			off := binary.LittleEndian.Uint64(e[0:])
+			info := binary.LittleEndian.Uint64(e[8:])
+			addend := int64(binary.LittleEndian.Uint64(e[16:]))
+			symIdx := info >> 32
+			var symName string
+			if symNames != nil && symIdx < uint64(len(symNames)) {
+				symName = symNames[symIdx]
+			}
+			f.Relas[targetName] = append(f.Relas[targetName], Rela{
+				Off: off - target.Addr, Type: uint32(info), Sym: symName, Addend: addend,
+			})
+		}
+		f.EmitRelocs = true
+	}
+	return f, nil
+}
+
+// ReadFile reads and parses the ELF file at path.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Read(data)
+}
+
+// WriteFile serializes f and writes it to path with execute permission.
+func (f *File) WriteFile(path string) error {
+	data, err := f.Bytes()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o755)
+}

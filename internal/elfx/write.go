@@ -1,0 +1,317 @@
+package elfx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+const (
+	ehdrSize  = 64
+	phdrSize  = 56
+	shdrSize  = 64
+	symSize   = 24
+	relaSize  = 24
+	pageAlign = 0x1000
+)
+
+// stringTable builds an ELF string table incrementally.
+type stringTable struct {
+	data []byte
+	off  map[string]uint32
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{data: []byte{0}, off: map[string]uint32{"": 0}}
+}
+
+func (t *stringTable) add(s string) uint32 {
+	if o, ok := t.off[s]; ok {
+		return o
+	}
+	o := uint32(len(t.data))
+	t.data = append(t.data, s...)
+	t.data = append(t.data, 0)
+	t.off[s] = o
+	return o
+}
+
+type segment struct {
+	vaddr, size, off uint64
+	flags            uint32
+}
+
+// Bytes serializes the image to a complete ELF64 executable.
+//
+// Layout: ehdr, phdrs, then each allocatable section placed at a file
+// offset congruent to its vaddr modulo the page size (so PT_LOAD entries
+// are loader-correct), then non-alloc sections, symtab/strtab, optional
+// .rela.* sections, .shstrtab, and the section header table.
+func (f *File) Bytes() ([]byte, error) {
+	// Order allocatable sections by address.
+	var alloc, other []*Section
+	for _, s := range f.Sections {
+		if s.Flags&SHFAlloc != 0 {
+			alloc = append(alloc, s)
+		} else {
+			other = append(other, s)
+		}
+	}
+	sort.Slice(alloc, func(i, j int) bool { return alloc[i].Addr < alloc[j].Addr })
+	for i := 1; i < len(alloc); i++ {
+		p, q := alloc[i-1], alloc[i]
+		if p.Addr+p.Size() > q.Addr {
+			return nil, fmt.Errorf("elfx: sections %s and %s overlap", p.Name, q.Name)
+		}
+	}
+
+	shstr := newStringTable()
+	symstr := newStringTable()
+
+	// Symbol table: local symbols must precede globals.
+	syms := make([]Symbol, len(f.Symbols))
+	copy(syms, f.Symbols)
+	sort.SliceStable(syms, func(i, j int) bool { return syms[i].Bind < syms[j].Bind })
+	numLocal := 1 // null symbol
+	for _, s := range syms {
+		if s.Bind == STBLocal {
+			numLocal++
+		}
+	}
+
+	// Assemble the section list in file order. Index 0 is the null section.
+	type outSect struct {
+		sec   *Section
+		hdr   [shdrSize]byte
+		data  []byte
+		align uint64
+	}
+	var order []*Section
+	order = append(order, alloc...)
+	order = append(order, other...)
+
+	sectIndex := map[string]uint32{"": 0}
+	for i, s := range order {
+		sectIndex[s.Name] = uint32(i + 1)
+	}
+
+	// Build symtab data after section indices are known.
+	symIndexOf := make(map[string]uint32)
+	symData := make([]byte, symSize) // null symbol
+	for i, s := range syms {
+		var e [symSize]byte
+		binary.LittleEndian.PutUint32(e[0:], symstr.add(s.Name))
+		e[4] = s.Bind<<4 | s.Type&0xF
+		e[5] = 0
+		var shndx uint16
+		switch s.Section {
+		case "":
+			shndx = 0
+		case "*ABS*":
+			shndx = 0xFFF1
+		default:
+			idx, ok := sectIndex[s.Section]
+			if !ok {
+				return nil, fmt.Errorf("elfx: symbol %s references unknown section %s", s.Name, s.Section)
+			}
+			shndx = uint16(idx)
+		}
+		binary.LittleEndian.PutUint16(e[6:], shndx)
+		binary.LittleEndian.PutUint64(e[8:], s.Value)
+		binary.LittleEndian.PutUint64(e[16:], s.Size)
+		symData = append(symData, e[:]...)
+		symIndexOf[s.Name] = uint32(i + 1)
+	}
+
+	// Synthesize metadata sections.
+	meta := []*Section{
+		{Name: ".symtab", Type: SHTSymtab, Data: symData, Entsize: symSize, Addralign: 8},
+		{Name: ".strtab", Type: SHTStrtab, Data: nil, Addralign: 1}, // data filled below
+	}
+	var relaSects []*Section
+	if f.EmitRelocs {
+		var names []string
+		for name := range f.Relas {
+			if len(f.Relas[name]) > 0 {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rl := f.Relas[name]
+			sort.Slice(rl, func(i, j int) bool { return rl[i].Off < rl[j].Off })
+			data := make([]byte, 0, len(rl)*relaSize)
+			target := f.Section(name)
+			if target == nil {
+				return nil, fmt.Errorf("elfx: relocations for unknown section %s", name)
+			}
+			for _, r := range rl {
+				var e [relaSize]byte
+				binary.LittleEndian.PutUint64(e[0:], target.Addr+r.Off)
+				si, ok := symIndexOf[r.Sym]
+				if !ok {
+					return nil, fmt.Errorf("elfx: relocation references unknown symbol %q", r.Sym)
+				}
+				binary.LittleEndian.PutUint64(e[8:], uint64(si)<<32|uint64(r.Type))
+				binary.LittleEndian.PutUint64(e[16:], uint64(r.Addend))
+				data = append(data, e[:]...)
+			}
+			relaSects = append(relaSects, &Section{
+				Name: ".rela" + name, Type: SHTRela, Data: data,
+				Entsize: relaSize, Addralign: 8,
+				Link: 0, // fixed up below (symtab index)
+				Info: sectIndex[name],
+			})
+		}
+	}
+	meta = append(meta, relaSects...)
+	shstrtab := &Section{Name: ".shstrtab", Type: SHTStrtab, Addralign: 1}
+	meta = append(meta, shstrtab)
+	order = append(order, meta...)
+	for i, s := range order {
+		sectIndex[s.Name] = uint32(i + 1)
+	}
+	symtabIdx := sectIndex[".symtab"]
+	for _, rs := range relaSects {
+		rs.Link = symtabIdx
+	}
+	// .symtab links to .strtab.
+	// (indices known now)
+
+	// Program headers: merge adjacent alloc sections with equal flags.
+	var segs []segment
+	for _, s := range alloc {
+		fl := uint32(4) // R
+		if s.Flags&SHFWrite != 0 {
+			fl |= 2
+		}
+		if s.Flags&SHFExecinstr != 0 {
+			fl |= 1
+		}
+		if n := len(segs); n > 0 && segs[n-1].flags == fl &&
+			s.Addr >= segs[n-1].vaddr && s.Addr-segs[n-1].vaddr < 1<<30 {
+			end := s.Addr + s.Size()
+			if end > segs[n-1].vaddr+segs[n-1].size {
+				segs[n-1].size = end - segs[n-1].vaddr
+			}
+			continue
+		}
+		segs = append(segs, segment{vaddr: s.Addr, size: s.Size(), flags: fl})
+	}
+
+	// Lay out the file.
+	pos := uint64(ehdrSize + phdrSize*len(segs))
+	offsets := make(map[string]uint64)
+	for _, s := range alloc {
+		// Congruence: off % page == vaddr % page.
+		want := s.Addr % pageAlign
+		if pos%pageAlign != want {
+			pos += (pageAlign + want - pos%pageAlign) % pageAlign
+		}
+		offsets[s.Name] = pos
+		pos += s.Size()
+	}
+	// Fill segment file offsets from their first section.
+	for i := range segs {
+		for _, s := range alloc {
+			if s.Addr == segs[i].vaddr {
+				segs[i].off = offsets[s.Name]
+				break
+			}
+		}
+	}
+	// Late-bound metadata payloads.
+	for _, s := range order {
+		if s.Name == ".strtab" {
+			s.Data = symstr.data
+		}
+	}
+	for _, s := range order {
+		shstr.add(s.Name)
+	}
+	shstrtab.Data = shstr.data
+	for _, s := range order {
+		if s.Flags&SHFAlloc != 0 {
+			continue
+		}
+		align := s.Addralign
+		if align == 0 {
+			align = 1
+		}
+		if pos%align != 0 {
+			pos += align - pos%align
+		}
+		offsets[s.Name] = pos
+		if s.Type != SHTNobits {
+			pos += s.Size()
+		}
+	}
+	if pos%8 != 0 {
+		pos += 8 - pos%8
+	}
+	shoff := pos
+
+	out := make([]byte, shoff+uint64(shdrSize*(len(order)+1)))
+
+	// ELF header.
+	copy(out, []byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0})
+	binary.LittleEndian.PutUint16(out[16:], 2)  // ET_EXEC
+	binary.LittleEndian.PutUint16(out[18:], 62) // EM_X86_64
+	binary.LittleEndian.PutUint32(out[20:], 1)
+	binary.LittleEndian.PutUint64(out[24:], f.Entry)
+	binary.LittleEndian.PutUint64(out[32:], ehdrSize) // phoff
+	binary.LittleEndian.PutUint64(out[40:], shoff)
+	binary.LittleEndian.PutUint16(out[52:], ehdrSize)
+	binary.LittleEndian.PutUint16(out[54:], phdrSize)
+	binary.LittleEndian.PutUint16(out[56:], uint16(len(segs)))
+	binary.LittleEndian.PutUint16(out[58:], shdrSize)
+	binary.LittleEndian.PutUint16(out[60:], uint16(len(order)+1))
+	binary.LittleEndian.PutUint16(out[62:], uint16(sectIndex[".shstrtab"]))
+
+	// Program headers.
+	for i, sg := range segs {
+		p := out[ehdrSize+i*phdrSize:]
+		binary.LittleEndian.PutUint32(p[0:], 1) // PT_LOAD
+		binary.LittleEndian.PutUint32(p[4:], sg.flags)
+		binary.LittleEndian.PutUint64(p[8:], sg.off)
+		binary.LittleEndian.PutUint64(p[16:], sg.vaddr)
+		binary.LittleEndian.PutUint64(p[24:], sg.vaddr)
+		binary.LittleEndian.PutUint64(p[32:], sg.size)
+		binary.LittleEndian.PutUint64(p[40:], sg.size)
+		binary.LittleEndian.PutUint64(p[48:], pageAlign)
+	}
+
+	// Section payloads.
+	for _, s := range order {
+		if s.Type == SHTNobits {
+			continue
+		}
+		copy(out[offsets[s.Name]:], s.Data)
+	}
+
+	// Section headers (index 0 stays zero).
+	for i, s := range order {
+		h := out[shoff+uint64((i+1)*shdrSize):]
+		binary.LittleEndian.PutUint32(h[0:], shstr.add(s.Name))
+		binary.LittleEndian.PutUint32(h[4:], s.Type)
+		binary.LittleEndian.PutUint64(h[8:], s.Flags)
+		binary.LittleEndian.PutUint64(h[16:], s.Addr)
+		binary.LittleEndian.PutUint64(h[24:], offsets[s.Name])
+		binary.LittleEndian.PutUint64(h[32:], s.Size())
+		link := s.Link
+		info := s.Info
+		if s.Name == ".symtab" {
+			link = sectIndex[".strtab"]
+			info = uint32(numLocal)
+		}
+		binary.LittleEndian.PutUint32(h[40:], link)
+		binary.LittleEndian.PutUint32(h[44:], info)
+		align := s.Addralign
+		if align == 0 {
+			align = 1
+		}
+		binary.LittleEndian.PutUint64(h[48:], align)
+		binary.LittleEndian.PutUint64(h[56:], s.Entsize)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package heatmap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTouchAndHotSpan(t *testing.T) {
+	m := New(0x400000, 0x400000+4096*64)
+	// Concentrate all heat in one block.
+	for i := 0; i < 1000; i++ {
+		m.Touch(0x400010, 16)
+	}
+	if span := m.HotSpan(0.95); span != m.BlockSize {
+		t.Fatalf("hot span %d, want one block (%d)", span, m.BlockSize)
+	}
+	m.Touch(0x400000+uint64(m.BlockSize)*100, 8)
+	if m.Counts[100] != 8 {
+		t.Errorf("second block not counted")
+	}
+	// Out-of-range touches are ignored.
+	m.Touch(0x300000, 8)
+	m.Touch(0x500000*2, 8)
+}
+
+func TestRenderShape(t *testing.T) {
+	m := New(0, 4096*GridDim*GridDim)
+	m.Touch(0, 64)
+	out := m.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != GridDim+1 { // header + 64 rows
+		t.Fatalf("render has %d lines", len(lines))
+	}
+	if len(lines[1]) != GridDim {
+		t.Fatalf("row width %d", len(lines[1]))
+	}
+	if lines[1][0] == '.' {
+		t.Error("touched block rendered cold")
+	}
+	if !strings.HasPrefix(m.CSV(), "block,start,bytes,heat") {
+		t.Error("CSV header wrong")
+	}
+}
+
+func TestEmptyMap(t *testing.T) {
+	m := New(0, 100)
+	if m.HotSpan(0.95) != 0 {
+		t.Error("empty map must have zero hot span")
+	}
+	if !strings.Contains(m.Render(), "heatmap:") {
+		t.Error("render must include header")
+	}
+}

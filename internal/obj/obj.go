@@ -1,0 +1,74 @@
+// Package obj defines the in-memory object-file model passed from the mini
+// compiler (internal/cc) to the linker (internal/ld). One Object roughly
+// corresponds to a relocatable .o: functions and globals with symbolic
+// relocations, CFI programs, exception call-site tables, and line info.
+package obj
+
+import "gobolt/internal/cfi"
+
+// Relocation kinds, mirroring elfx's subset.
+const (
+	RelPC32  uint32 = 2   // S + A - P
+	RelPLT32 uint32 = 4   // like PC32 but may be routed through a PLT stub
+	RelAbs64 uint32 = 1   // S + A
+	RelJT32  uint32 = 250 // S + A - JTBASE: PIC jump-table entry, resolved and *discarded* by the linker
+)
+
+// Reloc is a symbolic reference patched by the linker.
+type Reloc struct {
+	Off    uint32 // byte offset of the patch site within Bytes/Data
+	Type   uint32
+	Sym    string
+	Addend int64
+}
+
+// CallSite is an exception-table entry with function-relative offsets.
+type CallSite struct {
+	Start  uint32 // code offset of the covered region
+	Len    uint32
+	LPOff  uint32 // code offset of the landing pad within the same function
+	Action int32
+}
+
+// LineEntry records that code at Off originates from File:Line.
+type LineEntry struct {
+	Off  uint32
+	File string
+	Line int32
+}
+
+// Func is one compiled function.
+type Func struct {
+	Name      string
+	Bytes     []byte
+	Align     int
+	Relocs    []Reloc
+	CFI       []cfi.PCInst
+	CallSites []CallSite
+	Lines     []LineEntry
+	// Shared marks functions that belong to the simulated shared library:
+	// non-LTO builds route calls to them through PLT stubs.
+	Shared bool
+	// Global marks externally visible symbols (STB_GLOBAL).
+	Global bool
+}
+
+// Global is an initialized data or rodata blob.
+type Global struct {
+	Name     string
+	Data     []byte
+	Align    int
+	Writable bool // .data if true, .rodata otherwise
+	Relocs   []Reloc
+	// NoEmitRelocs suppresses these relocations from --emit-relocs output,
+	// modeling the PIC jump-table offsets the paper notes are resolved
+	// internally and invisible to post-link tools (§3.2).
+	NoEmitRelocs bool
+}
+
+// Object is one compilation unit's output.
+type Object struct {
+	Name    string
+	Funcs   []*Func
+	Globals []*Global
+}

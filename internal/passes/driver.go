@@ -1,0 +1,30 @@
+package passes
+
+import (
+	"gobolt/internal/core"
+	"gobolt/internal/elfx"
+	"gobolt/internal/profile"
+)
+
+// Optimize runs the complete Figure 3 pipeline on a linked binary:
+// discovery, disassembly, CFG construction, profile application, the
+// Table 1 pass sequence, emission, and ELF rewriting. It returns the
+// rewrite result plus the context (for reports: dyno-stats, CFG dumps,
+// bad-layout findings).
+func Optimize(f *elfx.File, fd *profile.Fdata, opts core.Options) (*core.RewriteResult, *core.BinaryContext, error) {
+	ctx, err := core.NewContext(f, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fd != nil {
+		ctx.ApplyProfile(fd)
+	}
+	if err := core.RunPasses(ctx, BuildPipeline(opts)); err != nil {
+		return nil, ctx, err
+	}
+	res, err := ctx.Rewrite()
+	if err != nil {
+		return nil, ctx, err
+	}
+	return res, ctx, nil
+}

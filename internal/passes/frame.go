@@ -1,0 +1,242 @@
+package passes
+
+import (
+	"gobolt/internal/cfi"
+	"gobolt/internal/core"
+	"gobolt/internal/dataflow"
+	"gobolt/internal/isa"
+)
+
+// FrameOpts removes unnecessary caller-saved register spills around calls
+// (Table 1, pass 15): the compiler sometimes emits
+//
+//	push %rX ; call f ; pop %rX
+//
+// for a caller-saved %rX that is dead after the pop. Liveness analysis
+// (the dataflow framework of §4) proves deadness before deletion.
+type FrameOpts struct{}
+
+// Name implements core.Pass.
+func (FrameOpts) Name() string { return "frame-opts" }
+
+// Run implements core.Pass.
+func (FrameOpts) Run(ctx *core.BinaryContext) error {
+	for _, fn := range ctx.SimpleFuncs() {
+		liveOut := flagsLiveOut(fn) // full register liveness, reused
+		changed := false
+		for _, b := range fn.Blocks {
+			for i := 0; i+2 < len(b.Insts); i++ {
+				push := &b.Insts[i]
+				call := &b.Insts[i+1]
+				pop := &b.Insts[i+2]
+				if push.I.Op != isa.PUSH || pop.I.Op != isa.POP {
+					continue
+				}
+				r := push.I.R1
+				if r != pop.I.R1 || !r.CallerSaved() || !call.IsCall() {
+					continue
+				}
+				// The spilled register must be dead after the pop.
+				uses := make([]isa.RegSet, len(b.Insts))
+				defs := make([]isa.RegSet, len(b.Insts))
+				for k := range b.Insts {
+					uses[k] = b.Insts[k].I.Uses()
+					defs[k] = b.Insts[k].I.Defs()
+				}
+				liveAfter := liveAtEach(uses, defs, liveOut[b.Index])
+				if liveAfter[i+2].Has(r) {
+					// The value is consumed later: the spill is real.
+					continue
+				}
+				b.Insts = append(b.Insts[:i:i], b.Insts[i+1:]...)
+				// After removal the pop sits at i+1; delete it too.
+				b.Insts = append(b.Insts[:i+1:i+1], b.Insts[i+2:]...)
+				ctx.CountStat("frame-opts-spills", 1)
+				changed = true
+			}
+		}
+		if changed {
+			fn.RebuildIndex()
+		}
+	}
+	return nil
+}
+
+func liveAtEach(uses, defs []isa.RegSet, liveOut isa.RegSet) []isa.RegSet {
+	return dataflow.LiveAtEachInst(uses, defs, liveOut)
+}
+
+// ShrinkWrapping moves a callee-saved register save out of the prologue
+// and into the single cold block that actually uses it (Table 1, pass
+// 16), when the profile shows the hot entry path never needs the spill.
+//
+// Conservative preconditions (full generality needs the frame analysis of
+// production BOLT):
+//   - standard prologue: push rbp; mov rbp,rsp; push r1..rk, no locals
+//     (no `sub rsp, N`), no landing pads in the function;
+//   - the candidate is the LAST pushed callee-saved register (so no other
+//     spill slot or local offset shifts);
+//   - all reads/writes of the register happen in one block containing no
+//     calls (so no unwinding can observe the moved save);
+//   - that block is cold relative to the entry.
+type ShrinkWrapping struct{}
+
+// Name implements core.Pass.
+func (ShrinkWrapping) Name() string { return "shrink-wrapping" }
+
+// Run implements core.Pass.
+func (s ShrinkWrapping) Run(ctx *core.BinaryContext) error {
+	for _, fn := range ctx.SimpleFuncs() {
+		if fn.HasLSDA || !fn.Sampled || len(fn.Blocks) < 2 {
+			continue
+		}
+		s.runOne(ctx, fn)
+	}
+	return nil
+}
+
+func (s ShrinkWrapping) runOne(ctx *core.BinaryContext, fn *core.BinaryFunction) {
+	entry := fn.Blocks[0]
+	// Match the prologue and find the last saved callee-saved register.
+	var pushIdx []int
+	sawFrame := false
+	for i := range entry.Insts {
+		in := &entry.Insts[i]
+		switch {
+		case in.I.Op == isa.PUSH && in.I.R1 == isa.RBP && i == 0:
+		case in.I.Op == isa.MOVrr && in.I.R1 == isa.RBP && in.I.R2 == isa.RSP:
+			sawFrame = true
+		case in.I.Op == isa.PUSH && in.I.R1.CalleeSaved() && sawFrame:
+			pushIdx = append(pushIdx, i)
+		case in.I.Op == isa.SUBri && in.I.R1 == isa.RSP:
+			return // locals present: offsets would shift
+		}
+	}
+	if !sawFrame || len(pushIdx) == 0 {
+		return
+	}
+	last := pushIdx[len(pushIdx)-1]
+	reg := entry.Insts[last].I.R1
+
+	// Find the unique block using reg; reject other uses.
+	var home *core.BasicBlock
+	for _, b := range fn.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if b == entry && in.I.Op == isa.PUSH && in.I.R1 == reg {
+				continue
+			}
+			if in.I.Op == isa.POP && in.I.R1 == reg {
+				continue // epilogue restore
+			}
+			touched := in.I.Uses() | in.I.Defs()
+			if in.IsCall() {
+				touched = 0 // calls preserve callee-saved registers
+			}
+			if touched.Has(reg) {
+				if home != nil && home != b {
+					return
+				}
+				home = b
+			}
+			if in.IsCall() && home == b {
+				return // no calls in the home block
+			}
+		}
+		if b.IsLP {
+			return
+		}
+	}
+	if home == nil || home == entry || home.IsEntry {
+		return
+	}
+	// Calls anywhere in home block?
+	for i := range home.Insts {
+		if home.Insts[i].IsCall() {
+			return
+		}
+	}
+	// Profitability: home must be cold relative to the entry.
+	if entry.ExecCount == 0 || home.ExecCount*20 > entry.ExecCount {
+		return
+	}
+
+	// Compute the old save offset (CFA-relative) for CFI surgery.
+	saveOff := int32(-24 - 8*int32(len(pushIdx)-1))
+
+	// 1. Drop the prologue push.
+	entry.Insts = append(entry.Insts[:last:last], entry.Insts[last+1:]...)
+
+	// 2. Drop the matching epilogue pops (block ends in ret: sequence
+	// `... pop reg ... pop rbp; ret`).
+	for _, b := range fn.Blocks {
+		lastInst := b.LastInst()
+		if lastInst == nil || !lastInst.I.IsReturn() {
+			continue
+		}
+		for i := len(b.Insts) - 1; i >= 0; i-- {
+			if b.Insts[i].I.Op == isa.POP && b.Insts[i].I.R1 == reg {
+				b.Insts = append(b.Insts[:i:i], b.Insts[i+1:]...)
+				break
+			}
+		}
+	}
+
+	// 3. Wrap the home block with push/pop.
+	pushIn := core.Inst{I: isa.NewInst(isa.PUSH)}
+	pushIn.I.R1 = reg
+	popIn := core.Inst{I: isa.NewInst(isa.POP)}
+	popIn.I.R1 = reg
+
+	// 4. CFI: remove reg from every state outside the home block; inside
+	// (after the push) it stays saved at the same CFA offset.
+	inHome := func(st cfi.State) cfi.State {
+		st.Saved[uint8(reg)] = saveOff
+		return st
+	}
+	outHome := func(st cfi.State) cfi.State {
+		delete(st.Saved, uint8(reg))
+		return st
+	}
+	remap := func(b *core.BasicBlock, f func(cfi.State) cfi.State) {
+		for i := range b.Insts {
+			if b.Insts[i].CFIIdx < 0 {
+				continue
+			}
+			st := fn.StateAt(b.Insts[i].CFIIdx)
+			ns := cfi.State{CfaReg: st.CfaReg, CfaOff: st.CfaOff, Saved: map[uint8]int32{}}
+			for k, v := range st.Saved {
+				ns.Saved[k] = v
+			}
+			ns = f(ns)
+			b.Insts[i].CFIIdx = fn.InternState(ns)
+		}
+	}
+	for _, b := range fn.Blocks {
+		if b == home {
+			continue
+		}
+		remap(b, outHome)
+	}
+	remap(home, inHome)
+
+	// Insert the push first / pop last (before a trailing branch).
+	pushIn.CFIIdx = home.CFIIn
+	if len(home.Insts) > 0 {
+		pushIn.CFIIdx = home.Insts[0].CFIIdx
+	}
+	popIn.CFIIdx = pushIn.CFIIdx
+	insertAt := len(home.Insts)
+	if lastInst := home.LastInst(); lastInst != nil && (lastInst.I.IsBranch() || lastInst.I.Op == isa.HLT) {
+		insertAt--
+	}
+	newInsts := make([]core.Inst, 0, len(home.Insts)+2)
+	newInsts = append(newInsts, pushIn)
+	newInsts = append(newInsts, home.Insts[:insertAt]...)
+	newInsts = append(newInsts, popIn)
+	newInsts = append(newInsts, home.Insts[insertAt:]...)
+	home.Insts = newInsts
+
+	fn.RebuildIndex()
+	ctx.CountStat("shrink-wrapping", 1)
+}

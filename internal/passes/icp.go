@@ -1,0 +1,222 @@
+package passes
+
+import (
+	"sort"
+
+	"gobolt/internal/core"
+	"gobolt/internal/dataflow"
+	"gobolt/internal/isa"
+)
+
+// ICP promotes hot indirect calls to guarded direct calls (Table 1,
+// pass 3): when the profile shows one callee dominating an indirect call
+// site, the call is rewritten to
+//
+//	cmp  $hot_target, %reg
+//	jne  Lind
+//	call hot_target     ; direct: better BTB behavior, inlinable later
+//	jmp  Lcont
+//	Lind: call *%reg
+//	Lcont: ...
+//
+// The transformation verifies with liveness analysis that FLAGS are dead
+// at the site (the cmp clobbers them).
+type ICP struct{}
+
+// Name implements core.Pass.
+func (ICP) Name() string { return "icp" }
+
+// Run implements core.Pass.
+func (p ICP) Run(ctx *core.BinaryContext) error {
+	threshold := ctx.Opts.ICPThreshold
+	if threshold == 0 {
+		threshold = 0.51
+	}
+	for _, fn := range ctx.SimpleFuncs() {
+		// Collect sites first: block surgery invalidates iteration.
+		type site struct {
+			b               *core.BasicBlock
+			i               int
+			hot             string
+			hotCount, total uint64
+		}
+		var sites []site
+		for _, b := range fn.Blocks {
+			for i := range b.Insts {
+				in := &b.Insts[i]
+				if in.I.Op != isa.CALLr {
+					continue
+				}
+				hist := ctx.CallTargets[in.Addr]
+				if len(hist) == 0 {
+					continue
+				}
+				var total uint64
+				names := make([]string, 0, len(hist))
+				for n, c := range hist {
+					total += c
+					names = append(names, n)
+				}
+				sort.Slice(names, func(x, y int) bool {
+					if hist[names[x]] != hist[names[y]] {
+						return hist[names[x]] > hist[names[y]]
+					}
+					return names[x] < names[y]
+				})
+				hot := names[0]
+				if float64(hist[hot]) < threshold*float64(total) {
+					continue
+				}
+				target := ctx.ByName[hot]
+				if target == nil || target.Addr >= 1<<31 {
+					continue // must fit a cmp imm32
+				}
+				sites = append(sites, site{b: b, i: i, hot: hot, hotCount: hist[hot], total: total})
+			}
+		}
+		// FLAGS liveness: compute per-block live-out once per function.
+		if len(sites) == 0 {
+			continue
+		}
+		liveOut := flagsLiveOut(fn)
+		for s := len(sites) - 1; s >= 0; s-- {
+			st := sites[s]
+			if flagsLiveAfterInst(fn, st.b, st.i, liveOut) {
+				ctx.CountStat("icp-flags-blocked", 1)
+				continue
+			}
+			promote(ctx, fn, st.b, st.i, st.hot, st.hotCount, st.total)
+			ctx.CountStat("icp-promoted", 1)
+		}
+		for i, b := range fn.Blocks {
+			b.Index = i
+		}
+		fn.RebuildIndex()
+	}
+	return nil
+}
+
+// flagsLiveOut runs register liveness over the function and returns each
+// block's live-out set (only FLAGS is consulted, but the analysis is the
+// general one from the dataflow framework).
+func flagsLiveOut(fn *core.BinaryFunction) []isa.RegSet {
+	n := len(fn.Blocks)
+	succs := func(i int) []int {
+		var out []int
+		for _, e := range fn.Blocks[i].Succs {
+			out = append(out, e.To.Index)
+		}
+		for _, lp := range fn.Blocks[i].LPs {
+			out = append(out, lp.Index)
+		}
+		return out
+	}
+	use := func(i int) isa.RegSet {
+		b := fn.Blocks[i]
+		var u, d isa.RegSet
+		for k := range b.Insts {
+			u |= b.Insts[k].I.Uses() &^ d
+			d |= b.Insts[k].I.Defs()
+		}
+		return u
+	}
+	def := func(i int) isa.RegSet {
+		b := fn.Blocks[i]
+		var d isa.RegSet
+		for k := range b.Insts {
+			d |= b.Insts[k].I.Defs()
+		}
+		return d
+	}
+	_, liveOut := dataflow.Liveness(n, succs, use, def)
+	return liveOut
+}
+
+// flagsLiveAfterInst reports whether FLAGS is live immediately after
+// instruction i of block b.
+func flagsLiveAfterInst(fn *core.BinaryFunction, b *core.BasicBlock, i int, liveOut []isa.RegSet) bool {
+	uses := make([]isa.RegSet, len(b.Insts))
+	defs := make([]isa.RegSet, len(b.Insts))
+	for k := range b.Insts {
+		uses[k] = b.Insts[k].I.Uses()
+		defs[k] = b.Insts[k].I.Defs()
+	}
+	liveAfter := dataflow.LiveAtEachInst(uses, defs, liveOut[b.Index])
+	return liveAfter[i]&isa.FlagsBit != 0
+}
+
+// promote performs the CFG surgery for one call site.
+func promote(ctx *core.BinaryContext, fn *core.BinaryFunction, b *core.BasicBlock, i int, hot string, hotCount, total uint64) {
+	call := b.Insts[i]
+	reg := call.I.R1
+
+	newBlock := func(label string) *core.BasicBlock {
+		nb := &core.BasicBlock{
+			Index: len(fn.Blocks),
+			Label: label,
+			CFIIn: call.CFIIdx,
+		}
+		fn.Blocks = append(fn.Blocks, nb)
+		return nb
+	}
+	direct := newBlock(b.Label + ".icp_d")
+	indirect := newBlock(b.Label + ".icp_i")
+	cont := newBlock(b.Label + ".icp_c")
+
+	// Continuation inherits the rest of the original block.
+	cont.Insts = append(cont.Insts, b.Insts[i+1:]...)
+	cont.Succs = b.Succs
+	cont.LPs = b.LPs
+	for _, e := range cont.Succs {
+		replacePred(e.To, b, cont)
+	}
+	cont.ExecCount = b.ExecCount
+
+	// Direct path.
+	dc := call
+	dc.I = isa.NewInst(isa.CALL)
+	dc.Addr = 0
+	dc.TargetSym = hot
+	direct.Insts = []core.Inst{dc}
+	direct.Succs = []core.Edge{{To: cont, Count: hotCount}}
+	direct.ExecCount = hotCount
+	cont.Preds = append(cont.Preds, direct)
+
+	// Indirect fallback keeps the original call.
+	ic := call
+	ic.Addr = 0
+	indirect.Insts = []core.Inst{ic}
+	indirect.Succs = []core.Edge{{To: cont, Count: total - hotCount}}
+	indirect.ExecCount = total - hotCount
+	cont.Preds = append(cont.Preds, indirect)
+
+	// Landing pads propagate to both call copies.
+	if call.LP != nil {
+		direct.LPs = []*core.BasicBlock{call.LP}
+		indirect.LPs = []*core.BasicBlock{call.LP}
+	}
+
+	// The original block now compares and branches.
+	cmp := core.Inst{CFIIdx: call.CFIIdx, File: call.File, Line: call.Line}
+	cmp.I = isa.NewInst(isa.CMPri)
+	cmp.I.R1 = reg
+	cmp.I.Imm = 1 << 30 // placeholder; patched via ImmSym at emission
+	cmp.ImmSym = hot
+	jcc := core.Inst{CFIIdx: call.CFIIdx}
+	jcc.I = isa.NewInst(isa.JCC)
+	jcc.I.Cc = isa.CondE
+	b.Insts = append(b.Insts[:i:i], cmp, jcc)
+	b.Succs = []core.Edge{{To: direct, Count: hotCount}, {To: indirect, Count: total - hotCount}}
+	b.LPs = nil
+	direct.Preds = []*core.BasicBlock{b}
+	indirect.Preds = []*core.BasicBlock{b}
+	_ = ctx
+}
+
+func replacePred(b *core.BasicBlock, old, nw *core.BasicBlock) {
+	for i, p := range b.Preds {
+		if p == old {
+			b.Preds[i] = nw
+		}
+	}
+}

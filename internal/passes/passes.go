@@ -1,0 +1,66 @@
+// Package passes implements gobolt's optimization pipeline: the sixteen
+// transformations of the paper's Table 1, in order. Each pass is a
+// core.Pass; BuildPipeline assembles the sequence the paper runs.
+package passes
+
+import (
+	"gobolt/internal/core"
+)
+
+// BuildPipeline returns the Table 1 sequence, honoring the options.
+//
+//  1. strip-rep-ret      9. reorder-bbs (+ splitting)
+//  2. icf               10. peepholes (second run)
+//  3. icp               11. uce
+//  4. peepholes         12. fixup-branches (folded into emission)
+//  5. inline-small      13. reorder-functions (HFSort)
+//  6. simplify-ro-loads 14. sctc
+//  7. icf (second run)  15. frame-opts
+//  8. plt               16. shrink-wrapping
+func BuildPipeline(opts core.Options) []core.Pass {
+	var p []core.Pass
+	add := func(enabled bool, pass core.Pass) {
+		if enabled {
+			p = append(p, pass)
+		}
+	}
+	add(opts.Lite, LiteFilter{})
+	add(opts.StripRepRet, StripRepRet{})
+	add(opts.ICF, ICF{Round: 1})
+	add(opts.ICP, ICP{})
+	add(opts.Peepholes, Peepholes{Round: 1})
+	add(opts.InlineSmall, InlineSmall{})
+	add(opts.SimplifyROLoads, SimplifyROLoads{})
+	add(opts.ICF, ICF{Round: 2})
+	add(opts.PLT, PLTPass{})
+	add(true, ReorderBBs{})
+	add(opts.Peepholes, Peepholes{Round: 2})
+	add(opts.UCE, UCE{})
+	// fixup-branches: terminator materialization happens during code
+	// emission (core/emit.go), exactly once per final layout, and is
+	// redone after reorder-bbs as the paper notes.
+	add(true, ReorderFunctions{})
+	add(opts.SCTC, SCTC{})
+	add(opts.FrameOpts, FrameOpts{})
+	add(opts.ShrinkWrapping, ShrinkWrapping{})
+	return p
+}
+
+// LiteFilter implements -lite: functions without profile samples are not
+// rewritten at all.
+type LiteFilter struct{}
+
+// Name implements core.Pass.
+func (LiteFilter) Name() string { return "lite-filter" }
+
+// Run implements core.Pass.
+func (LiteFilter) Run(ctx *core.BinaryContext) error {
+	for _, fn := range ctx.Funcs {
+		if fn.Simple && !fn.Sampled {
+			fn.Simple = false
+			fn.Reason = "lite mode: no profile samples"
+			ctx.CountStat("lite-skipped", 1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package passes
+
+import (
+	"gobolt/internal/core"
+	"gobolt/internal/hfsort"
+	"gobolt/internal/isa"
+	"gobolt/internal/layout"
+	"gobolt/internal/profile"
+)
+
+// ReorderBBs is the layout workhorse (Table 1, pass 9): it reorders each
+// profiled function's blocks so the hottest successor falls through, and
+// marks never-executed blocks for the cold fragment (function splitting,
+// -split-functions / -split-all-cold / -split-eh).
+type ReorderBBs struct{}
+
+// Name implements core.Pass.
+func (ReorderBBs) Name() string { return "reorder-bbs" }
+
+// Run implements core.Pass.
+func (ReorderBBs) Run(ctx *core.BinaryContext) error {
+	algo := ctx.Opts.ReorderBlocks
+	for _, fn := range ctx.SimpleFuncs() {
+		if !fn.Sampled || len(fn.Blocks) <= 2 {
+			continue
+		}
+		if algo != layout.AlgoNone && algo != "" {
+			reorderOne(fn, algo)
+			ctx.CountStat("reorder-bbs-funcs", 1)
+		}
+		if ctx.Opts.SplitFunctions > 0 {
+			markCold(ctx, fn)
+		}
+	}
+	return nil
+}
+
+// reorderOne partitions hot/cold and lays out the hot subgraph.
+func reorderOne(fn *core.BinaryFunction, algo layout.Algorithm) {
+	var hot, cold []*core.BasicBlock
+	hot = append(hot, fn.Blocks[0])
+	for _, b := range fn.Blocks {
+		if b.IsEntry {
+			continue
+		}
+		if b.ExecCount > 0 {
+			hot = append(hot, b)
+		} else {
+			cold = append(cold, b)
+		}
+	}
+	idx := map[*core.BasicBlock]int{}
+	for i, b := range hot {
+		idx[b] = i
+	}
+	g := &layout.Graph{N: len(hot)}
+	for _, b := range hot {
+		g.Weight = append(g.Weight, b.ExecCount)
+		size := 0
+		for i := range b.Insts {
+			size += int(b.Insts[i].Size)
+			if b.Insts[i].Size == 0 {
+				size += isa.InstLen(&b.Insts[i].I, true)
+			}
+		}
+		g.Size = append(g.Size, size)
+	}
+	for _, b := range hot {
+		for _, e := range b.Succs {
+			if j, ok := idx[e.To]; ok && e.Count > 0 {
+				g.Edges = append(g.Edges, layout.Edge{From: idx[b], To: j, Weight: e.Count})
+			}
+		}
+	}
+	order := layout.Reorder(g, algo)
+	newBlocks := make([]*core.BasicBlock, 0, len(fn.Blocks))
+	for _, i := range order {
+		newBlocks = append(newBlocks, hot[i])
+	}
+	newBlocks = append(newBlocks, cold...)
+	fn.Blocks = newBlocks
+	for i, b := range fn.Blocks {
+		b.Index = i
+	}
+	// Indices changed: rebuild the address lookup used by profile and
+	// rewrite mapping.
+	fn.RebuildIndex()
+}
+
+// markCold assigns cold blocks to the cold fragment. -split-functions
+// levels: 1 splits only never-executed blocks; >=2 also splits blocks
+// whose count is negligible next to the function's hottest block
+// (level 3, the paper's setting, uses a 1/64 threshold).
+func markCold(ctx *core.BinaryContext, fn *core.BinaryFunction) {
+	var maxCount uint64
+	for _, b := range fn.Blocks {
+		if b.ExecCount > maxCount {
+			maxCount = b.ExecCount
+		}
+	}
+	threshold := uint64(0)
+	if ctx.Opts.SplitFunctions >= 2 {
+		threshold = maxCount / 64
+	}
+	anyCold := false
+	for _, b := range fn.Blocks {
+		if b.IsEntry || b.ExecCount > threshold {
+			continue
+		}
+		if !ctx.Opts.SplitAllCold && !b.IsLP {
+			continue
+		}
+		if b.IsLP && !ctx.Opts.SplitEH {
+			continue
+		}
+		b.IsCold = true
+		anyCold = true
+		ctx.CountStat("split-cold-blocks", 1)
+	}
+	if anyCold {
+		fn.IsSplit = true
+		ctx.CountStat("split-functions", 1)
+	}
+}
+
+// ReorderFunctions applies HFSort to the dynamic call graph (Table 1,
+// pass 13; §5.3). With LBR profiles the graph comes from branch records
+// into function entries; without LBR it is approximated from samples in
+// blocks containing direct calls — indirect calls are invisible, exactly
+// the limitation the paper describes.
+type ReorderFunctions struct{}
+
+// Name implements core.Pass.
+func (ReorderFunctions) Name() string { return "reorder-functions" }
+
+// Run implements core.Pass.
+func (ReorderFunctions) Run(ctx *core.BinaryContext) error {
+	algo := ctx.Opts.ReorderFunctions
+	if algo == hfsort.AlgoNone || algo == "" {
+		return nil
+	}
+	g := &profile.CallGraph{Nodes: map[string]uint64{}, Edges: map[[2]string]uint64{}}
+	sizes := map[string]uint64{}
+	for _, fn := range ctx.Funcs {
+		sizes[fn.Name] = fn.Size
+		if fn.ExecCount > 0 {
+			g.Nodes[fn.Name] = fn.ExecCount
+		}
+	}
+	if ctx.ProfileLBR {
+		for e, w := range ctx.CallEdges {
+			g.Edges[e] += w
+		}
+	} else {
+		// Non-LBR approximation: attribute a block's samples to the
+		// direct calls it contains.
+		for _, fn := range ctx.Funcs {
+			if !fn.Simple {
+				continue
+			}
+			total := uint64(0)
+			for _, b := range fn.Blocks {
+				total += b.ExecCount
+				if b.ExecCount == 0 {
+					continue
+				}
+				for i := range b.Insts {
+					in := &b.Insts[i]
+					if in.I.Op == isa.CALL && in.TargetSym != "" {
+						g.Edges[[2]string{fn.Name, in.TargetSym}] += b.ExecCount
+					}
+				}
+			}
+			if total > 0 {
+				g.Nodes[fn.Name] = total
+			}
+		}
+	}
+	ctx.FuncOrder = hfsort.Order(g, sizes, algo)
+	ctx.CountStat("reorder-functions", int64(len(ctx.FuncOrder)))
+	return nil
+}

@@ -1,0 +1,72 @@
+package passes
+
+import (
+	"gobolt/internal/core"
+	"gobolt/internal/isa"
+)
+
+// SCTC simplifies conditional tail calls (Table 1, pass 14): the shape
+//
+//	jcc  Lstub        ...        Lstub: jmp other_function
+//
+// becomes a direct conditional tail call `jcc other_function`, removing a
+// taken jump from the hot path; the stub block dies if it has no other
+// predecessors.
+type SCTC struct{}
+
+// Name implements core.Pass.
+func (SCTC) Name() string { return "sctc" }
+
+// Run implements core.Pass.
+func (SCTC) Run(ctx *core.BinaryContext) error {
+	for _, fn := range ctx.SimpleFuncs() {
+		changed := false
+		for _, b := range fn.Blocks {
+			last := b.LastInst()
+			if last == nil || last.I.Op != isa.JCC || last.TargetSym != "" || len(b.Succs) != 2 {
+				continue
+			}
+			stub := b.Succs[0].To // taken edge
+			if stub == nil || stub.IsLP || stub.IsEntry || len(stub.Preds) != 1 {
+				continue
+			}
+			tgt, ok := tailCallStub(stub)
+			if !ok {
+				continue
+			}
+			// Retarget the conditional branch straight at the function.
+			last.TargetSym = tgt
+			takenCount := b.Succs[0].Count
+			b.Succs = b.Succs[1:] // only the fall-through remains
+			// Remove the stub block.
+			for i, blk := range fn.Blocks {
+				if blk == stub {
+					fn.Blocks = append(fn.Blocks[:i], fn.Blocks[i+1:]...)
+					break
+				}
+			}
+			ctx.CountStat("sctc", 1)
+			ctx.CountStat("sctc-count", int64(takenCount))
+			changed = true
+		}
+		if changed {
+			for i, blk := range fn.Blocks {
+				blk.Index = i
+			}
+			fn.RebuildIndex()
+		}
+	}
+	return nil
+}
+
+// tailCallStub matches a block that only jumps to another function.
+func tailCallStub(b *core.BasicBlock) (string, bool) {
+	if len(b.Succs) != 0 || len(b.Insts) != 1 {
+		return "", false
+	}
+	in := &b.Insts[0]
+	if in.I.Op == isa.JMP && in.TargetSym != "" {
+		return in.TargetSym, true
+	}
+	return "", false
+}

@@ -1,0 +1,266 @@
+// Package profile defines the sample-based profile data model shared by
+// the sampler (internal/perf), the optimizer (internal/core), and the
+// link-time function-ordering baseline.
+//
+// The on-disk format mirrors BOLT's fdata files: one aggregated branch
+// record per line, symbolized as (function, offset) pairs, plus a non-LBR
+// variant holding plain PC sample counts (paper §5).
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Loc is a symbolized code location.
+type Loc struct {
+	Sym string
+	Off uint64
+}
+
+func (l Loc) String() string { return fmt.Sprintf("%s+%#x", l.Sym, l.Off) }
+
+// Branch is one aggregated taken-branch record (LBR mode).
+type Branch struct {
+	From     Loc
+	To       Loc
+	Mispreds uint64
+	Count    uint64
+}
+
+// Sample is one aggregated PC sample (non-LBR mode).
+type Sample struct {
+	At    Loc
+	Count uint64
+}
+
+// Fdata is a complete profile.
+type Fdata struct {
+	LBR      bool
+	Event    string
+	Branches []Branch
+	Samples  []Sample
+}
+
+// Builder aggregates raw events into an Fdata.
+type Builder struct {
+	lbr      bool
+	event    string
+	branches map[[2]Loc]*Branch
+	samples  map[Loc]uint64
+}
+
+// NewBuilder returns an aggregator for the given mode.
+func NewBuilder(lbr bool, event string) *Builder {
+	return &Builder{
+		lbr:      lbr,
+		event:    event,
+		branches: map[[2]Loc]*Branch{},
+		samples:  map[Loc]uint64{},
+	}
+}
+
+// AddBranch accumulates one taken-branch observation.
+func (b *Builder) AddBranch(from, to Loc, mispred bool) {
+	var m uint64
+	if mispred {
+		m = 1
+	}
+	b.AddBranchN(from, to, 1, m)
+}
+
+// AddBranchN accumulates an already-aggregated branch record.
+func (b *Builder) AddBranchN(from, to Loc, count, mispreds uint64) {
+	key := [2]Loc{from, to}
+	e := b.branches[key]
+	if e == nil {
+		e = &Branch{From: from, To: to}
+		b.branches[key] = e
+	}
+	e.Count += count
+	e.Mispreds += mispreds
+}
+
+// AddSample accumulates one PC sample.
+func (b *Builder) AddSample(at Loc) { b.samples[at]++ }
+
+// AddSampleN accumulates an aggregated PC sample count.
+func (b *Builder) AddSampleN(at Loc, count uint64) { b.samples[at] += count }
+
+// Build freezes the aggregation into a deterministic Fdata.
+func (b *Builder) Build() *Fdata {
+	f := &Fdata{LBR: b.lbr, Event: b.event}
+	for _, e := range b.branches {
+		f.Branches = append(f.Branches, *e)
+	}
+	sort.Slice(f.Branches, func(i, j int) bool {
+		x, y := f.Branches[i], f.Branches[j]
+		if x.From != y.From {
+			return locLess(x.From, y.From)
+		}
+		return locLess(x.To, y.To)
+	})
+	for at, c := range b.samples {
+		f.Samples = append(f.Samples, Sample{At: at, Count: c})
+	}
+	sort.Slice(f.Samples, func(i, j int) bool { return locLess(f.Samples[i].At, f.Samples[j].At) })
+	return f
+}
+
+func locLess(a, b Loc) bool {
+	if a.Sym != b.Sym {
+		return a.Sym < b.Sym
+	}
+	return a.Off < b.Off
+}
+
+// TotalBranchCount sums branch counts.
+func (f *Fdata) TotalBranchCount() uint64 {
+	var n uint64
+	for _, b := range f.Branches {
+		n += b.Count
+	}
+	return n
+}
+
+// Write serializes the profile in fdata-like text form.
+func (f *Fdata) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	mode := "lbr"
+	if !f.LBR {
+		mode = "nolbr"
+	}
+	fmt.Fprintf(bw, "boltprofile v1 %s event=%s\n", mode, f.Event)
+	for _, b := range f.Branches {
+		// Format: 1 <from-sym> <from-off> 1 <to-sym> <to-off> <mispreds> <count>
+		fmt.Fprintf(bw, "1 %s %x 1 %s %x %d %d\n",
+			escape(b.From.Sym), b.From.Off, escape(b.To.Sym), b.To.Off, b.Mispreds, b.Count)
+	}
+	for _, s := range f.Samples {
+		fmt.Fprintf(bw, "2 %s %x %d\n", escape(s.At.Sym), s.At.Off, s.Count)
+	}
+	return bw.Flush()
+}
+
+// Parse reads a profile written by Write.
+func Parse(r io.Reader) (*Fdata, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("profile: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) < 3 || header[0] != "boltprofile" || header[1] != "v1" {
+		return nil, fmt.Errorf("profile: bad header %q", sc.Text())
+	}
+	f := &Fdata{LBR: header[2] == "lbr"}
+	for _, h := range header[3:] {
+		if v, ok := strings.CutPrefix(h, "event="); ok {
+			f.Event = v
+		}
+	}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "1":
+			if len(fields) != 8 {
+				return nil, fmt.Errorf("profile: line %d: want 8 fields, got %d", lineNo, len(fields))
+			}
+			var b Branch
+			b.From.Sym = unescape(fields[1])
+			b.To.Sym = unescape(fields[4])
+			if _, err := fmt.Sscanf(fields[2], "%x", &b.From.Off); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			if _, err := fmt.Sscanf(fields[5], "%x", &b.To.Off); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			if _, err := fmt.Sscanf(fields[6], "%d", &b.Mispreds); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			if _, err := fmt.Sscanf(fields[7], "%d", &b.Count); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			f.Branches = append(f.Branches, b)
+		case "2":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("profile: line %d: want 4 fields, got %d", lineNo, len(fields))
+			}
+			var s Sample
+			s.At.Sym = unescape(fields[1])
+			if _, err := fmt.Sscanf(fields[2], "%x", &s.At.Off); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			if _, err := fmt.Sscanf(fields[3], "%d", &s.Count); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			f.Samples = append(f.Samples, s)
+		default:
+			return nil, fmt.Errorf("profile: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	return f, sc.Err()
+}
+
+func escape(s string) string {
+	if s == "" {
+		return "__empty__"
+	}
+	return strings.ReplaceAll(s, " ", "\\x20")
+}
+
+func unescape(s string) string {
+	if s == "__empty__" {
+		return ""
+	}
+	return strings.ReplaceAll(s, "\\x20", " ")
+}
+
+// CallEdge is a weighted caller->callee pair.
+type CallEdge struct {
+	Caller, Callee string
+	Weight         uint64
+}
+
+// CallGraph is the weighted dynamic call graph used by HFSort (§5.3).
+type CallGraph struct {
+	Nodes map[string]uint64 // function -> sample weight (entries or samples)
+	Edges map[[2]string]uint64
+}
+
+// BuildCallGraph extracts a call graph from the profile. In LBR mode,
+// branch records landing at function entry (offset 0) from a *different*
+// function are calls. In non-LBR mode, the graph is built from sample
+// counts in blocks containing direct calls — the caller supplies that
+// mapping via callSites (sample location -> callee); indirect calls are
+// invisible, as the paper notes.
+func BuildCallGraph(f *Fdata, callSites func(Loc) (string, bool)) *CallGraph {
+	g := &CallGraph{Nodes: map[string]uint64{}, Edges: map[[2]string]uint64{}}
+	if f.LBR {
+		for _, b := range f.Branches {
+			g.Nodes[b.From.Sym] += 0 // ensure presence
+			if b.To.Off == 0 && b.From.Sym != b.To.Sym && b.To.Sym != "" {
+				g.Edges[[2]string{b.From.Sym, b.To.Sym}] += b.Count
+				g.Nodes[b.To.Sym] += b.Count
+			}
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		g.Nodes[s.At.Sym] += s.Count
+		if callSites != nil {
+			if callee, ok := callSites(s.At); ok {
+				g.Edges[[2]string{s.At.Sym, callee}] += s.Count
+			}
+		}
+	}
+	return g
+}

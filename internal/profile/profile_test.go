@@ -1,0 +1,153 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	b := NewBuilder(true, "cycles")
+	b.AddBranch(Loc{"foo", 0x10}, Loc{"foo", 0x40}, true)
+	b.AddBranch(Loc{"foo", 0x10}, Loc{"foo", 0x40}, false)
+	b.AddBranchN(Loc{"bar", 0x8}, Loc{"baz", 0}, 100, 7)
+	fd := b.Build()
+
+	var buf bytes.Buffer
+	if err := fd.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.LBR || got.Event != "cycles" {
+		t.Fatalf("header lost: %+v", got)
+	}
+	if len(got.Branches) != 2 {
+		t.Fatalf("got %d branches", len(got.Branches))
+	}
+	// Sorted: bar before foo.
+	if got.Branches[0].From.Sym != "bar" || got.Branches[0].Count != 100 || got.Branches[0].Mispreds != 7 {
+		t.Errorf("bar record corrupted: %+v", got.Branches[0])
+	}
+	if got.Branches[1].Count != 2 || got.Branches[1].Mispreds != 1 {
+		t.Errorf("foo record corrupted: %+v", got.Branches[1])
+	}
+}
+
+func TestNonLBRRoundTrip(t *testing.T) {
+	b := NewBuilder(false, "instructions")
+	b.AddSampleN(Loc{"f", 4}, 10)
+	b.AddSample(Loc{"g", 0})
+	fd := b.Build()
+	var buf bytes.Buffer
+	if err := fd.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LBR || len(got.Samples) != 2 {
+		t.Fatalf("bad parse: %+v", got)
+	}
+	if got.Samples[0].At.Sym != "f" || got.Samples[0].Count != 10 {
+		t.Errorf("sample corrupted: %+v", got.Samples[0])
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"not a profile\n",
+		"boltprofile v2 lbr\n",
+		"boltprofile v1 lbr\n1 f 10 1 g\n", // short line
+		"boltprofile v1 lbr\nX f 10\n",
+	} {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestSymbolEscaping(t *testing.T) {
+	b := NewBuilder(true, "cycles")
+	b.AddBranch(Loc{"fn with space", 1}, Loc{"other", 2}, false)
+	var buf bytes.Buffer
+	if err := b.Build().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Branches[0].From.Sym != "fn with space" {
+		t.Errorf("escaping broken: %q", got.Branches[0].From.Sym)
+	}
+}
+
+func TestBuildCallGraphLBR(t *testing.T) {
+	fd := &Fdata{LBR: true, Branches: []Branch{
+		{From: Loc{"a", 0x10}, To: Loc{"b", 0}, Count: 50},   // call
+		{From: Loc{"a", 0x20}, To: Loc{"a", 0x5}, Count: 99}, // intra
+		{From: Loc{"b", 0x8}, To: Loc{"a", 0x14}, Count: 50}, // return
+		{From: Loc{"c", 0x4}, To: Loc{"b", 0}, Count: 10},    // call
+	}}
+	g := BuildCallGraph(fd, nil)
+	if g.Edges[[2]string{"a", "b"}] != 50 || g.Edges[[2]string{"c", "b"}] != 10 {
+		t.Fatalf("edges wrong: %v", g.Edges)
+	}
+	if g.Nodes["b"] != 60 {
+		t.Fatalf("callee weight wrong: %v", g.Nodes)
+	}
+	if _, ok := g.Edges[[2]string{"b", "a"}]; ok {
+		t.Fatal("return treated as call")
+	}
+}
+
+func TestBuildCallGraphNonLBR(t *testing.T) {
+	fd := &Fdata{LBR: false, Samples: []Sample{
+		{At: Loc{"a", 0x10}, Count: 30},
+		{At: Loc{"a", 0x50}, Count: 5},
+	}}
+	g := BuildCallGraph(fd, func(l Loc) (string, bool) {
+		if l.Off == 0x10 {
+			return "b", true // block at 0x10 contains a direct call to b
+		}
+		return "", false
+	})
+	if g.Edges[[2]string{"a", "b"}] != 30 {
+		t.Fatalf("non-LBR call edge wrong: %v", g.Edges)
+	}
+	if g.Nodes["a"] != 35 {
+		t.Fatalf("node weight wrong: %v", g.Nodes)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(sym1, sym2 string, off1, off2 uint16, count, mispred uint8) bool {
+		if sym1 == "" || sym2 == "" {
+			return true
+		}
+		b := NewBuilder(true, "e")
+		b.AddBranchN(Loc{sym1, uint64(off1)}, Loc{sym2, uint64(off2)},
+			uint64(count)+1, uint64(mispred))
+		var buf bytes.Buffer
+		if err := b.Build().Write(&buf); err != nil {
+			return false
+		}
+		got, err := Parse(&buf)
+		if err != nil || len(got.Branches) != 1 {
+			return false
+		}
+		r := got.Branches[0]
+		return r.From.Off == uint64(off1) && r.To.Off == uint64(off2) &&
+			r.Count == uint64(count)+1 && r.Mispreds == uint64(mispred)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package vm
+
+import (
+	"fmt"
+
+	"gobolt/internal/isa"
+)
+
+// effAddr computes the effective address of a memory operand at pc with
+// instruction length n (RIP-relative displacements are end-relative).
+func (m *Machine) effAddr(mem *isa.Mem, pc uint64, n uint8) uint64 {
+	if mem.RIP {
+		return pc + uint64(n) + uint64(int64(mem.Disp))
+	}
+	addr := uint64(int64(mem.Disp))
+	if mem.Base != isa.NoReg {
+		addr += m.Regs[mem.Base]
+	}
+	if mem.Index != isa.NoReg {
+		addr += m.Regs[mem.Index] * uint64(mem.Scale)
+	}
+	return addr
+}
+
+func (m *Machine) setFlagsAdd(a, b, r uint64) {
+	m.zf = r == 0
+	m.sf = int64(r) < 0
+	m.cf = r < a
+	m.of = (a^r)&(b^r)>>63 != 0
+}
+
+func (m *Machine) setFlagsSub(a, b, r uint64) {
+	m.zf = r == 0
+	m.sf = int64(r) < 0
+	m.cf = a < b
+	m.of = (a^b)&(a^r)>>63 != 0
+}
+
+func (m *Machine) setFlagsLogic(r uint64) {
+	m.zf = r == 0
+	m.sf = int64(r) < 0
+	m.cf = false
+	m.of = false
+}
+
+// cond evaluates a condition code against current flags.
+func (m *Machine) cond(c isa.Cond) (bool, error) {
+	switch c {
+	case isa.CondE:
+		return m.zf, nil
+	case isa.CondNE:
+		return !m.zf, nil
+	case isa.CondL:
+		return m.sf != m.of, nil
+	case isa.CondGE:
+		return m.sf == m.of, nil
+	case isa.CondLE:
+		return m.zf || m.sf != m.of, nil
+	case isa.CondG:
+		return !m.zf && m.sf == m.of, nil
+	case isa.CondB:
+		return m.cf, nil
+	case isa.CondAE:
+		return !m.cf, nil
+	case isa.CondBE:
+		return m.cf || m.zf, nil
+	case isa.CondA:
+		return !m.cf && !m.zf, nil
+	case isa.CondS:
+		return m.sf, nil
+	case isa.CondNS:
+		return !m.sf, nil
+	case isa.CondO:
+		return m.of, nil
+	case isa.CondNO:
+		return !m.of, nil
+	}
+	return false, fmt.Errorf("vm: unsupported condition %v", c)
+}
+
+// Run executes up to budget instructions (0 = unlimited) and returns why
+// it stopped. Errors indicate guest faults (wild jumps, unmapped memory,
+// unhandled exceptions) — i.e., rewriter bugs.
+func (m *Machine) Run(budget uint64) (StopReason, error) {
+	executed := uint64(0)
+	for !m.halted {
+		if budget != 0 && executed >= budget {
+			return StopBudget, nil
+		}
+		d, err := m.fetch(m.rip)
+		if err != nil {
+			return StopHalt, err
+		}
+		in := &d.inst
+		pc := m.rip
+		next := pc + uint64(d.size)
+		m.C.Instructions++
+		executed++
+		if m.tracer != nil {
+			m.tracer.Inst(pc, d.size)
+		}
+
+		switch in.Op {
+		case isa.MOVrr:
+			m.Regs[in.R1] = m.Regs[in.R2]
+		case isa.MOVri, isa.MOVabs:
+			m.Regs[in.R1] = uint64(in.Imm)
+		case isa.MOVrm, isa.MOVZXBrm, isa.MOVSXDrm:
+			addr := m.effAddr(&in.M, pc, d.size)
+			size := 8
+			switch in.Op {
+			case isa.MOVZXBrm:
+				size = 1
+			case isa.MOVSXDrm:
+				size = 4
+			}
+			v, err := m.read(addr, size)
+			if err != nil {
+				return StopHalt, err
+			}
+			if in.Op == isa.MOVSXDrm {
+				v = uint64(int64(int32(v)))
+			}
+			m.Regs[in.R1] = v
+			m.C.Loads++
+			if m.tracer != nil {
+				m.tracer.Mem(addr, uint8(size), false)
+			}
+		case isa.MOVmr:
+			addr := m.effAddr(&in.M, pc, d.size)
+			if err := m.write(addr, m.Regs[in.R1], 8); err != nil {
+				return StopHalt, err
+			}
+			m.C.Stores++
+			if m.tracer != nil {
+				m.tracer.Mem(addr, 8, true)
+			}
+		case isa.LEA:
+			m.Regs[in.R1] = m.effAddr(&in.M, pc, d.size)
+		case isa.ADDrr:
+			a, b := m.Regs[in.R1], m.Regs[in.R2]
+			r := a + b
+			m.Regs[in.R1] = r
+			m.setFlagsAdd(a, b, r)
+		case isa.ADDri:
+			a, b := m.Regs[in.R1], uint64(in.Imm)
+			r := a + b
+			m.Regs[in.R1] = r
+			m.setFlagsAdd(a, b, r)
+		case isa.SUBrr:
+			a, b := m.Regs[in.R1], m.Regs[in.R2]
+			r := a - b
+			m.Regs[in.R1] = r
+			m.setFlagsSub(a, b, r)
+		case isa.SUBri:
+			a, b := m.Regs[in.R1], uint64(in.Imm)
+			r := a - b
+			m.Regs[in.R1] = r
+			m.setFlagsSub(a, b, r)
+		case isa.IMULrr:
+			r := m.Regs[in.R1] * m.Regs[in.R2]
+			m.Regs[in.R1] = r
+			m.setFlagsLogic(r) // simplified: defined zf/sf, cleared cf/of
+		case isa.XORrr:
+			r := m.Regs[in.R1] ^ m.Regs[in.R2]
+			m.Regs[in.R1] = r
+			m.setFlagsLogic(r)
+		case isa.ANDri:
+			r := m.Regs[in.R1] & uint64(in.Imm)
+			m.Regs[in.R1] = r
+			m.setFlagsLogic(r)
+		case isa.SHLri:
+			r := m.Regs[in.R1] << uint(in.Imm)
+			m.Regs[in.R1] = r
+			m.setFlagsLogic(r)
+		case isa.SHRri:
+			r := m.Regs[in.R1] >> uint(in.Imm)
+			m.Regs[in.R1] = r
+			m.setFlagsLogic(r)
+		case isa.CMPrr:
+			a, b := m.Regs[in.R1], m.Regs[in.R2]
+			m.setFlagsSub(a, b, a-b)
+		case isa.CMPri:
+			a, b := m.Regs[in.R1], uint64(in.Imm)
+			m.setFlagsSub(a, b, a-b)
+		case isa.TESTrr:
+			m.setFlagsLogic(m.Regs[in.R1] & m.Regs[in.R2])
+		case isa.JMP:
+			m.recordBranch(pc, in.TargetAddr, BrUncond, false)
+			m.rip = in.TargetAddr
+			continue
+		case isa.JCC:
+			taken, err := m.cond(in.Cc)
+			if err != nil {
+				return StopHalt, err
+			}
+			m.C.Branches++
+			mispred := m.predict(pc, taken)
+			if taken {
+				m.C.TakenBranch++
+				m.recordBranch(pc, in.TargetAddr, BrCond, mispred)
+				m.rip = in.TargetAddr
+				continue
+			}
+			if m.tracer != nil {
+				m.tracer.Branch(pc, next, false, BrCond)
+			}
+		case isa.JMPr:
+			m.recordBranch(pc, m.Regs[in.R1], BrIndirect, false)
+			m.rip = m.Regs[in.R1]
+			continue
+		case isa.JMPm:
+			addr := m.effAddr(&in.M, pc, d.size)
+			v, err := m.read(addr, 8)
+			if err != nil {
+				return StopHalt, err
+			}
+			m.C.Loads++
+			if m.tracer != nil {
+				m.tracer.Mem(addr, 8, false)
+			}
+			m.recordBranch(pc, v, BrIndirect, false)
+			m.rip = v
+			continue
+		case isa.CALL, isa.CALLr, isa.CALLm:
+			var target uint64
+			kind := BrCall
+			switch in.Op {
+			case isa.CALL:
+				target = in.TargetAddr
+			case isa.CALLr:
+				target = m.Regs[in.R1]
+				kind = BrIndCall
+			case isa.CALLm:
+				addr := m.effAddr(&in.M, pc, d.size)
+				v, err := m.read(addr, 8)
+				if err != nil {
+					return StopHalt, err
+				}
+				m.C.Loads++
+				target = v
+				kind = BrIndCall
+			}
+			if target == m.throwAddr && m.throwAddr != 0 {
+				// __throw intercept: unwind instead of calling.
+				m.C.Throws++
+				lp, err := m.unwind(next)
+				if err != nil {
+					return StopHalt, err
+				}
+				m.recordBranch(pc, lp, BrUncond, false)
+				m.rip = lp
+				continue
+			}
+			if err := m.push(next); err != nil {
+				return StopHalt, err
+			}
+			m.C.Calls++
+			m.recordBranch(pc, target, kind, false)
+			m.rip = target
+			continue
+		case isa.RET, isa.REPZRET:
+			v, err := m.pop()
+			if err != nil {
+				return StopHalt, err
+			}
+			m.C.Returns++
+			m.recordBranch(pc, v, BrRet, false)
+			m.rip = v
+			continue
+		case isa.PUSH:
+			if err := m.push(m.Regs[in.R1]); err != nil {
+				return StopHalt, err
+			}
+			m.C.Stores++
+		case isa.POP:
+			v, err := m.pop()
+			if err != nil {
+				return StopHalt, err
+			}
+			m.Regs[in.R1] = v
+			m.C.Loads++
+		case isa.NOP:
+		case isa.UD2:
+			return StopHalt, fmt.Errorf("vm: ud2 trap at %#x", pc)
+		case isa.HLT:
+			m.halted = true
+			return StopHalt, nil
+		default:
+			return StopHalt, fmt.Errorf("vm: unimplemented op %v at %#x", in.Op, pc)
+		}
+		m.rip = next
+	}
+	return StopHalt, nil
+}

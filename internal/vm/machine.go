@@ -1,0 +1,375 @@
+// Package vm executes the toolchain's ELF binaries. It stands in for the
+// paper's production hardware: it interprets the x86-64 subset with full
+// flag semantics, maintains an LBR-style ring of the last 32 taken
+// branches (with mispredict flags from an embedded bimodal predictor, like
+// Intel's LBR), exposes retirement counters, and unwinds exceptions using
+// the binary's CFI — so a rewriter that corrupts frame information breaks
+// programs at runtime, exactly as it would on real hardware.
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"gobolt/internal/cfi"
+	"gobolt/internal/elfx"
+	"gobolt/internal/isa"
+)
+
+// LBRSize is the depth of the last-branch-record ring (Intel: 32).
+const LBRSize = 32
+
+// BranchKind classifies a control transfer for tracing and profiling.
+type BranchKind uint8
+
+// Branch kinds.
+const (
+	BrCond BranchKind = iota
+	BrUncond
+	BrIndirect
+	BrCall
+	BrIndCall
+	BrRet
+)
+
+// BranchRecord is one LBR entry.
+type BranchRecord struct {
+	From, To uint64
+	Mispred  bool
+}
+
+// Tracer observes execution; any method may be a no-op. Used by the
+// microarchitecture simulator and by trace tools.
+type Tracer interface {
+	Inst(addr uint64, size uint8)
+	Branch(from, to uint64, taken bool, kind BranchKind)
+	Mem(addr uint64, size uint8, write bool)
+}
+
+// Counters accumulates retirement statistics.
+type Counters struct {
+	Instructions uint64
+	Branches     uint64 // conditional branches executed
+	TakenBranch  uint64 // taken conditional branches
+	Calls        uint64
+	Returns      uint64
+	Loads        uint64
+	Stores       uint64
+	Throws       uint64
+}
+
+// StopReason reports why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	StopHalt StopReason = iota
+	StopBudget
+)
+
+type decoded struct {
+	inst isa.Inst
+	size uint8
+}
+
+type codeSection struct {
+	base uint64
+	end  uint64
+	idx  []int32 // byte offset -> index into insts, -1 = not an instruction start
+}
+
+const (
+	stackBase = uint64(0x7F0000000000)
+	stackSize = uint64(1 << 20)
+)
+
+// Machine is one virtual CPU plus its loaded program image.
+type Machine struct {
+	Regs   [16]uint64
+	rip    uint64
+	zf     bool
+	sf     bool
+	of     bool
+	cf     bool
+	C      Counters
+	lbr    [LBRSize]BranchRecord
+	lbrPos int
+	lbrCnt int
+
+	mem     []byte // image slab
+	memBase uint64
+	stack   []byte
+	halted  bool
+
+	insts    []decoded
+	sections []codeSection
+	lastSect int
+
+	fdes     []cfi.FDE
+	lsdaData []byte
+	lsdaBase uint64
+
+	throwAddr uint64
+	file      *elfx.File
+
+	tracer Tracer
+
+	// predictor state for LBR mispredict flags (bimodal 2-bit).
+	pred [4096]uint8
+}
+
+// New loads an executable into a fresh machine.
+func New(f *elfx.File) (*Machine, error) {
+	m := &Machine{file: f}
+
+	// Map allocatable sections into one slab.
+	var lo, hi uint64
+	first := true
+	for _, s := range f.Sections {
+		if s.Flags&elfx.SHFAlloc == 0 || s.Size() == 0 {
+			continue
+		}
+		if first || s.Addr < lo {
+			lo = s.Addr
+		}
+		if first || s.Addr+s.Size() > hi {
+			hi = s.Addr + s.Size()
+		}
+		first = false
+	}
+	if first {
+		return nil, fmt.Errorf("vm: no loadable sections")
+	}
+	if hi-lo > 1<<31 {
+		return nil, fmt.Errorf("vm: image span too large (%d bytes)", hi-lo)
+	}
+	m.memBase = lo
+	m.mem = make([]byte, hi-lo)
+	for _, s := range f.Sections {
+		if s.Flags&elfx.SHFAlloc == 0 {
+			continue
+		}
+		copy(m.mem[s.Addr-lo:], s.Data)
+	}
+	m.stack = make([]byte, stackSize)
+
+	// Pre-decode executable sections using function symbol boundaries.
+	if err := m.decodeCode(); err != nil {
+		return nil, err
+	}
+
+	// Frame and exception metadata.
+	if fs := f.Section(cfi.FrameSectionName); fs != nil {
+		fdes, err := cfi.DecodeFrames(fs.Data)
+		if err != nil {
+			return nil, fmt.Errorf("vm: %w", err)
+		}
+		m.fdes = fdes
+	}
+	if ls := f.Section(cfi.LSDASectionName); ls != nil {
+		m.lsdaData = ls.Data
+		m.lsdaBase = ls.Addr
+	}
+	if sym, ok := f.SymbolByName("__throw"); ok {
+		m.throwAddr = sym.Value
+	}
+
+	m.rip = f.Entry
+	m.Regs[isa.RSP] = stackBase + stackSize - 128
+	return m, nil
+}
+
+// decodeCode linearly disassembles every function body (symbol-delimited)
+// in every executable section.
+func (m *Machine) decodeCode() error {
+	for _, s := range m.file.Sections {
+		if s.Flags&elfx.SHFExecinstr == 0 || s.Size() == 0 {
+			continue
+		}
+		cs := codeSection{base: s.Addr, end: s.Addr + s.Size()}
+		cs.idx = make([]int32, s.Size())
+		for i := range cs.idx {
+			cs.idx[i] = -1
+		}
+		m.sections = append(m.sections, cs)
+	}
+	sort.Slice(m.sections, func(i, j int) bool { return m.sections[i].base < m.sections[j].base })
+
+	for _, sym := range m.file.FuncSymbols() {
+		si := m.sectionFor(sym.Value)
+		if si < 0 {
+			continue
+		}
+		cs := &m.sections[si]
+		sec := m.file.SectionFor(sym.Value)
+		off := sym.Value - sec.Addr
+		end := off + sym.Size
+		if end > sec.Size() {
+			return fmt.Errorf("vm: symbol %s overruns section", sym.Name)
+		}
+		pos := off
+		for pos < end {
+			if cs.idx[sym.Value-cs.base+pos-off] >= 0 {
+				break // already decoded (alias symbol)
+			}
+			inst, n, err := isa.Decode(sec.Data[pos:end], sec.Addr+pos)
+			if err != nil {
+				return fmt.Errorf("vm: decoding %s+%#x: %w", sym.Name, pos-off, err)
+			}
+			cs.idx[sec.Addr+pos-cs.base] = int32(len(m.insts))
+			m.insts = append(m.insts, decoded{inst: inst, size: uint8(n)})
+			pos += uint64(n)
+		}
+	}
+	return nil
+}
+
+// sectionFor returns the code section index containing addr, or -1.
+func (m *Machine) sectionFor(addr uint64) int {
+	if m.lastSect < len(m.sections) {
+		cs := &m.sections[m.lastSect]
+		if addr >= cs.base && addr < cs.end {
+			return m.lastSect
+		}
+	}
+	for i := range m.sections {
+		if addr >= m.sections[i].base && addr < m.sections[i].end {
+			m.lastSect = i
+			return i
+		}
+	}
+	return -1
+}
+
+// fetch returns the decoded instruction at addr.
+func (m *Machine) fetch(addr uint64) (*decoded, error) {
+	si := m.sectionFor(addr)
+	if si < 0 {
+		return nil, fmt.Errorf("vm: execute at unmapped address %#x", addr)
+	}
+	cs := &m.sections[si]
+	id := cs.idx[addr-cs.base]
+	if id < 0 {
+		return nil, fmt.Errorf("vm: execute at non-instruction address %#x", addr)
+	}
+	return &m.insts[id], nil
+}
+
+// SetTracer installs an execution observer (nil to remove).
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// RIP returns the current program counter.
+func (m *Machine) RIP() uint64 { return m.rip }
+
+// Halted reports whether the program has executed HLT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Result returns the conventional exit value (RAX).
+func (m *Machine) Result() uint64 { return m.Regs[isa.RAX] }
+
+// LBR returns the last-branch records, most recent last. Valid entries
+// only (fewer than LBRSize early in execution).
+func (m *Machine) LBR() []BranchRecord {
+	n := m.lbrCnt
+	if n > LBRSize {
+		n = LBRSize
+	}
+	out := make([]BranchRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, m.lbr[(m.lbrPos-n+i+LBRSize*2)%LBRSize])
+	}
+	return out
+}
+
+// recordBranch appends a taken transfer to the LBR and notifies tracers.
+func (m *Machine) recordBranch(from, to uint64, kind BranchKind, mispred bool) {
+	m.lbr[m.lbrPos] = BranchRecord{From: from, To: to, Mispred: mispred}
+	m.lbrPos = (m.lbrPos + 1) % LBRSize
+	m.lbrCnt++
+	if m.tracer != nil {
+		m.tracer.Branch(from, to, true, kind)
+	}
+}
+
+// predict runs the embedded bimodal predictor for conditional branches and
+// returns whether the outcome was mispredicted.
+func (m *Machine) predict(pc uint64, taken bool) bool {
+	slot := &m.pred[(pc>>1)&4095]
+	predTaken := *slot >= 2
+	if taken && *slot < 3 {
+		*slot++
+	} else if !taken && *slot > 0 {
+		*slot--
+	}
+	return predTaken != taken
+}
+
+// read8 loads a byte from the guest address space.
+func (m *Machine) read(addr uint64, n int) (uint64, error) {
+	var b []byte
+	switch {
+	case addr >= stackBase && addr+uint64(n) <= stackBase+stackSize:
+		b = m.stack[addr-stackBase:]
+	case addr >= m.memBase && addr+uint64(n) <= m.memBase+uint64(len(m.mem)):
+		b = m.mem[addr-m.memBase:]
+	default:
+		return 0, fmt.Errorf("vm: read of %d bytes at unmapped %#x", n, addr)
+	}
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+func (m *Machine) write(addr uint64, v uint64, n int) error {
+	var b []byte
+	switch {
+	case addr >= stackBase && addr+uint64(n) <= stackBase+stackSize:
+		b = m.stack[addr-stackBase:]
+	case addr >= m.memBase && addr+uint64(n) <= m.memBase+uint64(len(m.mem)):
+		b = m.mem[addr-m.memBase:]
+	default:
+		return fmt.Errorf("vm: write of %d bytes at unmapped %#x", n, addr)
+	}
+	for i := 0; i < n; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// push/pop with the guest stack.
+func (m *Machine) push(v uint64) error {
+	m.Regs[isa.RSP] -= 8
+	return m.write(m.Regs[isa.RSP], v, 8)
+}
+
+func (m *Machine) pop() (uint64, error) {
+	v, err := m.read(m.Regs[isa.RSP], 8)
+	m.Regs[isa.RSP] += 8
+	return v, err
+}
+
+// TeeTracer fans one trace out to multiple observers.
+type TeeTracer []Tracer
+
+// Inst implements Tracer.
+func (t TeeTracer) Inst(addr uint64, size uint8) {
+	for _, x := range t {
+		x.Inst(addr, size)
+	}
+}
+
+// Branch implements Tracer.
+func (t TeeTracer) Branch(from, to uint64, taken bool, kind BranchKind) {
+	for _, x := range t {
+		x.Branch(from, to, taken, kind)
+	}
+}
+
+// Mem implements Tracer.
+func (t TeeTracer) Mem(addr uint64, size uint8, write bool) {
+	for _, x := range t {
+		x.Mem(addr, size, write)
+	}
+}

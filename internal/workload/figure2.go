@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"gobolt/internal/ir"
+	"gobolt/internal/isa"
+)
+
+// GenerateFigure2 builds the paper's Figure 2 program:
+//
+//	function foo(x)  { if (x > 0) { B1 } else { B2 } }
+//	function bar()   { foo(+i)  }  // branch always taken
+//	function baz()   { foo(-i)  }  // branch never taken
+//
+// foo is small enough for PGO hot-call-site inlining but larger than the
+// always-inline threshold. When a source-keyed profile is retrofitted,
+// the branch at foo's `if` shows 50% taken (the two call sites merge), so
+// the compiler cannot lay out both inlined copies well; the binary-level
+// profile distinguishes the two copies.
+func GenerateFigure2() *ir.Program {
+	mkSide := func(f *ir.Func, imm int64, line int32) *ir.Block {
+		b := f.AddBlock()
+		b.Line = line
+		b.Ops = []ir.Op{
+			{Kind: ir.OpMovImm, Dst: isa.RAX, Imm: imm},
+			{Kind: ir.OpMovImm, Dst: isa.RCX, Imm: imm * 3},
+			{Kind: ir.OpAdd, Dst: isa.RAX, Src: isa.RCX},
+			{Kind: ir.OpXor, Dst: isa.RAX, Src: isa.RDI},
+			{Kind: ir.OpShlImm, Dst: isa.RAX, Imm: 1},
+		}
+		return b
+	}
+
+	foo := ir.NewFunc("foo", "foo.mir", 2) // the if lives at line 2
+	entry := foo.Blocks[0]
+	b1 := mkSide(foo, 100, 3) // "then" body: line 3 (paper's B1)
+	b2 := mkSide(foo, 200, 5) // "else" body: line 5 (paper's B2)
+	ret := foo.AddBlock()
+	entry.Term = ir.Term{Kind: ir.TermBranch, Cc: isa.CondG, CmpReg: isa.RDI, CmpImm: 0,
+		Then: b1.Index, Else: b2.Index, Prob: 0.5, Line: 2}
+	b1.Term = ir.Term{Kind: ir.TermJump, Then: ret.Index}
+	b2.Term = ir.Term{Kind: ir.TermJump, Then: ret.Index}
+	ret.Ops = []ir.Op{{Kind: ir.OpAddImm, Dst: isa.RAX, Imm: 1}}
+	ret.Term = ir.Term{Kind: ir.TermReturn}
+
+	mkCaller := func(name string, sign int64, line int32) *ir.Func {
+		f := ir.NewFunc(name, name+".mir", line)
+		b := f.Blocks[0]
+		b.Ops = []ir.Op{
+			{Kind: ir.OpMov, Dst: isa.RDI, Src: isa.RDI},
+			{Kind: ir.OpMovImm, Dst: isa.RCX, Imm: sign},
+			{Kind: ir.OpMul, Dst: isa.RDI, Src: isa.RCX},
+			{Kind: ir.OpAddImm, Dst: isa.RDI, Imm: sign},
+			{Kind: ir.OpCall, Callee: "foo", SpillReg: isa.NoReg, LandingPad: -1},
+		}
+		b.Term = ir.Term{Kind: ir.TermReturn}
+		return f
+	}
+	bar := mkCaller("bar", +1, 9)  // foo(... > 0): inlined copy 1
+	baz := mkCaller("baz", -1, 12) // foo(... < 0): inlined copy 2
+
+	start := ir.NewFunc("_start", "main.mir", 20)
+	start.SavedRegs = []isa.Reg{isa.RBX, isa.R13}
+	s0 := start.Blocks[0]
+	loop := start.AddBlock()
+	exit := start.AddBlock()
+	s0.Ops = []ir.Op{
+		{Kind: ir.OpMovImm, Dst: isa.RBX, Imm: 0},
+		{Kind: ir.OpMovImm, Dst: isa.R13, Imm: 1},
+	}
+	s0.Term = ir.Term{Kind: ir.TermJump, Then: loop.Index}
+	loop.Ops = []ir.Op{
+		{Kind: ir.OpMov, Dst: isa.RDI, Src: isa.R13},
+		{Kind: ir.OpCall, Callee: "bar", SpillReg: isa.NoReg, LandingPad: -1},
+		{Kind: ir.OpAdd, Dst: isa.RBX, Src: isa.RAX},
+		{Kind: ir.OpMov, Dst: isa.RDI, Src: isa.R13},
+		{Kind: ir.OpCall, Callee: "baz", SpillReg: isa.NoReg, LandingPad: -1},
+		{Kind: ir.OpAdd, Dst: isa.RBX, Src: isa.RAX},
+		{Kind: ir.OpAddImm, Dst: isa.R13, Imm: 1},
+	}
+	loop.Term = ir.Term{Kind: ir.TermBranch, Cc: isa.CondL, CmpReg: isa.R13, CmpImm: 50000,
+		Then: loop.Index, Else: exit.Index, Prob: 0.9999}
+	exit.Ops = []ir.Op{{Kind: ir.OpMov, Dst: isa.RAX, Src: isa.RBX}}
+	exit.Term = ir.Term{Kind: ir.TermExit}
+
+	p := &ir.Program{Modules: []*ir.Module{
+		{Name: "main", Funcs: []*ir.Func{start}},
+		// foo lives in a different module: without LTO the compiler
+		// cannot inline it at all (paper §2.2).
+		{Name: "foolib", Funcs: []*ir.Func{foo}},
+		{Name: "callers", Funcs: []*ir.Func{bar, baz}},
+	}}
+	p.Finalize()
+	return p
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"gobolt/internal/cc"
+	"gobolt/internal/ld"
+	"gobolt/internal/vm"
+)
+
+func buildSpec(t *testing.T, spec Spec) uint64 {
+	t.Helper()
+	p := Generate(spec)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%s: invalid program: %v", spec.Name, err)
+	}
+	objs, err := cc.Compile(p, cc.DefaultOptions())
+	if err != nil {
+		t.Fatalf("%s: compile: %v", spec.Name, err)
+	}
+	res, err := ld.Link(objs, ld.Options{EmitRelocs: true})
+	if err != nil {
+		t.Fatalf("%s: link: %v", spec.Name, err)
+	}
+	m, err := vm.New(res.File)
+	if err != nil {
+		t.Fatalf("%s: load: %v", spec.Name, err)
+	}
+	if _, err := m.Run(500_000_000); err != nil {
+		t.Fatalf("%s: run: %v", spec.Name, err)
+	}
+	if !m.Halted() {
+		t.Fatalf("%s: did not halt", spec.Name)
+	}
+	return m.Result()
+}
+
+func TestTinyDeterministic(t *testing.T) {
+	a := buildSpec(t, Tiny())
+	b := buildSpec(t, Tiny())
+	if a != b {
+		t.Fatalf("non-deterministic checksum: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("zero checksum is suspicious")
+	}
+}
+
+func TestTinyDifferentSeedsDiffer(t *testing.T) {
+	s1 := Tiny()
+	s2 := Tiny()
+	s2.Seed = 43
+	if buildSpec(t, s1) == buildSpec(t, s2) {
+		t.Fatal("different seeds produced the same checksum")
+	}
+}
+
+func TestFigure2Runs(t *testing.T) {
+	p := GenerateFigure2()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := cc.Compile(p, cc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ld.Link(objs, ld.Options{EmitRelocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(res.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.C.Branches == 0 {
+		t.Fatal("no branches executed")
+	}
+}
+
+func TestPresetsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preset generation is slow in -short mode")
+	}
+	for _, name := range []string{"tao", "proxygen", "multifeed2"} {
+		spec, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing preset %s", name)
+		}
+		spec.Iterations = 500 // keep the runtime modest in tests
+		if got := buildSpec(t, spec); got == 0 {
+			t.Errorf("%s: zero checksum", name)
+		}
+	}
+}
