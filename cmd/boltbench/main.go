@@ -22,14 +22,20 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2 (comma separated or 'all')")
+		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, timing (comma separated or 'all')")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (iterations multiplier)")
+	jobs := flag.Int("jobs", 0, "pass-manager worker threads for every gobolt run (0 = GOMAXPROCS, 1 = serial)")
+	timePasses := flag.Bool("time-passes", false, "run the 'timing' experiment (per-pass wall time at jobs=1 vs -jobs) even when not listed")
 	heatOut := flag.String("heat-out", "", "write Figure 9 heat maps (CSV + text) with this path prefix")
 	flag.Parse()
 
+	bench.SetBoltJobs(*jobs)
 	list := strings.Split(*exp, ",")
 	if *exp == "all" {
 		list = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "events", "icf", "fig2"}
+	}
+	if *timePasses && !strings.Contains(*exp, "timing") {
+		list = append(list, "timing")
 	}
 	sc := bench.Scale(*scale)
 	for _, e := range list {
@@ -75,6 +81,8 @@ func main() {
 			_, report, err = bench.ICF(sc)
 		case "fig2":
 			report, err = bench.Fig2Report(sc)
+		case "timing":
+			report, err = bench.PipelineScaling(sc, *jobs)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
 			os.Exit(2)

@@ -38,6 +38,8 @@ func main() {
 	shrinkWrap := flag.Bool("shrink-wrapping", true, "move cold-only callee-saved spills")
 	sctc := flag.Bool("sctc", true, "simplify conditional tail calls")
 	lite := flag.Bool("lite", false, "only process functions with profile samples")
+	jobs := flag.Int("jobs", 0, "worker threads for function passes (0 = GOMAXPROCS, 1 = serial)")
+	timePasses := flag.Bool("time-passes", false, "print per-pass wall time and stat deltas")
 	dynoStats := flag.Bool("dyno-stats", false, "print dyno stats before/after")
 	badLayout := flag.Bool("report-bad-layout", false, "report cold blocks between hot blocks and exit")
 	printCFG := flag.String("print-cfg", "", "print the CFG of the named function and exit")
@@ -61,6 +63,8 @@ func main() {
 	opts.ShrinkWrapping = *shrinkWrap
 	opts.SCTC = *sctc
 	opts.Lite = *lite
+	opts.Jobs = *jobs
+	opts.TimePasses = *timePasses
 	opts.DynoStats = *dynoStats
 	opts.UpdateDebugSections = *updateDebug
 
@@ -126,8 +130,12 @@ func main() {
 	if *dynoStats {
 		before = ctx.CollectDynoStats()
 	}
-	if err := core.RunPasses(ctx, passes.BuildPipeline(opts)); err != nil {
+	pm := core.NewPassManager(opts.Jobs)
+	if err := pm.Run(ctx, passes.BuildPipeline(opts)); err != nil {
 		fatal(err)
+	}
+	if *timePasses {
+		core.WriteTimings(os.Stdout, pm.Timings)
 	}
 	if *dynoStats {
 		core.PrintComparison(os.Stdout, input, before, ctx.CollectDynoStats())

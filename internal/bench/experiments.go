@@ -3,7 +3,10 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"reflect"
+	"runtime"
 	"strings"
+	"time"
 
 	"gobolt/internal/cc"
 	"gobolt/internal/core"
@@ -18,6 +21,22 @@ import (
 	"gobolt/internal/uarch"
 	"gobolt/internal/workload"
 )
+
+// boltJobs is the worker-pool width every experiment's gobolt invocation
+// uses (0 = GOMAXPROCS); set by cmd/boltbench's -jobs flag.
+var boltJobs int
+
+// SetBoltJobs configures the pass-manager parallelism for all experiment
+// pipelines.
+func SetBoltJobs(jobs int) { boltJobs = jobs }
+
+// boltOptions is the paper's evaluation configuration plus the harness's
+// parallelism setting.
+func boltOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Jobs = boltJobs
+	return o
+}
 
 // Scale shrinks workload iteration counts for fast runs (1.0 = full).
 type Scale float64
@@ -74,7 +93,7 @@ func Fig5(scale Scale) ([]Fig5Row, string, error) {
 		if err != nil {
 			return nil, "", fmt.Errorf("%s: %w", spec.Name, err)
 		}
-		bolted, _, err := Bolt(base, mode, core.DefaultOptions())
+		bolted, _, err := Bolt(base, mode, boltOptions())
 		if err != nil {
 			return nil, "", fmt.Errorf("%s: bolt: %w", spec.Name, err)
 		}
@@ -117,7 +136,7 @@ func Fig6(scale Scale) ([]Fig6Row, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	bolted, _, err := Bolt(base, mode, core.DefaultOptions())
+	bolted, _, err := Bolt(base, mode, boltOptions())
 	if err != nil {
 		return nil, "", err
 	}
@@ -182,11 +201,11 @@ func CompilerExperiment(spec workload.Spec, useLTO bool, scale Scale) ([]Compile
 	if err != nil {
 		return nil, "", err
 	}
-	boltedBase, _, err := Bolt(baseline, mode, core.DefaultOptions())
+	boltedBase, _, err := Bolt(baseline, mode, boltOptions())
 	if err != nil {
 		return nil, "", fmt.Errorf("bolt baseline: %w", err)
 	}
-	boltedPGO, _, err := Bolt(pgo, mode, core.DefaultOptions())
+	boltedPGO, _, err := Bolt(pgo, mode, boltOptions())
 	if err != nil {
 		return nil, "", fmt.Errorf("bolt pgo: %w", err)
 	}
@@ -262,13 +281,13 @@ func Table2(scale Scale) (string, error) {
 		if err != nil {
 			return core.DynoStats{}, core.DynoStats{}, err
 		}
-		ctx, err := core.NewContext(f, core.DefaultOptions())
+		ctx, err := core.NewContext(f, boltOptions())
 		if err != nil {
 			return core.DynoStats{}, core.DynoStats{}, err
 		}
 		ctx.ApplyProfile(fd)
 		before := ctx.CollectDynoStats()
-		if err := core.RunPasses(ctx, pipelineFor(ctx)); err != nil {
+		if err := runPipeline(ctx); err != nil {
 			return core.DynoStats{}, core.DynoStats{}, err
 		}
 		after := ctx.CollectDynoStats()
@@ -297,7 +316,7 @@ func Fig9(scale Scale) (before, after *Measurement, report string, err error) {
 	if err != nil {
 		return nil, nil, "", err
 	}
-	bolted, _, err := Bolt(base, mode, core.DefaultOptions())
+	bolted, _, err := Bolt(base, mode, boltOptions())
 	if err != nil {
 		return nil, nil, "", err
 	}
@@ -328,7 +347,7 @@ func Fig10(scale Scale) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	ctx, err := core.NewContext(f, core.DefaultOptions())
+	ctx, err := core.NewContext(f, boltOptions())
 	if err != nil {
 		return "", err
 	}
@@ -359,7 +378,7 @@ func Fig11(scale Scale) ([]Fig11Row, string, error) {
 	}
 
 	scenario := func(name string) core.Options {
-		opts := core.DefaultOptions()
+		opts := boltOptions()
 		switch name {
 		case "Functions":
 			opts.ReorderBlocks = layout.AlgoNone
@@ -439,7 +458,7 @@ func Events(scale Scale) ([]EventsRow, string, error) {
 		{"nolbr-cycles", perf.Mode{LBR: false, Event: perf.EventCycles, Period: 512}},
 		{"nolbr-cycles-pebs", perf.Mode{LBR: false, Event: perf.EventCycles, Period: 512, PEBS: 3}},
 	} {
-		bolted, _, err := Bolt(base, cfg.mode, core.DefaultOptions())
+		bolted, _, err := Bolt(base, cfg.mode, boltOptions())
 		if err != nil {
 			return nil, "", fmt.Errorf("%s: %w", cfg.name, err)
 		}
@@ -479,12 +498,12 @@ func ICF(scale Scale) (*ICFResult, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	ctx, err := core.NewContext(lres.File, core.DefaultOptions())
+	ctx, err := core.NewContext(lres.File, boltOptions())
 	if err != nil {
 		return nil, "", err
 	}
 	ctx.ApplyProfile(fd)
-	if err := core.RunPasses(ctx, pipelineFor(ctx)); err != nil {
+	if err := runPipeline(ctx); err != nil {
 		return nil, "", err
 	}
 	res := &ICFResult{
@@ -500,10 +519,78 @@ func ICF(scale Scale) (*ICFResult, string, error) {
 	return res, report, nil
 }
 
+// PipelineScaling measures pass-pipeline wall time at jobs=1 versus
+// jobs=N on a bundled workload, prints both -time-passes reports, and
+// verifies the two runs produced identical pass statistics (the
+// byte-level determinism twin of this check lives in the test suite).
+func PipelineScaling(scale Scale, jobs int) (string, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	spec := scale.apply(workload.Clang())
+	mode := perf.DefaultMode()
+	f, _, err := Build(spec, CfgBaseline, mode)
+	if err != nil {
+		return "", err
+	}
+	fd, _, err := perf.RecordFile(f, mode, 0)
+	if err != nil {
+		return "", err
+	}
+
+	run := func(j int) (*core.BinaryContext, []core.PassTiming, time.Duration, error) {
+		opts := boltOptions()
+		opts.Jobs = j
+		ctx, err := core.NewContext(f, opts)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		ctx.ApplyProfile(fd)
+		pm := core.NewPassManager(j)
+		start := time.Now()
+		err = pm.Run(ctx, passes.BuildPipeline(opts))
+		return ctx, pm.Timings, time.Since(start), err
+	}
+
+	ctx1, t1, d1, err := run(1)
+	if err != nil {
+		return "", err
+	}
+	ctxN, tN, dN, err := run(jobs)
+	if err != nil {
+		return "", err
+	}
+	if !reflect.DeepEqual(ctx1.Stats, ctxN.Stats) {
+		return "", fmt.Errorf("bench: stats diverge across worker counts:\n  jobs=1: %v\n  jobs=%d: %v",
+			ctx1.Stats, jobs, ctxN.Stats)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pipeline scaling on %s (%d simple functions, GOMAXPROCS=%d)\n",
+		spec.Name, len(ctx1.SimpleFuncs()), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&sb, "\n-- jobs=1 --\n")
+	core.WriteTimings(&sb, t1)
+	fmt.Fprintf(&sb, "\n-- jobs=%d --\n", jobs)
+	core.WriteTimings(&sb, tN)
+	speedup := float64(d1) / float64(dN)
+	fmt.Fprintf(&sb, "\npipeline wall time: %v (jobs=1) -> %v (jobs=%d), %.2fx; stats identical\n",
+		d1.Round(time.Microsecond), dN.Round(time.Microsecond), jobs, speedup)
+	if runtime.GOMAXPROCS(0) == 1 {
+		sb.WriteString("(single-CPU host: worker-pool speedup cannot materialize; expect ~1.0x)\n")
+	}
+	return sb.String(), nil
+}
+
 // Small indirection helpers (keep experiment code readable).
 
 func pipelineFor(ctx *core.BinaryContext) []core.Pass {
 	return passes.BuildPipeline(ctx.Opts)
+}
+
+// runPipeline schedules the Table 1 pipeline over the context with the
+// harness's configured parallelism.
+func runPipeline(ctx *core.BinaryContext) error {
+	return core.NewPassManager(ctx.Opts.Jobs).Run(ctx, pipelineFor(ctx))
 }
 
 func ccCompileDefault(prog *ir.Program) ([]*obj.Object, error) {
@@ -574,7 +661,7 @@ func Fig2Report(scale Scale) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	boltedPGO, _, err := Bolt(pgo, mode, core.DefaultOptions())
+	boltedPGO, _, err := Bolt(pgo, mode, boltOptions())
 	if err != nil {
 		return "", err
 	}

@@ -22,6 +22,9 @@ func (p *pageProbe) Mem(addr uint64, size uint8, write bool)                {}
 // TestPagePackingImproves asserts the Figure 9 packing effect: after
 // BOLT, 99% of instruction fetches fit in no more pages than before.
 func TestPagePackingImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HHVM build+simulate experiment (~15s); run without -short")
+	}
 	spec := Scale(0.3).apply(workload.HHVM())
 	mode := perf.DefaultMode()
 	base, _, err := Build(spec, CfgHFSortLTO, mode)

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gobolt/internal/cfi"
 	"gobolt/internal/dbg"
@@ -53,6 +54,15 @@ type Options struct {
 	// ICPThreshold is the minimum fraction of calls going to the dominant
 	// target for indirect-call promotion (e.g. 0.51).
 	ICPThreshold float64
+
+	// Jobs bounds the PassManager worker pool for function passes
+	// (0 = GOMAXPROCS, 1 = fully serial). Output is bit-identical for
+	// every value.
+	Jobs int
+	// TimePasses makes passes.Optimize write the per-pass timing report
+	// to stderr after the pipeline (drivers running the PassManager
+	// directly print pm.Timings themselves).
+	TimePasses bool
 }
 
 // DefaultOptions reproduces the paper's evaluation configuration.
@@ -351,29 +361,72 @@ type BinaryContext struct {
 	// FuncOrder is the new function layout (set by reorder-functions).
 	FuncOrder []string
 
-	// Stats accumulates per-pass counters for reporting.
-	Stats map[string]int64
+	// Stats accumulates per-pass counters for reporting. During parallel
+	// function passes workers count into private FuncCtx shards; direct
+	// CountStat calls are additionally guarded by statsMu, so the map is
+	// safe however it is reached. Read it only between passes.
+	Stats   map[string]int64
+	statsMu sync.Mutex
+
+	// PassTimings is the instrumentation record of the last PassManager
+	// run (one entry per pass, pipeline order).
+	PassTimings []PassTiming
 }
 
 // FuncByAddr returns the function starting at addr.
 func (ctx *BinaryContext) FuncByAddr(addr uint64) *BinaryFunction { return ctx.byAddr[addr] }
 
-// FuncContaining returns the function covering addr.
+// FuncContaining returns the function covering addr. Funcs is sorted by
+// address at discovery and never reordered, so this is a binary search —
+// it sits on the hot profile-matching path.
 func (ctx *BinaryContext) FuncContaining(addr uint64) *BinaryFunction {
-	for _, f := range ctx.Funcs {
-		if addr >= f.Addr && addr < f.Addr+f.Size {
-			return f
-		}
+	i := sort.Search(len(ctx.Funcs), func(i int) bool {
+		return ctx.Funcs[i].Addr > addr
+	})
+	if i == 0 {
+		return nil
+	}
+	if f := ctx.Funcs[i-1]; addr < f.Addr+f.Size {
+		return f
 	}
 	return nil
 }
 
-// CountStat bumps a named statistic.
+// CountStat bumps a named statistic. Safe for concurrent use; inside a
+// FunctionPass prefer the FuncCtx shard, which is contention-free.
 func (ctx *BinaryContext) CountStat(name string, delta int64) {
+	ctx.statsMu.Lock()
+	defer ctx.statsMu.Unlock()
 	if ctx.Stats == nil {
 		ctx.Stats = map[string]int64{}
 	}
 	ctx.Stats[name] += delta
+}
+
+// mergeStats folds a worker shard into the shared Stats map.
+func (ctx *BinaryContext) mergeStats(shard map[string]int64) {
+	if len(shard) == 0 {
+		return
+	}
+	ctx.statsMu.Lock()
+	defer ctx.statsMu.Unlock()
+	if ctx.Stats == nil {
+		ctx.Stats = map[string]int64{}
+	}
+	for k, v := range shard {
+		ctx.Stats[k] += v
+	}
+}
+
+// statsSnapshot copies the current counters (for per-pass deltas).
+func (ctx *BinaryContext) statsSnapshot() map[string]int64 {
+	ctx.statsMu.Lock()
+	defer ctx.statsMu.Unlock()
+	out := make(map[string]int64, len(ctx.Stats))
+	for k, v := range ctx.Stats {
+		out[k] = v
+	}
+	return out
 }
 
 // SimpleFuncs returns the rewritable functions.
@@ -393,14 +446,11 @@ type Pass interface {
 	Run(ctx *BinaryContext) error
 }
 
-// RunPasses executes the pipeline in order.
+// RunPasses executes the pipeline in order on a single thread. It is the
+// serial convenience entry point; use a PassManager to schedule function
+// passes over a worker pool.
 func RunPasses(ctx *BinaryContext, passes []Pass) error {
-	for _, p := range passes {
-		if err := p.Run(ctx); err != nil {
-			return fmt.Errorf("pass %s: %w", p.Name(), err)
-		}
-	}
-	return nil
+	return NewPassManager(1).Run(ctx, passes)
 }
 
 // InitialStateForTest exposes the ABI entry unwind state to tests.

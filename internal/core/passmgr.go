@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FunctionPass is a transformation confined to a single function: it may
+// mutate fn's CFG, instructions, and interned CFI states freely, but must
+// treat everything else reachable through the context (other functions,
+// the input file, profile maps) as read-only. Passes with that contract
+// are embarrassingly parallel — production llvm-bolt runs them on a
+// per-function thread pool, and so does the PassManager here.
+type FunctionPass interface {
+	Name() string
+	RunOnFunction(fc *FuncCtx, fn *BinaryFunction) error
+}
+
+// FuncCtx is the per-worker view handed to a FunctionPass. It embeds the
+// shared BinaryContext for read access (options, file sections, symbol
+// maps) and shadows CountStat with a private shard, so concurrent workers
+// never contend on — or race over — the shared Stats map. Shards are
+// merged back at the pass barrier; int64 addition commutes, so the final
+// Stats are identical for any worker count.
+type FuncCtx struct {
+	*BinaryContext
+	stats map[string]int64
+}
+
+// CountStat bumps a named statistic in the worker-private shard.
+func (fc *FuncCtx) CountStat(name string, delta int64) { fc.stats[name] += delta }
+
+func newFuncCtx(ctx *BinaryContext) *FuncCtx {
+	return &FuncCtx{BinaryContext: ctx, stats: map[string]int64{}}
+}
+
+// funcPassAdapter lifts a FunctionPass into the Pass pipeline. Under the
+// legacy RunPasses entry point it simply loops; under a PassManager with
+// Jobs > 1 the manager recognizes the adapter and fans the function list
+// out to its worker pool instead.
+type funcPassAdapter struct{ fp FunctionPass }
+
+// Name implements Pass.
+func (a funcPassAdapter) Name() string { return a.fp.Name() }
+
+// Run implements Pass by visiting every simple function sequentially.
+func (a funcPassAdapter) Run(ctx *BinaryContext) error {
+	return runSerialFunctionPass(ctx, a.fp, ctx.SimpleFuncs())
+}
+
+// runSerialFunctionPass is the single-threaded schedule, shared by the
+// adapter's Run and the manager's jobs<=1 fast path.
+func runSerialFunctionPass(ctx *BinaryContext, fp FunctionPass, funcs []*BinaryFunction) error {
+	fc := newFuncCtx(ctx)
+	defer ctx.mergeStats(fc.stats)
+	for _, fn := range funcs {
+		if err := fp.RunOnFunction(fc, fn); err != nil {
+			return fmt.Errorf("%s: %w", fn.Name, err)
+		}
+	}
+	return nil
+}
+
+// ForEachFunction wraps a FunctionPass for use in a []Pass pipeline.
+func ForEachFunction(fp FunctionPass) Pass { return funcPassAdapter{fp} }
+
+// PassTiming records one pass execution for the -time-passes report.
+type PassTiming struct {
+	Name     string
+	Wall     time.Duration
+	Funcs    int  // functions visited (0 for whole-binary passes)
+	Parallel bool // scheduled on the worker pool
+	Jobs     int  // workers actually used
+	// StatDelta holds the counters this pass added to ctx.Stats.
+	StatDelta map[string]int64
+}
+
+// PassManager schedules an optimization pipeline over a BinaryContext.
+// Function passes (built with ForEachFunction) are fanned out over a
+// bounded pool of Jobs workers; whole-binary passes run in place as
+// sequential barriers, so every pass still observes the pipeline order of
+// Table 1. Output is bit-identical for any Jobs value: workers only
+// mutate the function they were handed, stats merge commutatively, and
+// emission order is fixed by the context's address-sorted function list
+// (plus FuncOrder), never by completion order.
+type PassManager struct {
+	// Jobs bounds the worker pool for function passes (<= 1 = serial).
+	Jobs int
+	// Timings accumulates per-pass instrumentation (always collected; it
+	// costs one clock read and a small map diff per pass).
+	Timings []PassTiming
+}
+
+// NewPassManager returns a manager with the given parallelism; jobs <= 0
+// selects GOMAXPROCS, the production default.
+func NewPassManager(jobs int) *PassManager {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &PassManager{Jobs: jobs}
+}
+
+// Run executes the pipeline in order, recording per-pass wall time and
+// stat deltas. The error (if any) is wrapped with the failing pass name.
+func (pm *PassManager) Run(ctx *BinaryContext, passes []Pass) error {
+	for _, p := range passes {
+		before := ctx.statsSnapshot()
+		start := time.Now()
+		timing := PassTiming{Name: p.Name(), Jobs: 1}
+		var err error
+		if a, ok := p.(funcPassAdapter); ok && pm.Jobs > 1 {
+			timing.Funcs, timing.Jobs, err = pm.runFunctionPass(ctx, a.fp)
+			timing.Parallel = timing.Jobs > 1
+		} else {
+			if _, ok := p.(funcPassAdapter); ok {
+				timing.Funcs = len(ctx.SimpleFuncs())
+			}
+			err = p.Run(ctx)
+		}
+		timing.Wall = time.Since(start)
+		timing.StatDelta = statDelta(before, ctx.statsSnapshot())
+		pm.Timings = append(pm.Timings, timing)
+		ctx.PassTimings = pm.Timings
+		if err != nil {
+			return fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+	}
+	return nil
+}
+
+// runFunctionPass fans one FunctionPass out over the worker pool. Work is
+// handed out by an atomic cursor over the snapshotted function list; each
+// worker owns a private stats shard, merged after the join. On error the
+// pool drains and the failure attributed to the lowest function index is
+// reported, keeping messages stable across schedules.
+func (pm *PassManager) runFunctionPass(ctx *BinaryContext, fp FunctionPass) (int, int, error) {
+	funcs := ctx.SimpleFuncs()
+	jobs := pm.Jobs
+	if jobs > len(funcs) {
+		jobs = len(funcs)
+	}
+	if jobs <= 1 {
+		return len(funcs), 1, runSerialFunctionPass(ctx, fp, funcs)
+	}
+
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+	)
+	errIdx, firstErr := -1, error(nil)
+	shards := make([]map[string]int64, jobs)
+	for w := 0; w < jobs; w++ {
+		shards[w] = map[string]int64{}
+		wg.Add(1)
+		go func(shard map[string]int64) {
+			defer wg.Done()
+			fc := &FuncCtx{BinaryContext: ctx, stats: shard}
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(funcs) || failed.Load() {
+					return
+				}
+				if err := fp.RunOnFunction(fc, funcs[i]); err != nil {
+					errMu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}(shards[w])
+	}
+	wg.Wait()
+	for _, s := range shards {
+		ctx.mergeStats(s)
+	}
+	if firstErr != nil {
+		return len(funcs), jobs, fmt.Errorf("%s: %w", funcs[errIdx].Name, firstErr)
+	}
+	return len(funcs), jobs, nil
+}
+
+// statDelta returns after-before for every changed counter.
+func statDelta(before, after map[string]int64) map[string]int64 {
+	var out map[string]int64
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			if out == nil {
+				out = map[string]int64{}
+			}
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// WriteTimings renders the -time-passes report: per-pass wall time, share
+// of the pipeline, scheduling mode, function count, and stat deltas.
+func WriteTimings(w io.Writer, timings []PassTiming) {
+	var total time.Duration
+	for _, t := range timings {
+		total += t.Wall
+	}
+	fmt.Fprintf(w, "===-- Pass execution timing report (pipeline total %v) --===\n",
+		total.Round(time.Microsecond))
+	for _, t := range timings {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(t.Wall) / float64(total)
+		}
+		mode := "barrier"
+		switch {
+		case t.Parallel:
+			mode = fmt.Sprintf("%d jobs", t.Jobs)
+		case t.Funcs > 0:
+			mode = "serial"
+		}
+		fmt.Fprintf(w, "  %-20s %12v %5.1f%%  %-8s", t.Name,
+			t.Wall.Round(time.Microsecond), pct, mode)
+		if t.Funcs > 0 {
+			fmt.Fprintf(w, " %5d funcs", t.Funcs)
+		}
+		if len(t.StatDelta) > 0 {
+			keys := make([]string, 0, len(t.StatDelta))
+			for k := range t.StatDelta {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			sep := "  "
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s%s=%+d", sep, k, t.StatDelta[k])
+				sep = " "
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

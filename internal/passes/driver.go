@@ -1,6 +1,8 @@
 package passes
 
 import (
+	"os"
+
 	"gobolt/internal/core"
 	"gobolt/internal/elfx"
 	"gobolt/internal/profile"
@@ -8,9 +10,12 @@ import (
 
 // Optimize runs the complete Figure 3 pipeline on a linked binary:
 // discovery, disassembly, CFG construction, profile application, the
-// Table 1 pass sequence, emission, and ELF rewriting. It returns the
-// rewrite result plus the context (for reports: dyno-stats, CFG dumps,
-// bad-layout findings).
+// Table 1 pass sequence, emission, and ELF rewriting. Function passes are
+// scheduled over a worker pool sized by opts.Jobs (0 = GOMAXPROCS); the
+// emitted binary is bit-identical for every worker count. Per-pass
+// timing lands on ctx.PassTimings for the -time-passes report. It
+// returns the rewrite result plus the context (for reports: dyno-stats,
+// CFG dumps, bad-layout findings, pass timings).
 func Optimize(f *elfx.File, fd *profile.Fdata, opts core.Options) (*core.RewriteResult, *core.BinaryContext, error) {
 	ctx, err := core.NewContext(f, opts)
 	if err != nil {
@@ -19,8 +24,12 @@ func Optimize(f *elfx.File, fd *profile.Fdata, opts core.Options) (*core.Rewrite
 	if fd != nil {
 		ctx.ApplyProfile(fd)
 	}
-	if err := core.RunPasses(ctx, BuildPipeline(opts)); err != nil {
+	pm := core.NewPassManager(opts.Jobs)
+	if err := pm.Run(ctx, BuildPipeline(opts)); err != nil {
 		return nil, ctx, err
+	}
+	if opts.TimePasses {
+		core.WriteTimings(os.Stderr, pm.Timings)
 	}
 	res, err := ctx.Rewrite()
 	if err != nil {

@@ -16,48 +16,46 @@ import (
 // (the dataflow framework of §4) proves deadness before deletion.
 type FrameOpts struct{}
 
-// Name implements core.Pass.
+// Name implements core.FunctionPass.
 func (FrameOpts) Name() string { return "frame-opts" }
 
-// Run implements core.Pass.
-func (FrameOpts) Run(ctx *core.BinaryContext) error {
-	for _, fn := range ctx.SimpleFuncs() {
-		liveOut := flagsLiveOut(fn) // full register liveness, reused
-		changed := false
-		for _, b := range fn.Blocks {
-			for i := 0; i+2 < len(b.Insts); i++ {
-				push := &b.Insts[i]
-				call := &b.Insts[i+1]
-				pop := &b.Insts[i+2]
-				if push.I.Op != isa.PUSH || pop.I.Op != isa.POP {
-					continue
-				}
-				r := push.I.R1
-				if r != pop.I.R1 || !r.CallerSaved() || !call.IsCall() {
-					continue
-				}
-				// The spilled register must be dead after the pop.
-				uses := make([]isa.RegSet, len(b.Insts))
-				defs := make([]isa.RegSet, len(b.Insts))
-				for k := range b.Insts {
-					uses[k] = b.Insts[k].I.Uses()
-					defs[k] = b.Insts[k].I.Defs()
-				}
-				liveAfter := liveAtEach(uses, defs, liveOut[b.Index])
-				if liveAfter[i+2].Has(r) {
-					// The value is consumed later: the spill is real.
-					continue
-				}
-				b.Insts = append(b.Insts[:i:i], b.Insts[i+1:]...)
-				// After removal the pop sits at i+1; delete it too.
-				b.Insts = append(b.Insts[:i+1:i+1], b.Insts[i+2:]...)
-				ctx.CountStat("frame-opts-spills", 1)
-				changed = true
+// RunOnFunction implements core.FunctionPass.
+func (FrameOpts) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	liveOut := flagsLiveOut(fn) // full register liveness, reused
+	changed := false
+	for _, b := range fn.Blocks {
+		for i := 0; i+2 < len(b.Insts); i++ {
+			push := &b.Insts[i]
+			call := &b.Insts[i+1]
+			pop := &b.Insts[i+2]
+			if push.I.Op != isa.PUSH || pop.I.Op != isa.POP {
+				continue
 			}
+			r := push.I.R1
+			if r != pop.I.R1 || !r.CallerSaved() || !call.IsCall() {
+				continue
+			}
+			// The spilled register must be dead after the pop.
+			uses := make([]isa.RegSet, len(b.Insts))
+			defs := make([]isa.RegSet, len(b.Insts))
+			for k := range b.Insts {
+				uses[k] = b.Insts[k].I.Uses()
+				defs[k] = b.Insts[k].I.Defs()
+			}
+			liveAfter := liveAtEach(uses, defs, liveOut[b.Index])
+			if liveAfter[i+2].Has(r) {
+				// The value is consumed later: the spill is real.
+				continue
+			}
+			b.Insts = append(b.Insts[:i:i], b.Insts[i+1:]...)
+			// After removal the pop sits at i+1; delete it too.
+			b.Insts = append(b.Insts[:i+1:i+1], b.Insts[i+2:]...)
+			fc.CountStat("frame-opts-spills", 1)
+			changed = true
 		}
-		if changed {
-			fn.RebuildIndex()
-		}
+	}
+	if changed {
+		fn.RebuildIndex()
 	}
 	return nil
 }
@@ -81,21 +79,19 @@ func liveAtEach(uses, defs []isa.RegSet, liveOut isa.RegSet) []isa.RegSet {
 //   - that block is cold relative to the entry.
 type ShrinkWrapping struct{}
 
-// Name implements core.Pass.
+// Name implements core.FunctionPass.
 func (ShrinkWrapping) Name() string { return "shrink-wrapping" }
 
-// Run implements core.Pass.
-func (s ShrinkWrapping) Run(ctx *core.BinaryContext) error {
-	for _, fn := range ctx.SimpleFuncs() {
-		if fn.HasLSDA || !fn.Sampled || len(fn.Blocks) < 2 {
-			continue
-		}
-		s.runOne(ctx, fn)
+// RunOnFunction implements core.FunctionPass.
+func (s ShrinkWrapping) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	if fn.HasLSDA || !fn.Sampled || len(fn.Blocks) < 2 {
+		return nil
 	}
+	s.runOne(fc, fn)
 	return nil
 }
 
-func (s ShrinkWrapping) runOne(ctx *core.BinaryContext, fn *core.BinaryFunction) {
+func (s ShrinkWrapping) runOne(fc *core.FuncCtx, fn *core.BinaryFunction) {
 	entry := fn.Blocks[0]
 	// Match the prologue and find the last saved callee-saved register.
 	var pushIdx []int
@@ -238,5 +234,5 @@ func (s ShrinkWrapping) runOne(ctx *core.BinaryContext, fn *core.BinaryFunction)
 	home.Insts = newInsts
 
 	fn.RebuildIndex()
-	ctx.CountStat("shrink-wrapping", 1)
+	fc.CountStat("shrink-wrapping", 1)
 }

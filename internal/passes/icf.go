@@ -14,6 +14,10 @@ import (
 // with internal control-flow targets normalized to block indices and
 // external references symbolized (paper §4: ~3% size win over the
 // linker's pass on HHVM).
+//
+// ICF is a whole-binary pass (a sequential barrier under the
+// PassManager): folding compares and mutates arbitrary function pairs,
+// so it cannot run per-function.
 type ICF struct{ Round int }
 
 // Name implements core.Pass.

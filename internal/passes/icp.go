@@ -21,6 +21,11 @@ import (
 //
 // The transformation verifies with liveness analysis that FLAGS are dead
 // at the site (the cmp clobbers them).
+//
+// ICP is a whole-binary pass (a sequential barrier under the
+// PassManager): the CFG surgery is per-function, but promotion decisions
+// read cross-function state (target addresses, the global call-target
+// histogram) that later barriers may reshape.
 type ICP struct{}
 
 // Name implements core.Pass.

@@ -12,6 +12,10 @@ import (
 // see. A callee qualifies when it is one straight-line block of
 // register/immediate instructions ending in ret — no stack traffic, no
 // calls, no memory-ordering hazards to reason about.
+//
+// InlineSmall is a whole-binary pass (a sequential barrier under the
+// PassManager): it reads callee bodies while rewriting callers, so
+// running it per-function would race with concurrent callee mutation.
 type InlineSmall struct{}
 
 // MaxInlineInsts bounds the inlined body size.

@@ -1,0 +1,87 @@
+package passes
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"gobolt/internal/core"
+	"gobolt/internal/elfx"
+	"gobolt/internal/profile"
+)
+
+// optimizeWithJobs runs the full pipeline (context build, profile,
+// passes, rewrite) at the given worker count and returns the serialized
+// output binary plus the final stats and timings. The input file and
+// profile are shared across calls: Optimize never mutates them.
+func optimizeWithJobs(t *testing.T, f *elfx.File, fd *profile.Fdata, jobs int) ([]byte, map[string]int64, []core.PassTiming) {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.Jobs = jobs
+	res, ctx, err := Optimize(f, fd, opts)
+	if err != nil {
+		t.Fatalf("optimize (jobs=%d): %v", jobs, err)
+	}
+	raw, err := res.File.Bytes()
+	if err != nil {
+		t.Fatalf("serialize (jobs=%d): %v", jobs, err)
+	}
+	return raw, ctx.Stats, ctx.PassTimings
+}
+
+// TestPipelineDeterministicAcrossJobs is the parallel pass manager's
+// contract: the emitted binary is byte-identical and the stat counters
+// are exactly equal for any worker count. Run under -race this also
+// exercises every converted FunctionPass for data races.
+func TestPipelineDeterministicAcrossJobs(t *testing.T) {
+	f, _ := buildWork(t)
+	fd := record(t, f, true)
+	serialBytes, serialStats, _ := optimizeWithJobs(t, f, fd, 1)
+	for _, jobs := range []int{2, 8} {
+		gotBytes, gotStats, timings := optimizeWithJobs(t, f, fd, jobs)
+		if !bytes.Equal(serialBytes, gotBytes) {
+			t.Errorf("jobs=%d: emitted binary differs from jobs=1 (%d vs %d bytes)",
+				jobs, len(gotBytes), len(serialBytes))
+		}
+		if !reflect.DeepEqual(serialStats, gotStats) {
+			t.Errorf("jobs=%d: stats diverge:\n  jobs=1: %v\n  jobs=%d: %v",
+				jobs, serialStats, jobs, gotStats)
+		}
+		if len(timings) == 0 {
+			t.Errorf("jobs=%d: no pass timings recorded", jobs)
+		}
+	}
+}
+
+// TestParallelPipelineSemantics re-runs the round-trip check with an
+// explicitly parallel manager: the rewritten binary must still compute
+// the same checksum.
+func TestParallelPipelineSemantics(t *testing.T) {
+	f, want := buildWork(t)
+	fd := record(t, f, true)
+	opts := core.DefaultOptions()
+	opts.Jobs = 8
+	res, ctx, err := Optimize(f, fd, opts)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if got := run(t, res.File); got != want {
+		t.Fatalf("semantic change under jobs=8: got %d want %d", got, want)
+	}
+	// The parallel schedule must still have exercised the function passes.
+	for _, stat := range []string{"strip-rep-ret", "reorder-bbs-funcs", "split-functions"} {
+		if ctx.Stats[stat] == 0 {
+			t.Errorf("expected stat %q > 0 (stats: %v)", stat, ctx.Stats)
+		}
+	}
+	// Every pipeline pass appears in the instrumentation, in order.
+	pipeline := BuildPipeline(opts)
+	if len(ctx.PassTimings) != len(pipeline) {
+		t.Fatalf("timings cover %d passes, pipeline has %d", len(ctx.PassTimings), len(pipeline))
+	}
+	for i, p := range pipeline {
+		if ctx.PassTimings[i].Name != p.Name() {
+			t.Errorf("timing %d: got pass %q, want %q", i, ctx.PassTimings[i].Name, p.Name())
+		}
+	}
+}

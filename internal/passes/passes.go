@@ -1,6 +1,9 @@
 // Package passes implements gobolt's optimization pipeline: the sixteen
-// transformations of the paper's Table 1, in order. Each pass is a
-// core.Pass; BuildPipeline assembles the sequence the paper runs.
+// transformations of the paper's Table 1, in order. Per-function
+// transformations are core.FunctionPass (schedulable over the
+// PassManager's worker pool); whole-binary analyses (ICF, ICP,
+// inline-small, reorder-functions, plt) are core.Pass and run as
+// sequential barriers between the parallel regions.
 package passes
 
 import (
@@ -24,25 +27,28 @@ func BuildPipeline(opts core.Options) []core.Pass {
 			p = append(p, pass)
 		}
 	}
-	add(opts.Lite, LiteFilter{})
-	add(opts.StripRepRet, StripRepRet{})
+	each := func(enabled bool, fp core.FunctionPass) {
+		add(enabled, core.ForEachFunction(fp))
+	}
+	each(opts.Lite, LiteFilter{})
+	each(opts.StripRepRet, StripRepRet{})
 	add(opts.ICF, ICF{Round: 1})
 	add(opts.ICP, ICP{})
-	add(opts.Peepholes, Peepholes{Round: 1})
+	each(opts.Peepholes, Peepholes{Round: 1})
 	add(opts.InlineSmall, InlineSmall{})
-	add(opts.SimplifyROLoads, SimplifyROLoads{})
+	each(opts.SimplifyROLoads, SimplifyROLoads{})
 	add(opts.ICF, ICF{Round: 2})
 	add(opts.PLT, PLTPass{})
-	add(true, ReorderBBs{})
-	add(opts.Peepholes, Peepholes{Round: 2})
-	add(opts.UCE, UCE{})
+	each(true, ReorderBBs{})
+	each(opts.Peepholes, Peepholes{Round: 2})
+	each(opts.UCE, UCE{})
 	// fixup-branches: terminator materialization happens during code
 	// emission (core/emit.go), exactly once per final layout, and is
 	// redone after reorder-bbs as the paper notes.
 	add(true, ReorderFunctions{})
-	add(opts.SCTC, SCTC{})
-	add(opts.FrameOpts, FrameOpts{})
-	add(opts.ShrinkWrapping, ShrinkWrapping{})
+	each(opts.SCTC, SCTC{})
+	each(opts.FrameOpts, FrameOpts{})
+	each(opts.ShrinkWrapping, ShrinkWrapping{})
 	return p
 }
 
@@ -50,17 +56,15 @@ func BuildPipeline(opts core.Options) []core.Pass {
 // rewritten at all.
 type LiteFilter struct{}
 
-// Name implements core.Pass.
+// Name implements core.FunctionPass.
 func (LiteFilter) Name() string { return "lite-filter" }
 
-// Run implements core.Pass.
-func (LiteFilter) Run(ctx *core.BinaryContext) error {
-	for _, fn := range ctx.Funcs {
-		if fn.Simple && !fn.Sampled {
-			fn.Simple = false
-			fn.Reason = "lite mode: no profile samples"
-			ctx.CountStat("lite-skipped", 1)
-		}
+// RunOnFunction implements core.FunctionPass.
+func (LiteFilter) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	if !fn.Sampled {
+		fn.Simple = false
+		fn.Reason = "lite mode: no profile samples"
+		fc.CountStat("lite-skipped", 1)
 	}
 	return nil
 }

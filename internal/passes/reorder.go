@@ -14,23 +14,20 @@ import (
 // -split-functions / -split-all-cold / -split-eh).
 type ReorderBBs struct{}
 
-// Name implements core.Pass.
+// Name implements core.FunctionPass.
 func (ReorderBBs) Name() string { return "reorder-bbs" }
 
-// Run implements core.Pass.
-func (ReorderBBs) Run(ctx *core.BinaryContext) error {
-	algo := ctx.Opts.ReorderBlocks
-	for _, fn := range ctx.SimpleFuncs() {
-		if !fn.Sampled || len(fn.Blocks) <= 2 {
-			continue
-		}
-		if algo != layout.AlgoNone && algo != "" {
-			reorderOne(fn, algo)
-			ctx.CountStat("reorder-bbs-funcs", 1)
-		}
-		if ctx.Opts.SplitFunctions > 0 {
-			markCold(ctx, fn)
-		}
+// RunOnFunction implements core.FunctionPass.
+func (ReorderBBs) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	if !fn.Sampled || len(fn.Blocks) <= 2 {
+		return nil
+	}
+	if algo := fc.Opts.ReorderBlocks; algo != layout.AlgoNone && algo != "" {
+		reorderOne(fn, algo)
+		fc.CountStat("reorder-bbs-funcs", 1)
+	}
+	if fc.Opts.SplitFunctions > 0 {
+		markCold(fc, fn)
 	}
 	return nil
 }
@@ -91,7 +88,7 @@ func reorderOne(fn *core.BinaryFunction, algo layout.Algorithm) {
 // levels: 1 splits only never-executed blocks; >=2 also splits blocks
 // whose count is negligible next to the function's hottest block
 // (level 3, the paper's setting, uses a 1/64 threshold).
-func markCold(ctx *core.BinaryContext, fn *core.BinaryFunction) {
+func markCold(fc *core.FuncCtx, fn *core.BinaryFunction) {
 	var maxCount uint64
 	for _, b := range fn.Blocks {
 		if b.ExecCount > maxCount {
@@ -99,7 +96,7 @@ func markCold(ctx *core.BinaryContext, fn *core.BinaryFunction) {
 		}
 	}
 	threshold := uint64(0)
-	if ctx.Opts.SplitFunctions >= 2 {
+	if fc.Opts.SplitFunctions >= 2 {
 		threshold = maxCount / 64
 	}
 	anyCold := false
@@ -107,19 +104,19 @@ func markCold(ctx *core.BinaryContext, fn *core.BinaryFunction) {
 		if b.IsEntry || b.ExecCount > threshold {
 			continue
 		}
-		if !ctx.Opts.SplitAllCold && !b.IsLP {
+		if !fc.Opts.SplitAllCold && !b.IsLP {
 			continue
 		}
-		if b.IsLP && !ctx.Opts.SplitEH {
+		if b.IsLP && !fc.Opts.SplitEH {
 			continue
 		}
 		b.IsCold = true
 		anyCold = true
-		ctx.CountStat("split-cold-blocks", 1)
+		fc.CountStat("split-cold-blocks", 1)
 	}
 	if anyCold {
 		fn.IsSplit = true
-		ctx.CountStat("split-functions", 1)
+		fc.CountStat("split-functions", 1)
 	}
 }
 

@@ -14,47 +14,45 @@ import (
 // predecessors.
 type SCTC struct{}
 
-// Name implements core.Pass.
+// Name implements core.FunctionPass.
 func (SCTC) Name() string { return "sctc" }
 
-// Run implements core.Pass.
-func (SCTC) Run(ctx *core.BinaryContext) error {
-	for _, fn := range ctx.SimpleFuncs() {
-		changed := false
-		for _, b := range fn.Blocks {
-			last := b.LastInst()
-			if last == nil || last.I.Op != isa.JCC || last.TargetSym != "" || len(b.Succs) != 2 {
-				continue
-			}
-			stub := b.Succs[0].To // taken edge
-			if stub == nil || stub.IsLP || stub.IsEntry || len(stub.Preds) != 1 {
-				continue
-			}
-			tgt, ok := tailCallStub(stub)
-			if !ok {
-				continue
-			}
-			// Retarget the conditional branch straight at the function.
-			last.TargetSym = tgt
-			takenCount := b.Succs[0].Count
-			b.Succs = b.Succs[1:] // only the fall-through remains
-			// Remove the stub block.
-			for i, blk := range fn.Blocks {
-				if blk == stub {
-					fn.Blocks = append(fn.Blocks[:i], fn.Blocks[i+1:]...)
-					break
-				}
-			}
-			ctx.CountStat("sctc", 1)
-			ctx.CountStat("sctc-count", int64(takenCount))
-			changed = true
+// RunOnFunction implements core.FunctionPass.
+func (SCTC) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	changed := false
+	for _, b := range fn.Blocks {
+		last := b.LastInst()
+		if last == nil || last.I.Op != isa.JCC || last.TargetSym != "" || len(b.Succs) != 2 {
+			continue
 		}
-		if changed {
-			for i, blk := range fn.Blocks {
-				blk.Index = i
-			}
-			fn.RebuildIndex()
+		stub := b.Succs[0].To // taken edge
+		if stub == nil || stub.IsLP || stub.IsEntry || len(stub.Preds) != 1 {
+			continue
 		}
+		tgt, ok := tailCallStub(stub)
+		if !ok {
+			continue
+		}
+		// Retarget the conditional branch straight at the function.
+		last.TargetSym = tgt
+		takenCount := b.Succs[0].Count
+		b.Succs = b.Succs[1:] // only the fall-through remains
+		// Remove the stub block.
+		for i, blk := range fn.Blocks {
+			if blk == stub {
+				fn.Blocks = append(fn.Blocks[:i], fn.Blocks[i+1:]...)
+				break
+			}
+		}
+		fc.CountStat("sctc", 1)
+		fc.CountStat("sctc-count", int64(takenCount))
+		changed = true
+	}
+	if changed {
+		for i, blk := range fn.Blocks {
+			blk.Index = i
+		}
+		fn.RebuildIndex()
 	}
 	return nil
 }

@@ -10,18 +10,16 @@ import (
 // (Table 1, pass 1).
 type StripRepRet struct{}
 
-// Name implements core.Pass.
+// Name implements core.FunctionPass.
 func (StripRepRet) Name() string { return "strip-rep-ret" }
 
-// Run implements core.Pass.
-func (StripRepRet) Run(ctx *core.BinaryContext) error {
-	for _, fn := range ctx.SimpleFuncs() {
-		for _, b := range fn.Blocks {
-			for i := range b.Insts {
-				if b.Insts[i].I.Op == isa.REPZRET {
-					b.Insts[i].I.Op = isa.RET
-					ctx.CountStat("strip-rep-ret", 1)
-				}
+// RunOnFunction implements core.FunctionPass.
+func (StripRepRet) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	for _, b := range fn.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].I.Op == isa.REPZRET {
+				b.Insts[i].I.Op = isa.RET
+				fc.CountStat("strip-rep-ret", 1)
 			}
 		}
 	}
@@ -33,46 +31,44 @@ func (StripRepRet) Run(ctx *core.BinaryContext) error {
 // only jumps again is retargeted).
 type Peepholes struct{ Round int }
 
-// Name implements core.Pass.
+// Name implements core.FunctionPass.
 func (p Peepholes) Name() string { return "peepholes" }
 
-// Run implements core.Pass.
-func (p Peepholes) Run(ctx *core.BinaryContext) error {
-	for _, fn := range ctx.SimpleFuncs() {
-		for _, b := range fn.Blocks {
-			// Remove mov %r,%r.
-			kept := b.Insts[:0]
-			for i := range b.Insts {
-				in := b.Insts[i]
-				if in.I.Op == isa.MOVrr && in.I.R1 == in.I.R2 {
-					ctx.CountStat("peephole-selfmove", 1)
-					continue
-				}
-				kept = append(kept, in)
+// RunOnFunction implements core.FunctionPass.
+func (p Peepholes) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	for _, b := range fn.Blocks {
+		// Remove mov %r,%r.
+		kept := b.Insts[:0]
+		for i := range b.Insts {
+			in := b.Insts[i]
+			if in.I.Op == isa.MOVrr && in.I.R1 == in.I.R2 {
+				fc.CountStat("peephole-selfmove", 1)
+				continue
 			}
-			b.Insts = kept
+			kept = append(kept, in)
 		}
-		// Jump threading: an edge into an empty block whose only content
-		// is an unconditional jump can go straight to its target.
-		for _, b := range fn.Blocks {
-			for k := range b.Succs {
-				t := b.Succs[k].To
-				for t != nil && isTrivialForwarder(t) && t.Succs[0].To != t {
-					nt := t.Succs[0].To
-					if nt == b {
-						break
-					}
-					removePred(t, b)
-					nt.Preds = append(nt.Preds, b)
-					b.Succs[k].To = nt
-					ctx.CountStat("peephole-jump-thread", 1)
-					t = nt
-				}
-			}
-		}
-		// Branch targets recorded inside JCC/JMP instructions follow the
-		// edges at emission; nothing else to fix here.
+		b.Insts = kept
 	}
+	// Jump threading: an edge into an empty block whose only content
+	// is an unconditional jump can go straight to its target.
+	for _, b := range fn.Blocks {
+		for k := range b.Succs {
+			t := b.Succs[k].To
+			for t != nil && isTrivialForwarder(t) && t.Succs[0].To != t {
+				nt := t.Succs[0].To
+				if nt == b {
+					break
+				}
+				removePred(t, b)
+				nt.Preds = append(nt.Preds, b)
+				b.Succs[k].To = nt
+				fc.CountStat("peephole-jump-thread", 1)
+				t = nt
+			}
+		}
+	}
+	// Branch targets recorded inside JCC/JMP instructions follow the
+	// edges at emission; nothing else to fix here.
 	return nil
 }
 
@@ -104,130 +100,127 @@ func removePred(b *core.BasicBlock, p *core.BasicBlock) {
 // not reachable from the entry via control-flow or exception edges.
 type UCE struct{}
 
-// Name implements core.Pass.
+// Name implements core.FunctionPass.
 func (UCE) Name() string { return "uce" }
 
-// Run implements core.Pass.
-func (UCE) Run(ctx *core.BinaryContext) error {
-	for _, fn := range ctx.SimpleFuncs() {
-		if len(fn.Blocks) == 0 {
-			continue
-		}
-		reach := map[*core.BasicBlock]bool{}
-		var stack []*core.BasicBlock
-		push := func(b *core.BasicBlock) {
-			if b != nil && !reach[b] {
-				reach[b] = true
-				stack = append(stack, b)
-			}
-		}
-		push(fn.Blocks[0])
-		for len(stack) > 0 {
-			b := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, e := range b.Succs {
-				push(e.To)
-			}
-			for _, lp := range b.LPs {
-				push(lp)
-			}
-			if last := b.LastInst(); last != nil && last.JT != nil {
-				for _, t := range last.JT.Targets {
-					push(t)
-				}
-			}
-		}
-		if len(reach) == len(fn.Blocks) {
-			continue
-		}
-		var kept []*core.BasicBlock
-		for _, b := range fn.Blocks {
-			if reach[b] {
-				kept = append(kept, b)
-			} else {
-				ctx.CountStat("uce-blocks", 1)
-				// Unlink from successor pred lists.
-				for _, e := range b.Succs {
-					removePred(e.To, b)
-				}
-			}
-		}
-		fn.Blocks = kept
-		for i, b := range fn.Blocks {
-			b.Index = i
-		}
-		fn.RebuildIndex()
+// RunOnFunction implements core.FunctionPass.
+func (UCE) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	if len(fn.Blocks) == 0 {
+		return nil
 	}
+	reach := map[*core.BasicBlock]bool{}
+	var stack []*core.BasicBlock
+	push := func(b *core.BasicBlock) {
+		if b != nil && !reach[b] {
+			reach[b] = true
+			stack = append(stack, b)
+		}
+	}
+	push(fn.Blocks[0])
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range b.Succs {
+			push(e.To)
+		}
+		for _, lp := range b.LPs {
+			push(lp)
+		}
+		if last := b.LastInst(); last != nil && last.JT != nil {
+			for _, t := range last.JT.Targets {
+				push(t)
+			}
+		}
+	}
+	if len(reach) == len(fn.Blocks) {
+		return nil
+	}
+	var kept []*core.BasicBlock
+	for _, b := range fn.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			fc.CountStat("uce-blocks", 1)
+			// Unlink from successor pred lists.
+			for _, e := range b.Succs {
+				removePred(e.To, b)
+			}
+		}
+	}
+	fn.Blocks = kept
+	for i, b := range fn.Blocks {
+		b.Index = i
+	}
+	fn.RebuildIndex()
 	return nil
 }
 
 // SimplifyROLoads converts loads from read-only data at statically known
 // addresses into immediate moves, trading D-cache pressure for I-cache
-// bytes only when the new encoding is not larger (Table 1, pass 6).
+// bytes only when the new encoding is not larger (Table 1, pass 6). The
+// pass only reads shared state (.rodata bytes), so it parallelizes.
 type SimplifyROLoads struct{}
 
-// Name implements core.Pass.
+// Name implements core.FunctionPass.
 func (SimplifyROLoads) Name() string { return "simplify-ro-loads" }
 
-// Run implements core.Pass.
-func (SimplifyROLoads) Run(ctx *core.BinaryContext) error {
-	rodata := ctx.File.Section(".rodata")
+// RunOnFunction implements core.FunctionPass.
+func (SimplifyROLoads) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	rodata := fc.File.Section(".rodata")
 	if rodata == nil {
 		return nil
 	}
-	for _, fn := range ctx.SimpleFuncs() {
-		for _, b := range fn.Blocks {
-			for i := range b.Insts {
-				in := &b.Insts[i]
-				if in.MemTarget == 0 || !rodata.Contains(in.MemTarget) {
-					continue
-				}
-				var width int
-				switch in.I.Op {
-				case isa.MOVrm:
-					width = 8
-				case isa.MOVZXBrm:
-					width = 1
-				case isa.MOVSXDrm:
-					width = 4
-				default:
-					continue
-				}
-				raw, err := ctx.File.ReadAt(in.MemTarget, width)
-				if err != nil {
-					continue
-				}
-				var v uint64
-				for k := width - 1; k >= 0; k-- {
-					v = v<<8 | uint64(raw[k])
-				}
-				if in.I.Op == isa.MOVSXDrm {
-					v = uint64(int64(int32(v)))
-				}
-				// Abort if the immediate form is larger (paper policy).
-				imm := int64(v)
-				var newInst isa.Inst
-				if imm >= -1<<31 && imm < 1<<31 {
-					newInst = isa.NewInst(isa.MOVri)
-				} else {
-					newInst = isa.NewInst(isa.MOVabs)
-				}
-				newInst.R1 = in.I.R1
-				newInst.Imm = imm
-				oldLen := int(in.Size)
-				newLen := isa.InstLen(&newInst, true)
-				if newLen > oldLen {
-					ctx.CountStat("simplify-ro-loads-aborted", 1)
-					continue
-				}
-				// Do not simplify loads feeding jump-table dispatch.
-				if in.JT != nil {
-					continue
-				}
-				in.I = newInst
-				in.MemTarget = 0
-				ctx.CountStat("simplify-ro-loads", 1)
+	for _, b := range fn.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.MemTarget == 0 || !rodata.Contains(in.MemTarget) {
+				continue
 			}
+			var width int
+			switch in.I.Op {
+			case isa.MOVrm:
+				width = 8
+			case isa.MOVZXBrm:
+				width = 1
+			case isa.MOVSXDrm:
+				width = 4
+			default:
+				continue
+			}
+			raw, err := fc.File.ReadAt(in.MemTarget, width)
+			if err != nil {
+				continue
+			}
+			var v uint64
+			for k := width - 1; k >= 0; k-- {
+				v = v<<8 | uint64(raw[k])
+			}
+			if in.I.Op == isa.MOVSXDrm {
+				v = uint64(int64(int32(v)))
+			}
+			// Abort if the immediate form is larger (paper policy).
+			imm := int64(v)
+			var newInst isa.Inst
+			if imm >= -1<<31 && imm < 1<<31 {
+				newInst = isa.NewInst(isa.MOVri)
+			} else {
+				newInst = isa.NewInst(isa.MOVabs)
+			}
+			newInst.R1 = in.I.R1
+			newInst.Imm = imm
+			oldLen := int(in.Size)
+			newLen := isa.InstLen(&newInst, true)
+			if newLen > oldLen {
+				fc.CountStat("simplify-ro-loads-aborted", 1)
+				continue
+			}
+			// Do not simplify loads feeding jump-table dispatch.
+			if in.JT != nil {
+				continue
+			}
+			in.I = newInst
+			in.MemTarget = 0
+			fc.CountStat("simplify-ro-loads", 1)
 		}
 	}
 	return nil
@@ -235,7 +228,10 @@ func (SimplifyROLoads) Run(ctx *core.BinaryContext) error {
 
 // PLTPass removes the indirection of calls routed through PLT stubs: the
 // GOT binding is known at rewrite time, so `call stub` becomes a direct
-// call to the target (Table 1, pass 8).
+// call to the target (Table 1, pass 8). It stays a whole-binary barrier
+// pass: the early-out on an empty stub map costs nothing, and it anchors
+// the sequence point between the ICF round before it and the parallel
+// reorder region after.
 type PLTPass struct{}
 
 // Name implements core.Pass.
