@@ -24,8 +24,8 @@ func main() {
 	exp := flag.String("experiment", "all",
 		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, timing (comma separated or 'all')")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (iterations multiplier)")
-	jobs := flag.Int("jobs", 0, "pass-manager worker threads for every gobolt run (0 = GOMAXPROCS, 1 = serial)")
-	timePasses := flag.Bool("time-passes", false, "run the 'timing' experiment (per-pass wall time at jobs=1 vs -jobs) even when not listed")
+	jobs := flag.Int("jobs", 0, "worker threads for every gobolt run's parallel phases — loader, function passes, emission (0 = GOMAXPROCS, 1 = serial)")
+	timePasses := flag.Bool("time-passes", false, "run the 'timing' experiment (load/pass/emit wall time at jobs=1 vs -jobs) even when not listed")
 	heatOut := flag.String("heat-out", "", "write Figure 9 heat maps (CSV + text) with this path prefix")
 	flag.Parse()
 

@@ -38,7 +38,7 @@ func main() {
 	shrinkWrap := flag.Bool("shrink-wrapping", true, "move cold-only callee-saved spills")
 	sctc := flag.Bool("sctc", true, "simplify conditional tail calls")
 	lite := flag.Bool("lite", false, "only process functions with profile samples")
-	jobs := flag.Int("jobs", 0, "worker threads for function passes (0 = GOMAXPROCS, 1 = serial)")
+	jobs := flag.Int("jobs", 0, "worker threads for the parallel phases — loader disasm+CFG, function passes, code emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "print per-pass wall time and stat deltas")
 	dynoStats := flag.Bool("dyno-stats", false, "print dyno stats before/after")
 	badLayout := flag.Bool("report-bad-layout", false, "report cold blocks between hot blocks and exit")
@@ -134,13 +134,15 @@ func main() {
 	if err := pm.Run(ctx, passes.BuildPipeline(opts)); err != nil {
 		fatal(err)
 	}
-	if *timePasses {
-		core.WriteTimings(os.Stdout, pm.Timings)
-	}
 	if *dynoStats {
 		core.PrintComparison(os.Stdout, input, before, ctx.CollectDynoStats())
 	}
 	res, err := ctx.Rewrite()
+	if *timePasses {
+		// Printed after Rewrite so the report includes the loader and
+		// emission phases next to the passes.
+		core.WriteFullTimings(os.Stdout, ctx)
+	}
 	if err != nil {
 		fatal(err)
 	}

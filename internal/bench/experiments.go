@@ -519,10 +519,12 @@ func ICF(scale Scale) (*ICFResult, string, error) {
 	return res, report, nil
 }
 
-// PipelineScaling measures pass-pipeline wall time at jobs=1 versus
-// jobs=N on a bundled workload, prints both -time-passes reports, and
-// verifies the two runs produced identical pass statistics (the
-// byte-level determinism twin of this check lives in the test suite).
+// PipelineScaling measures end-to-end pipeline wall time — loader
+// (discovery, disassembly+CFG), optimization passes, and emission
+// (code generation, layout+patch) — at jobs=1 versus jobs=N on a bundled
+// workload, prints both full -time-passes reports, and verifies the two
+// runs produced identical statistics and byte-identical binaries (the
+// race-instrumented twin of this check lives in the test suite).
 func PipelineScaling(scale Scale, jobs int) (string, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -538,25 +540,24 @@ func PipelineScaling(scale Scale, jobs int) (string, error) {
 		return "", err
 	}
 
-	run := func(j int) (*core.BinaryContext, []core.PassTiming, time.Duration, error) {
+	run := func(j int) (*core.BinaryContext, []byte, time.Duration, error) {
 		opts := boltOptions()
 		opts.Jobs = j
-		ctx, err := core.NewContext(f, opts)
+		start := time.Now()
+		res, ctx, err := passes.Optimize(f, fd, opts)
+		d := time.Since(start)
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		ctx.ApplyProfile(fd)
-		pm := core.NewPassManager(j)
-		start := time.Now()
-		err = pm.Run(ctx, passes.BuildPipeline(opts))
-		return ctx, pm.Timings, time.Since(start), err
+		raw, err := res.File.Bytes()
+		return ctx, raw, d, err
 	}
 
-	ctx1, t1, d1, err := run(1)
+	ctx1, raw1, d1, err := run(1)
 	if err != nil {
 		return "", err
 	}
-	ctxN, tN, dN, err := run(jobs)
+	ctxN, rawN, dN, err := run(jobs)
 	if err != nil {
 		return "", err
 	}
@@ -564,16 +565,20 @@ func PipelineScaling(scale Scale, jobs int) (string, error) {
 		return "", fmt.Errorf("bench: stats diverge across worker counts:\n  jobs=1: %v\n  jobs=%d: %v",
 			ctx1.Stats, jobs, ctxN.Stats)
 	}
+	if !bytes.Equal(raw1, rawN) {
+		return "", fmt.Errorf("bench: emitted binaries differ across worker counts (%d vs %d bytes)",
+			len(raw1), len(rawN))
+	}
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Pipeline scaling on %s (%d simple functions, GOMAXPROCS=%d)\n",
 		spec.Name, len(ctx1.SimpleFuncs()), runtime.GOMAXPROCS(0))
 	fmt.Fprintf(&sb, "\n-- jobs=1 --\n")
-	core.WriteTimings(&sb, t1)
+	core.WriteFullTimings(&sb, ctx1)
 	fmt.Fprintf(&sb, "\n-- jobs=%d --\n", jobs)
-	core.WriteTimings(&sb, tN)
+	core.WriteFullTimings(&sb, ctxN)
 	speedup := float64(d1) / float64(dN)
-	fmt.Fprintf(&sb, "\npipeline wall time: %v (jobs=1) -> %v (jobs=%d), %.2fx; stats identical\n",
+	fmt.Fprintf(&sb, "\npipeline wall time (load+passes+emit): %v (jobs=1) -> %v (jobs=%d), %.2fx; stats identical; binaries byte-identical\n",
 		d1.Round(time.Microsecond), dN.Round(time.Microsecond), jobs, speedup)
 	if runtime.GOMAXPROCS(0) == 1 {
 		sb.WriteString("(single-CPU host: worker-pool speedup cannot materialize; expect ~1.0x)\n")

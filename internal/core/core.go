@@ -13,7 +13,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -55,7 +54,9 @@ type Options struct {
 	// target for indirect-call promotion (e.g. 0.51).
 	ICPThreshold float64
 
-	// Jobs bounds the PassManager worker pool for function passes
+	// Jobs bounds the worker pools of every parallel pipeline phase:
+	// the loader's per-function disassembly+CFG stage, the PassManager's
+	// function passes, and the emitter's per-function code generation
 	// (0 = GOMAXPROCS, 1 = fully serial). Output is bit-identical for
 	// every value.
 	Jobs int
@@ -208,6 +209,11 @@ type BinaryFunction struct {
 	// a reference to another function.
 	FoldedInto *BinaryFunction
 
+	// ICFKey caches the congruence key computed by the (parallel) ICF
+	// hash pass; the sequential fold pass consumes and clears it, so a
+	// stale key never survives into a later round.
+	ICFKey string
+
 	// IsSplit marks functions whose cold blocks go to the cold section.
 	IsSplit bool
 
@@ -217,6 +223,9 @@ type BinaryFunction struct {
 
 	jtPending map[int]*pendingJT
 	instIndex map[uint64]instRef
+	// keyBuf is InternState's reusable key-encoding scratch. Safe because
+	// a function is only ever mutated by the one worker that owns it.
+	keyBuf []byte
 }
 
 type instRef struct {
@@ -243,18 +252,21 @@ func (f *BinaryFunction) buildInstIndex() {
 // NumBlocks returns the block count.
 func (f *BinaryFunction) NumBlocks() int { return len(f.Blocks) }
 
-// InternState interns a CFI state and returns its index.
+// InternState interns a CFI state and returns its index. It is hot under
+// the parallel loader (one call per instruction of every framed
+// function), so the lookup key is encoded into a reusable scratch buffer
+// and only materialized as a string on first insertion.
 func (f *BinaryFunction) InternState(st cfi.State) int32 {
-	key := stateKey(st)
+	f.keyBuf = appendStateKey(f.keyBuf[:0], st)
+	if i, ok := f.stateKeys[string(f.keyBuf)]; ok {
+		return i
+	}
 	if f.stateKeys == nil {
 		f.stateKeys = map[string]int32{}
 	}
-	if i, ok := f.stateKeys[key]; ok {
-		return i
-	}
 	i := int32(len(f.cfiStates))
 	f.cfiStates = append(f.cfiStates, cloneState(st))
-	f.stateKeys[key] = i
+	f.stateKeys[string(f.keyBuf)] = i
 	return i
 }
 
@@ -266,17 +278,35 @@ func (f *BinaryFunction) StateAt(idx int32) *cfi.State {
 	return &f.cfiStates[idx]
 }
 
-func stateKey(st cfi.State) string {
-	regs := make([]int, 0, len(st.Saved))
+// appendStateKey encodes a CFI state into buf as a compact comparable
+// key: CFA register and offset, then the saved-register set sorted by
+// register number with each register's CFA offset. The layout
+// (5 + 5*len(Saved) bytes) is unambiguous, so two states map to the same
+// key iff they are equal. This replaces a fmt.Sprintf renderer that
+// allocated several strings per call.
+func appendStateKey(buf []byte, st cfi.State) []byte {
+	buf = append(buf, st.CfaReg,
+		byte(st.CfaOff), byte(st.CfaOff>>8), byte(st.CfaOff>>16), byte(st.CfaOff>>24))
+	if len(st.Saved) == 0 {
+		return buf
+	}
+	regsAt := len(buf)
 	for r := range st.Saved {
-		regs = append(regs, int(r))
+		buf = append(buf, r)
 	}
-	sort.Ints(regs)
-	key := fmt.Sprintf("%d:%d", st.CfaReg, st.CfaOff)
+	// Insertion sort: the saved set is a handful of callee-saved
+	// registers at most.
+	regs := buf[regsAt:]
+	for i := 1; i < len(regs); i++ {
+		for j := i; j > 0 && regs[j] < regs[j-1]; j-- {
+			regs[j], regs[j-1] = regs[j-1], regs[j]
+		}
+	}
 	for _, r := range regs {
-		key += fmt.Sprintf(";%d=%d", r, st.Saved[uint8(r)])
+		off := st.Saved[r]
+		buf = append(buf, byte(off), byte(off>>8), byte(off>>16), byte(off>>24))
 	}
-	return key
+	return buf
 }
 
 func cloneState(st cfi.State) cfi.State {
@@ -371,6 +401,14 @@ type BinaryContext struct {
 	// PassTimings is the instrumentation record of the last PassManager
 	// run (one entry per pass, pipeline order).
 	PassTimings []PassTiming
+
+	// LoadTimings records the loader phases (serial discovery, parallel
+	// disassembly+CFG), set by NewContext. EmitTimings records the
+	// emission phases (parallel per-function code generation, serial
+	// layout+patch), set by Rewrite. WriteFullTimings renders all three
+	// timing groups as one report.
+	LoadTimings []PassTiming
+	EmitTimings []PassTiming
 }
 
 // FuncByAddr returns the function starting at addr.

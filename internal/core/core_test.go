@@ -138,6 +138,28 @@ func TestStateInterning(t *testing.T) {
 	if fn.InternState(s2) == a {
 		t.Fatal("distinct states must not collide")
 	}
+	// The compact key must be insensitive to map iteration order: a
+	// multi-register state interned twice (maps built in different
+	// insertion orders) yields one index.
+	s3 := InitialStateForTest()
+	s3.Saved[3], s3.Saved[6], s3.Saved[12] = -24, -16, -8
+	s4 := InitialStateForTest()
+	s4.Saved[12], s4.Saved[6], s4.Saved[3] = -8, -16, -24
+	if fn.InternState(s3) != fn.InternState(s4) {
+		t.Fatal("saved-register order must not affect the interned key")
+	}
+	// Same registers, one differing offset: distinct.
+	s5 := InitialStateForTest()
+	s5.Saved[3], s5.Saved[6], s5.Saved[12] = -24, -16, -80
+	if fn.InternState(s5) == fn.InternState(s3) {
+		t.Fatal("states differing only in a saved offset must not collide")
+	}
+	// Negative CFA offsets must round-trip through the encoding.
+	s6 := InitialStateForTest()
+	s6.CfaOff = -8
+	if fn.InternState(s6) == fn.InternState(InitialStateForTest()) {
+		t.Fatal("states differing in CFA offset must not collide")
+	}
 }
 
 func TestRewriteRequiresRelocs(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gobolt/internal/cfi"
 	"gobolt/internal/dbg"
@@ -11,11 +12,19 @@ import (
 )
 
 // NewContext discovers functions, disassembles them, and builds CFGs —
-// the front half of the Figure 3 pipeline.
+// the front half of the Figure 3 pipeline. It runs in two stages: a
+// serial discovery phase (symbols, relocations, CFI/LSDA, PLT stubs)
+// that finalizes the function list and every shared map, then a parallel
+// per-function phase (disassembly, CFG construction, CFI/LSDA
+// attachment) fanned out over opts.Jobs workers — safe because after
+// discovery a worker only writes state local to the function it was
+// handed, plus a private stats shard merged at the join. The resulting
+// context is identical for every worker count.
 func NewContext(f *elfx.File, opts Options) (*BinaryContext, error) {
 	if opts.AlignFunctions == 0 {
 		opts.AlignFunctions = 16
 	}
+	discoverStart := time.Now()
 	ctx := &BinaryContext{
 		File:        f,
 		Opts:        opts,
@@ -96,24 +105,56 @@ func NewContext(f *elfx.File, opts Options) (*BinaryContext, error) {
 		ctx.byAddr[sym.Value] = fn
 	}
 	sort.Slice(ctx.Funcs, func(i, j int) bool { return ctx.Funcs[i].Addr < ctx.Funcs[j].Addr })
+	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
+		Name: "load:discover", Wall: time.Since(discoverStart), Jobs: 1,
+	})
 
-	for _, fn := range ctx.Funcs {
-		if err := ctx.disassemble(fn); err != nil {
-			// Non-simple rather than fatal: precise disassembly is
-			// undecidable in general (§3.3).
-			fn.Simple = false
-			fn.Reason = err.Error()
-			continue
-		}
+	// Parallel per-function phase. The shared maps (byAddr, ByName,
+	// PLTStubs, textRelocs) and the address-sorted function list are
+	// frozen above; from here every worker touches only the function it
+	// was handed.
+	loadStart := time.Now()
+	jobs := effectiveJobs(opts.Jobs, len(ctx.Funcs))
+	shards := make([]map[string]int64, jobs)
+	for w := range shards {
+		shards[w] = map[string]int64{}
 	}
-	for _, fn := range ctx.Funcs {
-		if fn.Simple {
-			ctx.buildCFG(fn)
-			ctx.attachCFI(fn)
-			ctx.attachLSDA(fn)
-		}
+	parallelFor(len(ctx.Funcs), jobs, func(w, i int) error {
+		ctx.loadFunction(ctx.Funcs[i], shards[w])
+		return nil
+	})
+	for _, s := range shards {
+		ctx.mergeStats(s)
 	}
+	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
+		Name: "load:disasm+cfg", Wall: time.Since(loadStart),
+		Funcs: len(ctx.Funcs), Parallel: jobs > 1, Jobs: jobs,
+		StatDelta: statDelta(nil, ctx.statsSnapshot()),
+	})
 	return ctx, nil
+}
+
+// loadFunction is the per-function half of the loader: linear
+// disassembly, CFG construction, and CFI/LSDA attachment. Failures mark
+// the function non-simple rather than fatal: precise disassembly is
+// undecidable in general (§3.3). It writes only fn-local state and the
+// caller's private stats shard.
+func (ctx *BinaryContext) loadFunction(fn *BinaryFunction, stats map[string]int64) {
+	if err := ctx.disassemble(fn); err != nil {
+		fn.Simple = false
+		fn.Reason = err.Error()
+	}
+	if fn.Simple {
+		ctx.buildCFG(fn)
+		ctx.attachCFI(fn)
+		ctx.attachLSDA(fn)
+	}
+	if fn.Simple {
+		stats["load-simple"]++
+		stats["load-blocks"] += int64(len(fn.Blocks))
+	} else {
+		stats["load-non-simple"]++
+	}
 }
 
 // discoverPLTStub decodes `jmp *GOT(%rip)` and resolves the target

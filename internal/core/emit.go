@@ -63,7 +63,11 @@ func fragmentBlocks(fn *BinaryFunction) (hot, cold []*BasicBlock) {
 // emitFunction assembles the function's current block layout into machine
 // code: terminators are materialized against the layout (the
 // fixup-branches responsibility), CFI is spliced by state diffing, and
-// exception call sites are collected per fragment.
+// exception call sites are collected per fragment. Everything it reads
+// and writes (including the JCC inversion persisted into the CFG) is
+// local to fn, so Rewrite safely calls it concurrently — one worker per
+// function — with all cross-function address resolution deferred to the
+// serial layout step.
 func emitFunction(fn *BinaryFunction) (*emitted, error) {
 	hot, cold := fragmentBlocks(fn)
 	if len(hot) == 0 || !hot[0].IsEntry {

@@ -5,8 +5,6 @@ import (
 	"io"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -133,10 +131,9 @@ func (pm *PassManager) Run(ctx *BinaryContext, passes []Pass) error {
 	return nil
 }
 
-// runFunctionPass fans one FunctionPass out over the worker pool. Work is
-// handed out by an atomic cursor over the snapshotted function list; each
-// worker owns a private stats shard, merged after the join. On error the
-// pool drains and the failure attributed to the lowest function index is
+// runFunctionPass fans one FunctionPass out over the worker pool via
+// parallelFor; each worker owns a private stats shard, merged after the
+// join. On error the failure attributed to the lowest function index is
 // reported, keeping messages stable across schedules.
 func (pm *PassManager) runFunctionPass(ctx *BinaryContext, fp FunctionPass) (int, int, error) {
 	funcs := ctx.SimpleFuncs()
@@ -148,43 +145,18 @@ func (pm *PassManager) runFunctionPass(ctx *BinaryContext, fp FunctionPass) (int
 		return len(funcs), 1, runSerialFunctionPass(ctx, fp, funcs)
 	}
 
-	var (
-		cursor atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-		errMu  sync.Mutex
-	)
-	errIdx, firstErr := -1, error(nil)
-	shards := make([]map[string]int64, jobs)
-	for w := 0; w < jobs; w++ {
-		shards[w] = map[string]int64{}
-		wg.Add(1)
-		go func(shard map[string]int64) {
-			defer wg.Done()
-			fc := &FuncCtx{BinaryContext: ctx, stats: shard}
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(funcs) || failed.Load() {
-					return
-				}
-				if err := fp.RunOnFunction(fc, funcs[i]); err != nil {
-					errMu.Lock()
-					if errIdx < 0 || i < errIdx {
-						errIdx, firstErr = i, err
-					}
-					errMu.Unlock()
-					failed.Store(true)
-					return
-				}
-			}
-		}(shards[w])
+	workers := make([]*FuncCtx, jobs)
+	for w := range workers {
+		workers[w] = newFuncCtx(ctx)
 	}
-	wg.Wait()
-	for _, s := range shards {
-		ctx.mergeStats(s)
+	errIdx, err := parallelFor(len(funcs), jobs, func(w, i int) error {
+		return fp.RunOnFunction(workers[w], funcs[i])
+	})
+	for _, fc := range workers {
+		ctx.mergeStats(fc.stats)
 	}
-	if firstErr != nil {
-		return len(funcs), jobs, fmt.Errorf("%s: %w", funcs[errIdx].Name, firstErr)
+	if err != nil {
+		return len(funcs), jobs, fmt.Errorf("%s: %w", funcs[errIdx].Name, err)
 	}
 	return len(funcs), jobs, nil
 }
@@ -201,6 +173,20 @@ func statDelta(before, after map[string]int64) map[string]int64 {
 		}
 	}
 	return out
+}
+
+// WriteFullTimings renders the -time-passes report for the whole
+// pipeline: the loader phases (discovery, parallel disassembly+CFG), the
+// optimization passes, and the emission phases (parallel code
+// generation, serial layout+patch), in execution order with one shared
+// total — so the serial→parallel win of each phase is visible in the
+// same table.
+func WriteFullTimings(w io.Writer, ctx *BinaryContext) {
+	all := make([]PassTiming, 0, len(ctx.LoadTimings)+len(ctx.PassTimings)+len(ctx.EmitTimings))
+	all = append(all, ctx.LoadTimings...)
+	all = append(all, ctx.PassTimings...)
+	all = append(all, ctx.EmitTimings...)
+	WriteTimings(w, all)
 }
 
 // WriteTimings renders the -time-passes report: per-pass wall time, share

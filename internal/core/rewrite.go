@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"gobolt/internal/cfi"
 	"gobolt/internal/dbg"
@@ -37,6 +38,7 @@ func (ctx *BinaryContext) Rewrite() (*RewriteResult, error) {
 	}
 	f := ctx.File
 	res := &RewriteResult{}
+	ctx.EmitTimings = nil
 
 	// Ordered list of functions to move.
 	moved := ctx.orderedSimpleFuncs()
@@ -48,15 +50,29 @@ func (ctx *BinaryContext) Rewrite() (*RewriteResult, error) {
 		}
 	}
 
-	// Emit.
-	var emits []*emitted
-	for _, fn := range moved {
-		e, err := emitFunction(fn)
+	// Emit every hot/cold fragment concurrently into per-function
+	// buffers. Each emitFunction call reads and writes only its own
+	// function, and results land at a fixed slice index, so the layout
+	// below — and therefore the output bytes — are identical for any
+	// worker count.
+	emitStart := time.Now()
+	emits := make([]*emitted, len(moved))
+	jobs := effectiveJobs(ctx.Opts.Jobs, len(moved))
+	if _, err := parallelFor(len(moved), jobs, func(_, i int) error {
+		e, err := emitFunction(moved[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		emits = append(emits, e)
+		emits[i] = e
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	ctx.EmitTimings = append(ctx.EmitTimings, PassTiming{
+		Name: "emit:functions", Wall: time.Since(emitStart),
+		Funcs: len(moved), Parallel: jobs > 1, Jobs: jobs,
+	})
+	layoutStart := time.Now()
 
 	// New section layout after the last alloc section.
 	align := func(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
@@ -497,6 +513,9 @@ func (ctx *BinaryContext) Rewrite() (*RewriteResult, error) {
 	if v, ok := finalFuncAddr("_start"); ok {
 		out.Entry = v
 	}
+	ctx.EmitTimings = append(ctx.EmitTimings, PassTiming{
+		Name: "emit:layout+patch", Wall: time.Since(layoutStart), Jobs: 1,
+	})
 	res.File = out
 	return res, nil
 }

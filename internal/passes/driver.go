@@ -10,10 +10,12 @@ import (
 
 // Optimize runs the complete Figure 3 pipeline on a linked binary:
 // discovery, disassembly, CFG construction, profile application, the
-// Table 1 pass sequence, emission, and ELF rewriting. Function passes are
-// scheduled over a worker pool sized by opts.Jobs (0 = GOMAXPROCS); the
-// emitted binary is bit-identical for every worker count. Per-pass
-// timing lands on ctx.PassTimings for the -time-passes report. It
+// Table 1 pass sequence, emission, and ELF rewriting. Every per-function
+// stage — the loader's disassembly+CFG phase, the function passes, ICF
+// key hashing, and code emission — is scheduled over a worker pool sized
+// by opts.Jobs (0 = GOMAXPROCS); the emitted binary is bit-identical for
+// every worker count. Phase timing lands on ctx.LoadTimings,
+// ctx.PassTimings, and ctx.EmitTimings for the -time-passes report. It
 // returns the rewrite result plus the context (for reports: dyno-stats,
 // CFG dumps, bad-layout findings, pass timings).
 func Optimize(f *elfx.File, fd *profile.Fdata, opts core.Options) (*core.RewriteResult, *core.BinaryContext, error) {
@@ -28,10 +30,12 @@ func Optimize(f *elfx.File, fd *profile.Fdata, opts core.Options) (*core.Rewrite
 	if err := pm.Run(ctx, BuildPipeline(opts)); err != nil {
 		return nil, ctx, err
 	}
-	if opts.TimePasses {
-		core.WriteTimings(os.Stderr, pm.Timings)
-	}
 	res, err := ctx.Rewrite()
+	if opts.TimePasses {
+		// After Rewrite so the report covers all three pipeline stages:
+		// loader, passes, and emission.
+		core.WriteFullTimings(os.Stderr, ctx)
+	}
 	if err != nil {
 		return nil, ctx, err
 	}

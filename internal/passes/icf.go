@@ -15,25 +15,63 @@ import (
 // external references symbolized (paper §4: ~3% size win over the
 // linker's pass on HHVM).
 //
-// ICF is a whole-binary pass (a sequential barrier under the
-// PassManager): folding compares and mutates arbitrary function pairs,
-// so it cannot run per-function.
+// ICF runs in two pipeline steps: key computation is sharded across the
+// worker pool (ICFHash, a FunctionPass — each function's congruence key
+// depends only on that function), while the fold itself stays a short
+// sequential barrier (ICF.Run compares and mutates arbitrary function
+// pairs, so it cannot run per-function). Splitting the expensive half
+// out takes both ICF rounds off the whole-binary barrier list.
+
+// ICFHash computes each candidate function's congruence key ahead of
+// the fold. Schedule it (via ForEachFunction) immediately before the
+// matching ICF round.
+type ICFHash struct{ Round int }
+
+// Name implements core.FunctionPass.
+func (p ICFHash) Name() string { return fmt.Sprintf("icf-%d-hash", p.Round) }
+
+// RunOnFunction implements core.FunctionPass.
+func (p ICFHash) RunOnFunction(fc *core.FuncCtx, fn *core.BinaryFunction) error {
+	if icfEligible(fn) {
+		fn.ICFKey = icfKey(fn)
+		fc.CountStat("icf-hashed", 1)
+	}
+	return nil
+}
+
+// icfEligible reports whether ICF may consider folding fn.
+func icfEligible(fn *core.BinaryFunction) bool {
+	if !fn.Simple || fn.FoldedInto != nil || fn.Name == "_start" {
+		return false
+	}
+	// Conservative: exception tables complicate folding.
+	return !fn.HasLSDA
+}
+
+// ICF is the fold step: a sequential barrier that buckets the
+// precomputed keys and folds congruent functions.
 type ICF struct{ Round int }
 
 // Name implements core.Pass.
 func (p ICF) Name() string { return fmt.Sprintf("icf-%d", p.Round) }
 
-// Run implements core.Pass.
+// Run implements core.Pass. Functions are visited in the context's
+// address-sorted order, so the kept (canonical) member of every bucket
+// is deterministic regardless of how the keys were computed.
 func (p ICF) Run(ctx *core.BinaryContext) error {
 	buckets := map[string]*core.BinaryFunction{}
 	for _, fn := range ctx.Funcs {
-		if !fn.Simple || fn.FoldedInto != nil || fn.Name == "_start" {
+		if !icfEligible(fn) {
 			continue
 		}
-		if fn.HasLSDA {
-			continue // conservative: exception tables complicate folding
+		key := fn.ICFKey
+		// Consume the cached key: bodies may change before the next
+		// round recomputes it. Compute on demand when ICF runs without
+		// a preceding ICFHash pass.
+		fn.ICFKey = ""
+		if key == "" {
+			key = icfKey(fn)
 		}
-		key := icfKey(fn)
 		if kept, ok := buckets[key]; ok {
 			fn.FoldedInto = kept
 			kept.Aliases = append(kept.Aliases, fn.Name)

@@ -1,9 +1,11 @@
 // Package passes implements gobolt's optimization pipeline: the sixteen
 // transformations of the paper's Table 1, in order. Per-function
 // transformations are core.FunctionPass (schedulable over the
-// PassManager's worker pool); whole-binary analyses (ICF, ICP,
-// inline-small, reorder-functions, plt) are core.Pass and run as
-// sequential barriers between the parallel regions.
+// PassManager's worker pool); whole-binary analyses (ICP, inline-small,
+// reorder-functions, plt, and ICF's fold step) are core.Pass and run as
+// sequential barriers between the parallel regions. ICF's expensive
+// half — congruence-key hashing — is a FunctionPass (ICFHash), so only
+// the cheap bucket-and-fold step remains a barrier.
 package passes
 
 import (
@@ -13,7 +15,7 @@ import (
 // BuildPipeline returns the Table 1 sequence, honoring the options.
 //
 //  1. strip-rep-ret      9. reorder-bbs (+ splitting)
-//  2. icf               10. peepholes (second run)
+//  2. icf (hash ∥, fold) 10. peepholes (second run)
 //  3. icp               11. uce
 //  4. peepholes         12. fixup-branches (folded into emission)
 //  5. inline-small      13. reorder-functions (HFSort)
@@ -32,11 +34,13 @@ func BuildPipeline(opts core.Options) []core.Pass {
 	}
 	each(opts.Lite, LiteFilter{})
 	each(opts.StripRepRet, StripRepRet{})
+	each(opts.ICF, ICFHash{Round: 1})
 	add(opts.ICF, ICF{Round: 1})
 	add(opts.ICP, ICP{})
 	each(opts.Peepholes, Peepholes{Round: 1})
 	add(opts.InlineSmall, InlineSmall{})
 	each(opts.SimplifyROLoads, SimplifyROLoads{})
+	each(opts.ICF, ICFHash{Round: 2})
 	add(opts.ICF, ICF{Round: 2})
 	add(opts.PLT, PLTPass{})
 	each(true, ReorderBBs{})
