@@ -22,7 +22,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, timing (comma separated or 'all')")
+		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, timing (comma separated or 'all')")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (iterations multiplier)")
 	jobs := flag.Int("jobs", 0, "worker threads for every gobolt run's parallel phases — loader, function passes, emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "run the 'timing' experiment (load/pass/emit wall time at jobs=1 vs -jobs) even when not listed")
@@ -32,7 +32,7 @@ func main() {
 	bench.SetBoltJobs(*jobs)
 	list := strings.Split(*exp, ",")
 	if *exp == "all" {
-		list = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "events", "icf", "fig2"}
+		list = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "events", "icf", "fig2", "continuous"}
 	}
 	if *timePasses && !strings.Contains(*exp, "timing") {
 		list = append(list, "timing")
@@ -81,6 +81,8 @@ func main() {
 			_, report, err = bench.ICF(sc)
 		case "fig2":
 			report, err = bench.Fig2Report(sc)
+		case "continuous":
+			_, report, err = bench.Continuous(sc)
 		case "timing":
 			report, err = bench.PipelineScaling(sc, *jobs)
 		default:

@@ -37,6 +37,8 @@ func main() {
 	frameOpts := flag.Bool("frame-opts", true, "remove dead caller-saved spills")
 	shrinkWrap := flag.Bool("shrink-wrapping", true, "move cold-only callee-saved spills")
 	sctc := flag.Bool("sctc", true, "simplify conditional tail calls")
+	enableBAT := flag.Bool("enable-bat", true, "write the BOLT Address Translation table (.bolt.bat) for continuous profiling")
+	staleMatch := flag.Bool("stale-matching", true, "recover stale profile records via CFG shape matching (v2 profiles)")
 	lite := flag.Bool("lite", false, "only process functions with profile samples")
 	jobs := flag.Int("jobs", 0, "worker threads for the parallel phases — loader disasm+CFG, function passes, code emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "print per-pass wall time and stat deltas")
@@ -62,6 +64,8 @@ func main() {
 	opts.FrameOpts = *frameOpts
 	opts.ShrinkWrapping = *shrinkWrap
 	opts.SCTC = *sctc
+	opts.EnableBAT = *enableBAT
+	opts.StaleMatching = *staleMatch
 	opts.Lite = *lite
 	opts.Jobs = *jobs
 	opts.TimePasses = *timePasses

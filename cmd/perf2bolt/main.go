@@ -1,11 +1,23 @@
 // Command perf2bolt converts raw VM-perf sample data into an fdata
 // profile, symbolized against the profiled binary. In this toolchain the
 // sampler (vmrun -record) already performs aggregation+symbolization, so
-// perf2bolt's job is validation and re-symbolization: it parses a profile,
-// checks every location against the binary's symbol table, drops records
-// that no longer resolve, and rewrites the file.
+// perf2bolt's job is validation, translation, and re-symbolization:
+//
+//   - Plain mode parses a profile, checks every location against the
+//     binary's symbol table, drops records that no longer resolve, and
+//     rewrites the file.
+//   - When the binary carries a .bolt.bat section (it was produced by
+//     gobolt), the profile was sampled on *optimized* code; perf2bolt
+//     translates every location back to input-binary coordinates through
+//     the BOLT Address Translation table, so the output feeds a fresh
+//     gobolt run on the original binary (§7.3 continuous profiling).
+//   - Merge mode (BOLT's merge-fdata) aggregates N profile shards from
+//     parallel runs into one deterministic profile.
+//
+// Usage:
 //
 //	perf2bolt -p perf.fdata -o clean.fdata binary
+//	perf2bolt -merge -o merged.fdata shard1.fdata shard2.fdata ...
 package main
 
 import (
@@ -13,37 +25,63 @@ import (
 	"fmt"
 	"os"
 
+	"gobolt/internal/bat"
 	"gobolt/internal/elfx"
+	"gobolt/internal/par"
 	"gobolt/internal/profile"
 )
 
 func main() {
 	in := flag.String("p", "", "input profile")
 	out := flag.String("o", "", "output profile (default: overwrite input)")
+	merge := flag.Bool("merge", false, "merge N profile shards (args are fdata files, no binary)")
+	jobs := flag.Int("jobs", 0, "worker threads for parsing merge shards (0 = GOMAXPROCS)")
+	translate := flag.Bool("translate", true, "translate through the binary's .bolt.bat section when present")
 	flag.Parse()
+
+	if *merge {
+		runMerge(flag.Args(), *out, *jobs)
+		return
+	}
 	if flag.NArg() != 1 || *in == "" {
 		fmt.Fprintln(os.Stderr, "usage: perf2bolt -p perf.fdata [-o out.fdata] <binary>")
+		fmt.Fprintln(os.Stderr, "       perf2bolt -merge -o out.fdata <shard.fdata>...")
 		os.Exit(2)
 	}
 	f, err := elfx.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	r, err := os.Open(*in)
+	fd, err := parseFile(*in)
 	if err != nil {
 		fatal(err)
 	}
-	fd, err := profile.Parse(r)
-	r.Close()
-	if err != nil {
-		fatal(err)
+
+	// Translation mode: the binary is a gobolt output; rewrite the
+	// profile into input-binary coordinates through its BAT table.
+	// -translate=false skips even reading the section, so a corrupt
+	// table can always be bypassed.
+	var table *bat.Table
+	if *translate {
+		if table, err = bat.FromFile(f); err != nil {
+			fatal(err)
+		}
+	}
+	if table != nil {
+		kept, st := bat.TranslateProfile(fd, f, table)
+		writeProfile(kept, *in, *out)
+		fmt.Printf("perf2bolt: %s: translated via BAT (%d funcs, %d ranges): %d branch records, %d samples kept; counts: %d translated, %d passthrough, %d dropped -> %s\n",
+			flag.Arg(0), len(table.Funcs), len(table.Ranges),
+			len(kept.Branches), len(kept.Samples),
+			st.TranslatedBranches+st.TranslatedSamples, st.PassthroughCount, st.DroppedCount, outPath(*in, *out))
+		return
 	}
 
 	resolves := func(l profile.Loc) bool {
 		sym, ok := f.SymbolByName(l.Sym)
 		return ok && l.Off < sym.Size
 	}
-	kept := &profile.Fdata{LBR: fd.LBR, Event: fd.Event}
+	kept := &profile.Fdata{LBR: fd.LBR, Event: fd.Event, Shapes: fd.Shapes}
 	dropped := 0
 	for _, b := range fd.Branches {
 		if resolves(b.From) && resolves(b.To) {
@@ -59,21 +97,63 @@ func main() {
 			dropped++
 		}
 	}
+	writeProfile(kept, *in, *out)
+	fmt.Printf("perf2bolt: %d branch records, %d samples kept (%d dropped) -> %s\n",
+		len(kept.Branches), len(kept.Samples), dropped, outPath(*in, *out))
+}
 
-	outPath := *out
-	if outPath == "" {
-		outPath = *in
+// runMerge implements merge-fdata: shards parse concurrently over the
+// shared worker pool, then fold into one deterministic profile.
+func runMerge(paths []string, out string, jobs int) {
+	if len(paths) == 0 || out == "" {
+		fmt.Fprintln(os.Stderr, "usage: perf2bolt -merge -o out.fdata <shard.fdata>...")
+		os.Exit(2)
 	}
-	w, err := os.Create(outPath)
+	shards := make([]*profile.Fdata, len(paths))
+	if _, err := par.For(len(paths), par.Jobs(jobs, len(paths)), func(_, i int) error {
+		fd, err := parseFile(paths[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", paths[i], err)
+		}
+		shards[i] = fd
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
+	merged, err := profile.Merge(shards)
 	if err != nil {
 		fatal(err)
 	}
-	if err := kept.Write(w); err != nil {
+	writeProfile(merged, "", out)
+	fmt.Printf("perf2bolt: merged %d shards: %d branch records (%d total count), %d samples -> %s\n",
+		len(paths), len(merged.Branches), merged.TotalBranchCount(), len(merged.Samples), out)
+}
+
+func parseFile(path string) (*profile.Fdata, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return profile.Parse(r)
+}
+
+func outPath(in, out string) string {
+	if out == "" {
+		return in
+	}
+	return out
+}
+
+func writeProfile(fd *profile.Fdata, in, out string) {
+	w, err := os.Create(outPath(in, out))
+	if err != nil {
+		fatal(err)
+	}
+	if err := fd.Write(w); err != nil {
 		fatal(err)
 	}
 	w.Close()
-	fmt.Printf("perf2bolt: %d branch records, %d samples kept (%d dropped) -> %s\n",
-		len(kept.Branches), len(kept.Samples), dropped, outPath)
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"gobolt/internal/core"
 	"gobolt/internal/elfx"
 	"gobolt/internal/perf"
 	"gobolt/internal/uarch"
@@ -21,6 +22,7 @@ func main() {
 	event := flag.String("event", "cycles", "sampling event: cycles|instructions|branches")
 	period := flag.Uint64("period", 4096, "sampling period (instructions)")
 	pebs := flag.Int("pebs", 0, "PEBS precision level 0-3 (non-LBR skid reduction)")
+	shapes := flag.Bool("shapes", true, "embed CFG block shapes in the profile (v2 format) for stale matching")
 	stat := flag.Bool("stat", false, "simulate the microarchitecture and print perf-stat counters")
 	maxInstr := flag.Uint64("max-instr", 0, "stop after N instructions (0 = run to halt)")
 	flag.Parse()
@@ -40,6 +42,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *shapes {
+			// Disassemble the profiled binary and embed its CFG shapes so
+			// a future gobolt run on a *different* build can stale-match
+			// this profile instead of dropping it.
+			if ctx, err := core.NewContext(f, core.Options{}); err == nil {
+				fd.Shapes = core.ComputeShapes(ctx)
+			} else {
+				fmt.Fprintf(os.Stderr, "vmrun: cannot derive CFG shapes (profile stays v1, stale matching unavailable): %v\n", err)
+			}
+		}
 		w, err := os.Create(*record)
 		if err != nil {
 			fatal(err)
@@ -48,8 +60,8 @@ func main() {
 			fatal(err)
 		}
 		w.Close()
-		fmt.Printf("vmrun: result=%d instructions=%d branches=%d (profile: %d branch records, %d samples)\n",
-			m.Result(), m.C.Instructions, m.C.Branches, len(fd.Branches), len(fd.Samples))
+		fmt.Printf("vmrun: result=%d instructions=%d branches=%d (profile: %d branch records, %d samples, %d shapes)\n",
+			m.Result(), m.C.Instructions, m.C.Branches, len(fd.Branches), len(fd.Samples), len(fd.Shapes))
 		return
 	}
 

@@ -1,0 +1,119 @@
+// Continuous profiling: the §7.3 "Beyond" loop in one file.
+//
+//	go run ./examples/continuous
+//
+// A data center never stops: by the time a binary is BOLTed and deployed,
+// the profile that built it is already aging. This example closes the
+// loop the way production BOLT does:
+//
+//  1. build and profile a binary, then optimize it (gobolt writes a
+//     .bolt.bat address-translation section into the output);
+//  2. keep sampling the *optimized* binary in "production";
+//  3. translate that profile back to input-binary coordinates through
+//     BAT (the perf2bolt -translate step);
+//  4. re-optimize the original binary with the translated profile — no
+//     un-optimized canary machines needed;
+//  5. ship a *new release* of the program and apply the same old
+//     profile: stale-profile shape matching (internal/stale) recovers
+//     the records whose offsets no longer resolve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gobolt/internal/bat"
+	"gobolt/internal/bench"
+	"gobolt/internal/cc"
+	"gobolt/internal/core"
+	"gobolt/internal/ld"
+	"gobolt/internal/passes"
+	"gobolt/internal/perf"
+	"gobolt/internal/uarch"
+	"gobolt/internal/workload"
+)
+
+func main() {
+	spec := workload.Tiny()
+	mode := perf.DefaultMode()
+
+	link := func(s workload.Spec) *ld.Result {
+		objs, err := cc.Compile(workload.Generate(s), cc.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ld.Link(objs, ld.Options{EmitRelocs: true, ICF: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	// 1. Build v1, profile it, embed CFG shapes (vmrun -record -shapes).
+	v1 := link(spec)
+	fd, _, err := perf.RecordFile(v1.File, mode, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, err := core.NewContext(v1.File, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fd.Shapes = core.ComputeShapes(ctx)
+	fmt.Printf("v1 profiled: %d branch records (total count %d), %d shapes\n",
+		len(fd.Branches), fd.TotalBranchCount(), len(fd.Shapes))
+
+	// 2. Optimize; the output carries the BAT section.
+	opt, _, err := passes.Optimize(v1.File, fd, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := bat.FromFile(opt.File)
+	if err != nil || table == nil {
+		log.Fatalf("no BAT table in optimized binary: %v", err)
+	}
+	fmt.Printf("bolted: %d functions moved; BAT maps %d ranges of %d functions\n",
+		opt.MovedFuncs, len(table.Ranges), len(table.Funcs))
+
+	// 3. Sample the optimized binary in "production" and translate.
+	fdProd, _, err := perf.RecordFile(opt.File, mode, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fdBack, st := bat.TranslateProfile(fdProd, opt.File, table)
+	fmt.Printf("production profile translated: %d counts moved back to input coordinates, %d passthrough, %d dropped\n",
+		st.TranslatedBranches, st.PassthroughCount, st.DroppedCount)
+
+	// 4. Re-optimize v1 with the translated profile and verify.
+	opt2, _, err := passes.Optimize(v1.File, fdBack, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb, err := bench.Measure(v1.File, uarch.DefaultConfig(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2, err := bench.Measure(opt2.File, uarch.DefaultConfig(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mb.Checksum != m2.Checksum {
+		log.Fatalf("BUG: checksum changed: %d -> %d", mb.Checksum, m2.Checksum)
+	}
+	fmt.Printf("re-bolted from production profile: %.2f%% speedup, identical result %d\n",
+		100*uarch.Speedup(mb.Metrics, m2.Metrics), m2.Checksum)
+
+	// 5. New release: same program, grown prologues. The old profile's
+	//    offsets are stale; shape matching recovers them.
+	spec2 := spec
+	spec2.EntryPadOps = 3
+	v2 := link(spec2)
+	ctx2, err := core.NewContext(v2.File, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx2.ApplyProfile(fd)
+	fmt.Printf("stale profile on v2: %d counts recovered by shape matching (%d funcs), %d dropped\n",
+		ctx2.Stats["profile-stale-count"], ctx2.Stats["profile-stale-funcs"],
+		ctx2.Stats["profile-stale-drop-count"])
+}

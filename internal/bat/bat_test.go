@@ -1,0 +1,120 @@
+package bat
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{}
+	fi := t.AddFunc("alpha", 0x80)
+	t.AddRange(Range{FuncIdx: fi, Start: 0x401000, Size: 0x30, Entries: []Entry{
+		{OutOff: 0x00, InOff: 0x00},
+		{OutOff: 0x08, InOff: 0x10}, // block moved forward
+		{OutOff: 0x10, InOff: 0x08}, // and one moved back (negative delta)
+		{OutOff: 0x20, InOff: 0x40},
+	}})
+	t.AddRange(Range{FuncIdx: fi, Start: 0x402000, Size: 0x10, Cold: true, Entries: []Entry{
+		{OutOff: 0x00, InOff: 0x60},
+		{OutOff: 0x06, InOff: 0x68},
+	}})
+	gi := t.AddFunc("beta", 0x20)
+	t.AddRange(Range{FuncIdx: gi, Start: 0x401040, Size: 0x10, Entries: []Entry{
+		{OutOff: 0x00, InOff: 0x00},
+	}})
+	return t
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	tab := sampleTable()
+	enc := tab.Encode()
+	got, err := Parse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Funcs, tab.Funcs) {
+		t.Fatalf("funcs diverge: %+v vs %+v", got.Funcs, tab.Funcs)
+	}
+	if !reflect.DeepEqual(got.Ranges, tab.Ranges) {
+		t.Fatalf("ranges diverge:\n got %+v\nwant %+v", got.Ranges, tab.Ranges)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := sampleTable().Encode()
+	b := sampleTable().Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same table differ")
+	}
+	// Encoding an already-encoded-and-parsed table is also stable.
+	parsed, err := Parse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parsed.Encode(), a) {
+		t.Fatal("re-encoding after parse differs")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	tab := sampleTable()
+	cases := []struct {
+		addr   uint64
+		fn     string
+		off    uint64
+		wantOK bool
+	}{
+		{0x401000, "alpha", 0x00, true},
+		{0x401008, "alpha", 0x10, true},
+		{0x401010, "alpha", 0x08, true},
+		{0x40100c, "alpha", 0x10, true}, // mid-anchor clamps back
+		{0x401025, "alpha", 0x40, true}, // past last anchor, inside range
+		{0x402000, "alpha", 0x60, true}, // cold fragment
+		{0x402006, "alpha", 0x68, true}, // cold fragment second anchor
+		{0x401040, "beta", 0x00, true},  // second function
+		{0x400fff, "", 0, false},        // before every range
+		{0x401030, "", 0, false},        // gap between ranges
+		{0x402010, "", 0, false},        // past the cold range
+		{0x500000, "", 0, false},        // far away
+	}
+	for _, c := range cases {
+		fn, off, ok := tab.Translate(c.addr)
+		if ok != c.wantOK || fn != c.fn || off != c.off {
+			t.Errorf("Translate(%#x) = (%q, %#x, %v), want (%q, %#x, %v)",
+				c.addr, fn, off, ok, c.fn, c.off, c.wantOK)
+		}
+	}
+}
+
+func TestParseRejectsCorrupt(t *testing.T) {
+	enc := sampleTable().Encode()
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("XXXX"),
+		enc[:4],
+		enc[:len(enc)-1],
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%d bytes) unexpectedly succeeded", len(bad))
+		}
+	}
+}
+
+func TestFuncSize(t *testing.T) {
+	tab := sampleTable()
+	if sz, ok := tab.FuncSize("alpha"); !ok || sz != 0x80 {
+		t.Fatalf("FuncSize(alpha) = %#x, %v", sz, ok)
+	}
+	// After a parse (funcIdx not pre-built) the lazy path must work too.
+	parsed, err := Parse(tab.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, ok := parsed.FuncSize("beta"); !ok || sz != 0x20 {
+		t.Fatalf("parsed FuncSize(beta) = %#x, %v", sz, ok)
+	}
+	if _, ok := parsed.FuncSize("gamma"); ok {
+		t.Fatal("FuncSize(gamma) unexpectedly resolved")
+	}
+}

@@ -1,0 +1,109 @@
+package bat
+
+import (
+	"fmt"
+
+	"gobolt/internal/elfx"
+	"gobolt/internal/profile"
+)
+
+// FromFile extracts and parses the BAT table of an optimized binary.
+// Returns (nil, nil) when the binary carries no .bolt.bat section — the
+// binary was not produced by gobolt, or BAT emission was disabled.
+func FromFile(f *elfx.File) (*Table, error) {
+	s := f.Section(SectionName)
+	if s == nil {
+		return nil, nil
+	}
+	t, err := Parse(s.Data)
+	if err != nil {
+		return nil, fmt.Errorf("bat: %s: %w", SectionName, err)
+	}
+	return t, nil
+}
+
+// TranslateStats reports what happened to each record count during
+// profile translation.
+type TranslateStats struct {
+	TranslatedBranches uint64 // branch count with >=1 endpoint translated
+	PassthroughCount   uint64 // records fully outside relocated code
+	DroppedCount       uint64 // records that could not be resolved at all
+	TranslatedSamples  uint64
+}
+
+// TranslateProfile rewrites a profile sampled on the optimized binary
+// (locations symbolized against *its* symbol table: moved functions at
+// their new addresses, cold fragments as name.cold.0 symbols) into
+// input-binary coordinates using the BAT table. Locations in unmoved code
+// pass through unchanged — their symbols kept their input addresses.
+// Records whose symbols cannot be resolved against the optimized binary
+// are dropped, as are translated locations that fall outside the input
+// function (defensive; should not happen). Shapes are discarded: they
+// describe the optimized binary's CFGs, which are meaningless in input
+// coordinates.
+func TranslateProfile(fd *profile.Fdata, f *elfx.File, t *Table) (*profile.Fdata, TranslateStats) {
+	var st TranslateStats
+	symAddr := make(map[string]uint64, len(f.Symbols))
+	symSize := make(map[string]uint64, len(f.Symbols))
+	for _, s := range f.Symbols {
+		if s.Type != elfx.STTFunc {
+			continue
+		}
+		if _, ok := symAddr[s.Name]; !ok {
+			symAddr[s.Name] = s.Value
+			symSize[s.Name] = s.Size
+		}
+	}
+
+	// translate maps one location; moved reports whether the BAT table
+	// rewrote it (vs a passthrough), ok whether it resolved at all.
+	translate := func(l profile.Loc) (out profile.Loc, moved, ok bool) {
+		base, known := symAddr[l.Sym]
+		if !known {
+			return l, false, false
+		}
+		if fn, off, hit := t.Translate(base + l.Off); hit {
+			if size, sok := t.FuncSize(fn); sok && off >= size {
+				return l, false, false
+			}
+			return profile.Loc{Sym: fn, Off: off}, true, true
+		}
+		// Unmoved code: the symbol's value and size are unchanged from
+		// the input binary, so the location is already in input
+		// coordinates; validate against the symbol extent.
+		if l.Off >= symSize[l.Sym] {
+			return l, false, false
+		}
+		return l, false, true
+	}
+
+	b := profile.NewBuilder(fd.LBR, fd.Event)
+	for _, br := range fd.Branches {
+		from, fromMoved, ok1 := translate(br.From)
+		to, toMoved, ok2 := translate(br.To)
+		if !ok1 || !ok2 {
+			st.DroppedCount += br.Count
+			continue
+		}
+		if fromMoved || toMoved {
+			st.TranslatedBranches += br.Count
+		} else {
+			st.PassthroughCount += br.Count
+		}
+		b.AddBranchN(from, to, br.Count, br.Mispreds)
+	}
+	for _, s := range fd.Samples {
+		at, moved, ok := translate(s.At)
+		if !ok {
+			st.DroppedCount += s.Count
+			continue
+		}
+		if moved {
+			st.TranslatedSamples += s.Count
+		} else {
+			st.PassthroughCount += s.Count
+		}
+		b.AddSampleN(at, s.Count)
+	}
+	return b.Build(), st
+}

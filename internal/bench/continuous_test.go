@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gobolt/internal/bat"
+	"gobolt/internal/core"
+	"gobolt/internal/passes"
+	"gobolt/internal/perf"
+	"gobolt/internal/workload"
+)
+
+// buildTiny links the Tiny workload (optionally with version-skew pads).
+func buildTiny(t *testing.T, pad int) *core.BinaryContext {
+	t.Helper()
+	spec := workload.Tiny()
+	spec.EntryPadOps = pad
+	f, _, err := Build(spec, CfgBaseline, perf.DefaultMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := core.NewContext(f, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// TestContinuousBATRoundTrip drives the full optimize→sample→translate
+// loop on the Tiny workload and checks the BAT layer invariants:
+// deterministic double translation, cold-fragment coverage, and that the
+// translated profile drives ApplyProfile (including flow repair on
+// functions that were split in round 1).
+func TestContinuousBATRoundTrip(t *testing.T) {
+	spec := workload.Tiny()
+	mode := perf.DefaultMode()
+	base, _, err := Build(spec, CfgBaseline, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdFresh, err := recordWithShapes(base, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, ctx1, err := passes.Optimize(base, fdFresh, boltOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	table, err := bat.FromFile(opt.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil {
+		t.Fatalf("optimized binary carries no %s section", bat.SectionName)
+	}
+
+	// The loop re-disassembles gobolt's own output (vmrun -record embeds
+	// shapes of whatever binary it runs, BOLTed or not). This must not
+	// choke on gobolt-only constructs like SCTC conditional tail calls.
+	optCtx, err := core.NewContext(opt.File, core.Options{})
+	if err != nil {
+		t.Fatalf("re-disassembling the BOLTed binary: %v", err)
+	}
+	if len(core.ComputeShapes(optCtx)) == 0 {
+		t.Fatal("no shapes derivable from the BOLTed binary")
+	}
+
+	// Cold fragments must be mapped and must translate into their parent
+	// function's input coordinate space.
+	coldRanges := 0
+	for _, r := range table.Ranges {
+		if !r.Cold || len(r.Entries) == 0 {
+			continue
+		}
+		coldRanges++
+		fn, off, ok := table.Translate(r.Start + uint64(r.Entries[0].OutOff))
+		if !ok || strings.Contains(fn, ".cold") {
+			t.Fatalf("cold range at %#x translated to (%q, %#x, %v)", r.Start, fn, off, ok)
+		}
+		if size, _ := table.FuncSize(fn); off >= size {
+			t.Fatalf("cold range of %s translated past function end: %#x >= %#x", fn, off, size)
+		}
+	}
+	if coldRanges == 0 {
+		t.Fatal("no cold ranges in BAT table (split functions expected)")
+	}
+
+	// Sample the optimized binary and translate — twice; the two outputs
+	// must serialize byte-identically (determinism satellite).
+	fdOpt, _, err := perf.RecordFile(opt.File, mode, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans1, st1 := bat.TranslateProfile(fdOpt, opt.File, table)
+	trans2, _ := bat.TranslateProfile(fdOpt, opt.File, table)
+	var buf1, buf2 bytes.Buffer
+	if err := trans1.Write(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := trans2.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("translating the same profile twice produced different bytes")
+	}
+	if st1.DroppedCount > fdOpt.TotalBranchCount()/20 {
+		t.Fatalf("translation dropped %d of %d counts", st1.DroppedCount, fdOpt.TotalBranchCount())
+	}
+
+	// Apply the translated profile to a fresh context of the input
+	// binary: counts must attach, and functions that were split in round
+	// 1 (their profile partly collected in the cold section) must come
+	// out of flow repair with consistent counts.
+	ctxT, err := core.NewContext(base, boltOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxT.ApplyProfile(trans1)
+	if ctxT.Stats["profile-edge-count"] == 0 || ctxT.Stats["profile-call-count"] == 0 {
+		t.Fatalf("translated profile did not apply: %v", ctxT.Stats)
+	}
+	splitSampled := 0
+	for _, fn1 := range ctx1.Funcs {
+		if !fn1.IsSplit {
+			continue
+		}
+		fn := ctxT.ByName[fn1.Name]
+		if fn == nil || !fn.Sampled {
+			continue
+		}
+		splitSampled++
+		if fn.ProfileAcc < 0.5 {
+			t.Errorf("split function %s: flow repair left accuracy %.2f", fn.Name, fn.ProfileAcc)
+		}
+	}
+	if splitSampled == 0 {
+		t.Fatal("no cold-split function received translated profile data")
+	}
+}
+
+// TestStaleMatchingRecovers rebuilds the workload with padded prologues
+// (a mutated release): without matching the intra-function records drop;
+// with matching they recover onto real CFG edges.
+func TestStaleMatchingRecovers(t *testing.T) {
+	mode := perf.DefaultMode()
+	base, _, err := Build(workload.Tiny(), CfgBaseline, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := recordWithShapes(base, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := buildTiny(t, 3)
+	// Stale matching off: today's behaviour, intra-function counts die.
+	off := buildTiny(t, 3)
+	off.Opts.StaleMatching = false
+	off.ApplyProfile(fd)
+
+	v2.ApplyProfile(fd)
+	recovered := v2.Stats["profile-stale-count"]
+	if recovered == 0 {
+		t.Fatalf("stale matching recovered nothing: %v", v2.Stats)
+	}
+	if v2.Stats["profile-stale-funcs"] == 0 {
+		t.Fatal("no function was diagnosed stale")
+	}
+	// The classic pipeline must be visibly worse: everything the matcher
+	// recovered was dropped (or worse, misattributed) before.
+	if off.Stats["profile-edge-count"] >= v2.Stats["profile-edge-count"]+recovered {
+		t.Fatalf("stale matching did not add edge counts: off=%v on=%v", off.Stats, v2.Stats)
+	}
+	// Recovered counts must have landed on actual edges of padded
+	// functions.
+	found := false
+	for _, fn := range v2.Funcs {
+		if !fn.Simple || !fn.Sampled {
+			continue
+		}
+		for _, b := range fn.Blocks {
+			for _, e := range b.Succs {
+				if e.Count > 0 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no edge counts present after stale application")
+	}
+}
+
+// TestContinuousExperiment runs the full §7.3 experiment at reduced scale
+// and asserts the acceptance-level rates.
+func TestContinuousExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("continuous experiment takes seconds; skipped in -short")
+	}
+	res, report, err := Continuous(Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(report)
+	if res.TranslationSurvival < 0.99 {
+		t.Errorf("translation survival %.4f < 0.99", res.TranslationSurvival)
+	}
+	if res.VsFresh < 0.95 {
+		t.Errorf("translated profile reproduces only %.4f of the fresh total (< 0.95)", res.VsFresh)
+	}
+	if res.AppliedVsFresh < 0.80 {
+		t.Errorf("applied counts reproduce only %.4f of fresh (< 0.80)", res.AppliedVsFresh)
+	}
+	if res.SpeedupTranslated <= 0 {
+		t.Errorf("re-optimizing with the translated profile gave no speedup: %.4f", res.SpeedupTranslated)
+	}
+	if res.StaleRecovered == 0 {
+		t.Error("stale matching recovered no counts on the mutated binary")
+	}
+	if res.StaleRecoveryRate < 0.5 {
+		t.Errorf("stale recovery rate %.4f < 0.5", res.StaleRecoveryRate)
+	}
+	if res.StaleSpeedup <= 0 {
+		t.Errorf("stale-profile BOLT gave no speedup: %.4f", res.StaleSpeedup)
+	}
+}

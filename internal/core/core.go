@@ -50,6 +50,15 @@ type Options struct {
 	UpdateDebugSections bool
 	// Lite skips functions with no profile samples entirely.
 	Lite bool
+	// EnableBAT emits the BOLT Address Translation table (.bolt.bat) into
+	// the rewritten binary so profiles sampled on the optimized binary can
+	// be translated back to input coordinates (§7.3 continuous profiling).
+	EnableBAT bool
+	// StaleMatching recovers profile records whose (function, offset)
+	// pairs no longer resolve by matching CFG blocks against the shapes
+	// carried in a v2 profile (arXiv:2401.17168); off = drop them, the
+	// classic perf2bolt behaviour.
+	StaleMatching bool
 	// ICPThreshold is the minimum fraction of calls going to the dominant
 	// target for indirect-call promotion (e.g. 0.51).
 	ICPThreshold float64
@@ -88,6 +97,8 @@ func DefaultOptions() Options {
 		AlignFunctions:      16,
 		UpdateDebugSections: true,
 		ICPThreshold:        0.51,
+		EnableBAT:           true,
+		StaleMatching:       true,
 	}
 }
 

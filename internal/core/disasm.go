@@ -423,9 +423,15 @@ func (ctx *BinaryContext) buildCFG(fn *BinaryFunction) {
 	for _, b := range fn.Blocks {
 		byAddr[b.Addr] = b
 	}
+	// addEdge tolerates a nil target: the JCC case records a nil
+	// placeholder for conditional tail calls (present in gobolt's own
+	// SCTC output, which the continuous-profiling loop re-disassembles);
+	// placeholders are filtered below.
 	addEdge := func(from *BasicBlock, to *BasicBlock) {
 		from.Succs = append(from.Succs, Edge{To: to})
-		to.Preds = append(to.Preds, from)
+		if to != nil {
+			to.Preds = append(to.Preds, from)
+		}
 	}
 	for bi, b := range fn.Blocks {
 		var next *BasicBlock

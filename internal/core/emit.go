@@ -31,6 +31,13 @@ type fragCallSite struct {
 	Action     int32
 }
 
+// batAnchor maps one emitted instruction's output offset back to its
+// original input address (the raw material of the BAT table).
+type batAnchor struct {
+	Off    uint32
+	InAddr uint64
+}
+
 // emittedFrag is one assembled function fragment (hot or cold).
 type emittedFrag struct {
 	Code      []byte
@@ -39,6 +46,10 @@ type emittedFrag struct {
 	CFI       []cfi.PCInst
 	CallSites []fragCallSite
 	Lines     []obj.LineEntry
+	// Anchors records, for every emitted instruction that originated in
+	// the input binary, (output offset within the fragment, original
+	// address). Sorted by Off; synthesized instructions have no anchor.
+	Anchors []batAnchor
 }
 
 // emitted bundles both fragments of a function.
@@ -109,9 +120,25 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 		file  string
 		line  int32
 	}
+	type anchorMark struct {
+		label  asmx.Label
+		inAddr uint64
+	}
 	var cfiMarks []cfiMark
 	var csMarks []csMark
 	var lineMarks []lineMark
+	var anchorMarks []anchorMark
+
+	// anchor marks the current position as the emission site of the
+	// original instruction at inAddr (0 = synthesized, no anchor).
+	anchor := func(inAddr uint64) {
+		if inAddr == 0 {
+			return
+		}
+		l := a.NewLabel()
+		a.Bind(l)
+		anchorMarks = append(anchorMarks, anchorMark{label: l, inAddr: inAddr})
+	}
 
 	running := cfi.InitialState()
 	lastFile, lastLine := "", int32(-1)
@@ -183,6 +210,9 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 				start, end = a.NewLabel(), a.NewLabel()
 				a.Bind(start)
 			}
+			if inst.Op != isa.NOP {
+				anchor(in.Addr)
+			}
 			switch {
 			case inst.Op == isa.NOP:
 				// dropped
@@ -231,6 +261,7 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 		switch {
 		case inst.Op == isa.JCC && in.TargetSym != "":
 			// Conditional tail call (SCTC output).
+			anchor(in.Addr)
 			a.EmitReloc(inst, obj.RelPC32, symFunc(in.TargetSym), -4)
 			if len(b.Succs) == 1 && b.Succs[0].To != next {
 				branchTo(isa.NewInst(isa.JMP), b.Succs[0].To)
@@ -240,6 +271,7 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 				return nil, fmt.Errorf("core: %s block %d: jcc with %d successors", fn.Name, b.Index, len(b.Succs))
 			}
 			taken, fall := b.Succs[0].To, b.Succs[1].To
+			anchor(in.Addr)
 			switch {
 			case fall == next:
 				branchTo(inst, taken)
@@ -256,12 +288,14 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 			}
 		case inst.Op == isa.JMP && in.TargetSym != "":
 			// Tail call to another function.
+			anchor(in.Addr)
 			a.EmitReloc(inst, obj.RelPC32, symFunc(in.TargetSym), -4)
 		case inst.Op == isa.JMP:
 			if len(b.Succs) != 1 {
 				return nil, fmt.Errorf("core: %s block %d: jmp with %d successors", fn.Name, b.Index, len(b.Succs))
 			}
 			if b.Succs[0].To != next {
+				anchor(in.Addr)
 				branchTo(inst, b.Succs[0].To)
 			}
 		case inst.IsIndirectBranch():
@@ -302,6 +336,16 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 			continue
 		}
 		frag.Lines = append(frag.Lines, obj.LineEntry{Off: res.LabelOffs[m.label], File: m.file, Line: m.line})
+	}
+	// Anchors bind in emission order, which is layout order, so offsets
+	// are already ascending; keep the first anchor at any offset (a
+	// zero-size emission collapses onto its successor).
+	for _, m := range anchorMarks {
+		off := res.LabelOffs[m.label]
+		if n := len(frag.Anchors); n > 0 && frag.Anchors[n-1].Off == off {
+			continue
+		}
+		frag.Anchors = append(frag.Anchors, batAnchor{Off: off, InAddr: m.inAddr})
 	}
 	return frag, nil
 }

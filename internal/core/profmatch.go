@@ -3,7 +3,23 @@ package core
 import (
 	"gobolt/internal/isa"
 	"gobolt/internal/profile"
+	"gobolt/internal/stale"
 )
+
+// Profile-application statistics (ctx.Stats keys). Counts are weighted by
+// record count, so they sum to the profile's total:
+//
+//	profile-total-count     every branch record seen
+//	profile-edge-count      applied to an intra-function CFG edge
+//	profile-call-count      applied as a call/entry record (ExecCount)
+//	profile-ignored-count   carries no CFG info here (returns, non-branch
+//	                        sources, mid-function landings)
+//	profile-drop-count      (function, offset) failed to resolve
+//	profile-stale-count     recovered by stale shape matching
+//	profile-stale-drop-count  stale and unrecoverable
+//
+// plus profile-stale-funcs, the number of functions whose shapes
+// mismatched and were routed through the matcher.
 
 // ApplyProfile attaches an fdata profile to the CFGs: branch records
 // become edge counts, call records become function execution counts and
@@ -11,15 +27,25 @@ import (
 // counts LBRs cannot observe (paper §5.2). Non-LBR profiles set block
 // counts from PC samples and infer edges proportionally — the weaker
 // inference whose cost Figure 11 quantifies.
+//
+// When the profile carries CFG shapes (format v2) and Opts.StaleMatching
+// is on, records whose offsets no longer resolve against this binary are
+// re-anchored by structural block matching instead of being dropped — the
+// stale-profile path that keeps week-old production profiles usable
+// across releases.
 func (ctx *BinaryContext) ApplyProfile(fd *profile.Fdata) {
 	ctx.ProfileLBR = fd.LBR
 	if ctx.CallEdges == nil {
 		ctx.CallEdges = map[[2]string]uint64{}
 	}
+	var sm *staleMatcher
+	if ctx.Opts.StaleMatching && len(fd.Shapes) > 0 {
+		sm = &staleMatcher{ctx: ctx, shapes: fd.Shapes, cache: map[*BinaryFunction]*staleFunc{}}
+	}
 	if fd.LBR {
-		ctx.applyLBR(fd)
+		ctx.applyLBR(fd, sm)
 	} else {
-		ctx.applySamples(fd)
+		ctx.applySamples(fd, sm)
 	}
 	for _, fn := range ctx.Funcs {
 		if fn.Simple && fn.Sampled {
@@ -33,11 +59,59 @@ func (ctx *BinaryContext) ApplyProfile(fd *profile.Fdata) {
 	}
 }
 
-func (ctx *BinaryContext) applyLBR(fd *profile.Fdata) {
+// staleMatcher lazily diagnoses per function whether the profile's shape
+// still describes this binary's CFG, and if not, builds the old-block ->
+// current-block map.
+type staleMatcher struct {
+	ctx    *BinaryContext
+	shapes map[string]profile.FuncShape
+	cache  map[*BinaryFunction]*staleFunc
+}
+
+type staleFunc struct {
+	stale    bool
+	old      profile.FuncShape
+	blockMap map[int]*BasicBlock // old shape block index -> current block
+}
+
+// lookup returns the stale state for fn (nil = no shape carried, treat as
+// current).
+func (sm *staleMatcher) lookup(fn *BinaryFunction) *staleFunc {
+	if sm == nil {
+		return nil
+	}
+	if sf, ok := sm.cache[fn]; ok {
+		return sf
+	}
+	sh, ok := sm.shapes[fn.Name]
+	if !ok || !fn.Simple || len(fn.Blocks) == 0 {
+		sm.cache[fn] = nil
+		return nil
+	}
+	cur, _ := computeFuncShape(fn, nil)
+	if stale.ShapesEqual(sh, cur) {
+		sm.cache[fn] = nil
+		return nil
+	}
+	sf := &staleFunc{stale: true, old: sh, blockMap: map[int]*BasicBlock{}}
+	for oldIdx, newIdx := range stale.Match(sh.Blocks, cur.Blocks) {
+		if newIdx >= 0 && newIdx < len(fn.Blocks) {
+			sf.blockMap[oldIdx] = fn.Blocks[newIdx]
+		}
+	}
+	sm.cache[fn] = sf
+	sm.ctx.CountStat("profile-stale-funcs", 1)
+	return sf
+}
+
+func (ctx *BinaryContext) applyLBR(fd *profile.Fdata, sm *staleMatcher) {
+	count := func(key string, n uint64) { ctx.CountStat(key, int64(n)) }
 	for _, br := range fd.Branches {
+		count("profile-total-count", br.Count)
 		fromFn := ctx.ByName[br.From.Sym]
 		toFn := ctx.ByName[br.To.Sym]
 		if fromFn == nil || toFn == nil {
+			count("profile-drop-count", br.Count)
 			continue
 		}
 		fromAddr := fromFn.Addr + br.From.Off
@@ -45,26 +119,54 @@ func (ctx *BinaryContext) applyLBR(fd *profile.Fdata) {
 
 		if fromFn == toFn && fromFn.Simple {
 			fn := fromFn
+			// Shape mismatch: this binary is a different build than the
+			// profiled one; route every intra-function record through the
+			// block matcher (raw offsets would at best miss, at worst hit
+			// an unrelated instruction).
+			if sf := sm.lookup(fn); sf != nil && sf.stale {
+				switch applyStaleBranch(fn, sf, br) {
+				case staleApplied:
+					count("profile-stale-count", br.Count)
+				case staleIgnored:
+					// Same classification the fresh path would give the
+					// record (returns, non-branch sources): no CFG info,
+					// but nothing recoverable was lost either.
+					count("profile-ignored-count", br.Count)
+				case staleDropped:
+					count("profile-stale-drop-count", br.Count)
+				}
+				continue
+			}
 			fb, fi := fn.InstAt(fromAddr)
 			if fb == nil {
+				count("profile-drop-count", br.Count)
 				continue
 			}
 			fn.Sampled = true
 			// Return-to-self or call-to-self noise: only branch sources
 			// contribute to edges.
 			if !fi.I.IsBranch() {
+				count("profile-ignored-count", br.Count)
 				continue
 			}
 			tb := fn.BlockAt(toAddr)
 			if tb == nil {
+				count("profile-drop-count", br.Count)
 				continue
 			}
+			applied := false
 			for k := range fb.Succs {
 				if fb.Succs[k].To == tb {
 					fb.Succs[k].Count += br.Count
 					fb.Succs[k].Mispreds += br.Mispreds
+					applied = true
 					break
 				}
+			}
+			if applied {
+				count("profile-edge-count", br.Count)
+			} else {
+				count("profile-drop-count", br.Count)
 			}
 			continue
 		}
@@ -75,36 +177,102 @@ func (ctx *BinaryContext) applyLBR(fd *profile.Fdata) {
 			toFn.ExecCount += br.Count
 			toFn.Sampled = true
 			ctx.CallEdges[[2]string{fromFn.Name, toFn.Name}] += br.Count
+			count("profile-call-count", br.Count)
 			if fromFn.Simple {
 				fromFn.Sampled = true
-				if _, fi := fromFn.InstAt(fromAddr); fi != nil {
-					if fi.I.Op == isa.CALLr || fi.I.Op == isa.CALLm {
-						m := ctx.CallTargets[fromAddr]
-						if m == nil {
-							m = map[string]uint64{}
-							ctx.CallTargets[fromAddr] = m
+				if sf := sm.lookup(fromFn); sf == nil || !sf.stale {
+					if _, fi := fromFn.InstAt(fromAddr); fi != nil {
+						if fi.I.Op == isa.CALLr || fi.I.Op == isa.CALLm {
+							m := ctx.CallTargets[fromAddr]
+							if m == nil {
+								m = map[string]uint64{}
+								ctx.CallTargets[fromAddr] = m
+							}
+							m[toFn.Name] += br.Count
 						}
-						m[toFn.Name] += br.Count
 					}
 				}
 			}
+			continue
 		}
 		// Returns land mid-function; they carry no CFG information here.
+		count("profile-ignored-count", br.Count)
 	}
 }
 
-func (ctx *BinaryContext) applySamples(fd *profile.Fdata) {
+// staleOutcome classifies one stale record's fate, mirroring the fresh
+// path's three-way split (applied / no-CFG-info / lost).
+type staleOutcome int
+
+const (
+	staleApplied staleOutcome = iota
+	staleIgnored
+	staleDropped
+)
+
+// applyStaleBranch re-anchors one intra-function branch record through
+// the shape match: the source is the old block containing From.Off, the
+// target the old block starting at To.Off; the count lands on the
+// corresponding current-CFG edge if the old shape confirms the edge
+// existed and both blocks matched. Records the *old* CFG itself would
+// not have used (mid-block landings = returns-to-self, sources with no
+// such edge = calls-to-self and noise) classify as ignored, exactly as
+// the fresh path classifies them — they carry no recoverable counts.
+func applyStaleBranch(fn *BinaryFunction, sf *staleFunc, br profile.Branch) staleOutcome {
+	blocks := sf.old.Blocks
+	oldFrom := stale.BlockAtOff(blocks, br.From.Off)
+	oldTo := stale.BlockAtOff(blocks, br.To.Off)
+	if oldFrom < 0 || oldTo < 0 {
+		return staleDropped
+	}
+	if blocks[oldTo].Off != br.To.Off {
+		return staleIgnored // mid-block landing: a return, not a branch
+	}
+	if !stale.HasSucc(blocks, oldFrom, oldTo) {
+		return staleIgnored // no such old edge: non-branch source
+	}
+	nf, nt := sf.blockMap[oldFrom], sf.blockMap[oldTo]
+	if nf == nil || nt == nil {
+		return staleDropped
+	}
+	for k := range nf.Succs {
+		if nf.Succs[k].To == nt {
+			nf.Succs[k].Count += br.Count
+			nf.Succs[k].Mispreds += br.Mispreds
+			fn.Sampled = true
+			return staleApplied
+		}
+	}
+	return staleDropped
+}
+
+func (ctx *BinaryContext) applySamples(fd *profile.Fdata, sm *staleMatcher) {
 	for _, s := range fd.Samples {
+		ctx.CountStat("profile-total-count", int64(s.Count))
 		fn := ctx.ByName[s.At.Sym]
 		if fn == nil || !fn.Simple {
+			ctx.CountStat("profile-drop-count", int64(s.Count))
+			continue
+		}
+		if sf := sm.lookup(fn); sf != nil && sf.stale {
+			oldIdx := stale.BlockAtOff(sf.old.Blocks, s.At.Off)
+			if b := sf.blockMap[oldIdx]; oldIdx >= 0 && b != nil {
+				b.ExecCount += s.Count
+				fn.Sampled = true
+				ctx.CountStat("profile-stale-count", int64(s.Count))
+			} else {
+				ctx.CountStat("profile-stale-drop-count", int64(s.Count))
+			}
 			continue
 		}
 		b := fn.BlockContaining(fn.Addr + s.At.Off)
 		if b == nil {
+			ctx.CountStat("profile-drop-count", int64(s.Count))
 			continue
 		}
 		b.ExecCount += s.Count
 		fn.Sampled = true
+		ctx.CountStat("profile-sample-count", int64(s.Count))
 	}
 	// Function exec counts approximate entry-block sample counts.
 	for _, fn := range ctx.Funcs {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"gobolt/internal/bat"
 	"gobolt/internal/cfi"
 	"gobolt/internal/dbg"
 	"gobolt/internal/elfx"
@@ -372,6 +373,43 @@ func (ctx *BinaryContext) Rewrite() (*RewriteResult, error) {
 			Name: ".text.cold", Type: elfx.SHTProgbits,
 			Flags: elfx.SHFAlloc | elfx.SHFExecinstr,
 			Addr:  coldBase, Data: coldData, Addralign: 16,
+		})
+	}
+
+	// BOLT Address Translation table (§7.3 continuous profiling): one
+	// range per emitted fragment, anchoring every surviving instruction's
+	// output offset to its input-function offset. Built from the ordered
+	// emits slice, so the section bytes are identical for any worker
+	// count.
+	if ctx.Opts.EnableBAT {
+		bt := &bat.Table{}
+		addRange := func(fn *BinaryFunction, frag *emittedFrag, start uint64, cold bool) {
+			r := bat.Range{
+				FuncIdx: bt.AddFunc(fn.Name, fn.Size),
+				Start:   start, Size: uint32(len(frag.Code)), Cold: cold,
+			}
+			for _, an := range frag.Anchors {
+				// Instructions spliced in from another function (inlined
+				// bodies keep their origin addresses) are not part of this
+				// function's input coordinate space; skip them.
+				if an.InAddr < fn.Addr || an.InAddr >= fn.Addr+fn.Size {
+					continue
+				}
+				r.Entries = append(r.Entries, bat.Entry{
+					OutOff: an.Off, InOff: uint32(an.InAddr - fn.Addr),
+				})
+			}
+			bt.AddRange(r)
+		}
+		for _, e := range emits {
+			addRange(e.fn, e.Hot, e.fn.OutAddr, false)
+			if e.Cold != nil {
+				addRange(e.fn, e.Cold, e.fn.ColdAddr, true)
+			}
+		}
+		out.AddSection(&elfx.Section{
+			Name: bat.SectionName, Type: elfx.SHTProgbits,
+			Data: bt.Encode(), Addralign: 1,
 		})
 	}
 

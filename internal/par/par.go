@@ -1,0 +1,84 @@
+// Package par provides the one bounded fan-out primitive shared by every
+// parallel phase of the toolchain: the loader's per-function
+// disassembly+CFG stage, the PassManager's function passes, the emitter's
+// per-function code generation, and profile-shard parsing in perf2bolt's
+// merge mode. It lives outside internal/core so leaf packages (profile
+// tooling, commands) can use the same pool without importing the engine.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs resolves a -jobs setting against GOMAXPROCS and the amount of work
+// available: jobs <= 0 selects GOMAXPROCS (the production default) and
+// the pool never exceeds n workers.
+func Jobs(jobs, n int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// For distributes work items [0,n) over jobs workers. Work is handed out
+// by an atomic cursor; work receives the worker index (so callers can
+// give each worker a private shard) and the item index. On failure the
+// pool drains and the error attributed to the lowest item index is
+// returned along with that index, keeping error messages stable across
+// schedules. jobs <= 1 degenerates to a plain loop.
+func For(n, jobs int, work func(worker, item int) error) (int, error) {
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := work(0, i); err != nil {
+				return i, err
+			}
+		}
+		return -1, nil
+	}
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+	)
+	errIdx, firstErr := -1, error(nil)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				// Check for drain BEFORE claiming: a claimed item always
+				// runs. The cursor hands out indices in order, so every
+				// item below a recorded error index has run, and the
+				// lowest-index error is reported exactly — the same
+				// failure jobs=1 would stop at.
+				if failed.Load() {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := work(w, i); err != nil {
+					errMu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errIdx, firstErr
+}

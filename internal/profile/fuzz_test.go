@@ -1,0 +1,46 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzProfileParse feeds arbitrary bytes to the parser (must never panic)
+// and, whenever an input parses, checks the Write→Parse round trip is a
+// fixpoint: re-serializing the parsed profile and parsing it again must
+// reproduce the same records, shapes, and header.
+func FuzzProfileParse(f *testing.F) {
+	f.Add("boltprofile v1 lbr event=cycles\n1 f 10 1 g 0 2 7\n2 f 4 1\n")
+	f.Add("boltprofile v2 lbr event=e\ns f 2\nb 0 dead 1\nb 10 beef -\n1 f 0 1 f 10 0 3\n")
+	f.Add("boltprofile v1 nolbr event=instructions\n2 __empty__ 0 1\n")
+	f.Add(`boltprofile v1 lbr` + "\n" + `1 a\x20b 1 1 \x5c 2 0 1` + "\n")
+	f.Add("boltprofile v2 nolbr\ns g 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		fd, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		var buf bytes.Buffer
+		if err := fd.Write(&buf); err != nil {
+			t.Fatalf("Write failed on parsed profile: %v", err)
+		}
+		got, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nserialized:\n%s", err, buf.String())
+		}
+		if got.LBR != fd.LBR || got.Event != fd.Event {
+			t.Fatalf("header drift: %v/%q vs %v/%q", got.LBR, got.Event, fd.LBR, fd.Event)
+		}
+		if !reflect.DeepEqual(got.Branches, fd.Branches) {
+			t.Fatalf("branches drift:\n got %+v\nwant %+v", got.Branches, fd.Branches)
+		}
+		if !reflect.DeepEqual(got.Samples, fd.Samples) {
+			t.Fatalf("samples drift:\n got %+v\nwant %+v", got.Samples, fd.Samples)
+		}
+		if !reflect.DeepEqual(got.Shapes, fd.Shapes) {
+			t.Fatalf("shapes drift:\n got %+v\nwant %+v", got.Shapes, fd.Shapes)
+		}
+	})
+}

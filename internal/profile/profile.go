@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -37,12 +38,33 @@ type Sample struct {
 	Count uint64
 }
 
+// BlockShape describes one basic block of the profiled binary's CFG: its
+// offset within the function, a structural hash of its opcode sequence,
+// and the indices of its successor blocks. Shapes ride in the profile
+// header (format v2) so a consumer looking at a *different* version of
+// the binary can re-anchor stale (function, offset) records by matching
+// blocks structurally instead of dropping them (arXiv:2401.17168).
+type BlockShape struct {
+	Off   uint64 // block start offset within the function
+	Hash  uint64 // opcode-sequence hash (see internal/stale)
+	Succs []int  // successor block indices, CFG edge order
+}
+
+// FuncShape is the block-level shape of one profiled function.
+type FuncShape struct {
+	Blocks []BlockShape // original layout (address) order
+}
+
 // Fdata is a complete profile.
 type Fdata struct {
 	LBR      bool
 	Event    string
 	Branches []Branch
 	Samples  []Sample
+
+	// Shapes carries the CFG shapes of the binary the profile was
+	// collected on, keyed by function name. Empty for v1 profiles.
+	Shapes map[string]FuncShape
 }
 
 // Builder aggregates raw events into an Fdata.
@@ -126,14 +148,36 @@ func (f *Fdata) TotalBranchCount() uint64 {
 	return n
 }
 
-// Write serializes the profile in fdata-like text form.
+// Write serializes the profile in fdata-like text form. Profiles without
+// shapes use the v1 header; profiles carrying shapes use v2, which v1
+// readers reject cleanly (the version field is checked before records).
 func (f *Fdata) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	mode := "lbr"
 	if !f.LBR {
 		mode = "nolbr"
 	}
-	fmt.Fprintf(bw, "boltprofile v1 %s event=%s\n", mode, f.Event)
+	version := "v1"
+	if len(f.Shapes) > 0 {
+		version = "v2"
+	}
+	fmt.Fprintf(bw, "boltprofile %s %s event=%s\n", version, mode, f.Event)
+	if len(f.Shapes) > 0 {
+		names := make([]string, 0, len(f.Shapes))
+		for name := range f.Shapes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			sh := f.Shapes[name]
+			// Format: s <func> <nblocks> then one `b <off> <hash> <succs>`
+			// line per block (succs comma separated, "-" when none).
+			fmt.Fprintf(bw, "s %s %d\n", escape(name), len(sh.Blocks))
+			for _, b := range sh.Blocks {
+				fmt.Fprintf(bw, "b %x %x %s\n", b.Off, b.Hash, succsString(b.Succs))
+			}
+		}
+	}
 	for _, b := range f.Branches {
 		// Format: 1 <from-sym> <from-off> 1 <to-sym> <to-off> <mispreds> <count>
 		fmt.Fprintf(bw, "1 %s %x 1 %s %x %d %d\n",
@@ -153,7 +197,8 @@ func Parse(r io.Reader) (*Fdata, error) {
 		return nil, fmt.Errorf("profile: empty input")
 	}
 	header := strings.Fields(sc.Text())
-	if len(header) < 3 || header[0] != "boltprofile" || header[1] != "v1" {
+	if len(header) < 3 || header[0] != "boltprofile" ||
+		(header[1] != "v1" && header[1] != "v2") {
 		return nil, fmt.Errorf("profile: bad header %q", sc.Text())
 	}
 	f := &Fdata{LBR: header[2] == "lbr"}
@@ -163,13 +208,65 @@ func Parse(r io.Reader) (*Fdata, error) {
 		}
 	}
 	lineNo := 1
+	var curShape *FuncShape // open `s` record collecting `b` lines
+	var curName string
+	var curBlocks int
 	for sc.Scan() {
 		lineNo++
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
 			continue
 		}
+		if fields[0] != "b" && curShape != nil && len(curShape.Blocks) != curBlocks {
+			return nil, fmt.Errorf("profile: line %d: shape has %d blocks, declared %d",
+				lineNo, len(curShape.Blocks), curBlocks)
+		}
 		switch fields[0] {
+		case "s":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("profile: line %d: want 3 fields, got %d", lineNo, len(fields))
+			}
+			name := unescape(fields[1])
+			n := 0
+			if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			if n < 0 || n > 1<<20 {
+				return nil, fmt.Errorf("profile: line %d: implausible block count %d", lineNo, n)
+			}
+			if f.Shapes == nil {
+				f.Shapes = map[string]FuncShape{}
+			}
+			sh := FuncShape{Blocks: make([]BlockShape, 0, n)}
+			curShape, curName, curBlocks = &sh, name, n
+			if n == 0 {
+				f.Shapes[curName] = sh
+				curShape = nil
+			}
+		case "b":
+			if curShape == nil {
+				return nil, fmt.Errorf("profile: line %d: block shape outside function shape", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("profile: line %d: want 4 fields, got %d", lineNo, len(fields))
+			}
+			var b BlockShape
+			if _, err := fmt.Sscanf(fields[1], "%x", &b.Off); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			if _, err := fmt.Sscanf(fields[2], "%x", &b.Hash); err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			succs, err := parseSuccs(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			}
+			b.Succs = succs
+			curShape.Blocks = append(curShape.Blocks, b)
+			if len(curShape.Blocks) == curBlocks {
+				f.Shapes[curName] = *curShape
+				curShape = nil
+			}
 		case "1":
 			if len(fields) != 8 {
 				return nil, fmt.Errorf("profile: line %d: want 8 fields, got %d", lineNo, len(fields))
@@ -207,21 +304,188 @@ func Parse(r io.Reader) (*Fdata, error) {
 			return nil, fmt.Errorf("profile: line %d: unknown record %q", lineNo, fields[0])
 		}
 	}
+	if curShape != nil {
+		return nil, fmt.Errorf("profile: truncated shape for %q (%d of %d blocks)",
+			curName, len(curShape.Blocks), curBlocks)
+	}
 	return f, sc.Err()
 }
 
+// succsString renders successor indices as "0,2,5" ("-" when none).
+func succsString(succs []int) string {
+	if len(succs) == 0 {
+		return "-"
+	}
+	var sb strings.Builder
+	for i, s := range succs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", s)
+	}
+	return sb.String()
+}
+
+func parseSuccs(s string) ([]int, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad successor list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// escape makes a symbol safe for the whitespace-separated fdata format.
+// Empty names become the __empty__ sentinel; the escape character itself,
+// control/whitespace bytes, all non-ASCII bytes (Parse splits on Unicode
+// whitespace, so multi-byte spaces like U+00A0 must not pass through
+// raw), and a symbol *literally* named __empty__ are hex-escaped so
+// every name survives a Write→Parse round trip (the old space-only
+// scheme corrupted symbols containing a literal `\x20` or the sentinel).
 func escape(s string) string {
 	if s == "" {
 		return "__empty__"
 	}
-	return strings.ReplaceAll(s, " ", "\\x20")
+	if s == "__empty__" {
+		return `\x5f_empty__`
+	}
+	needsEsc := func(c byte) bool { return c <= ' ' || c >= 0x7F || c == '\\' }
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if needsEsc(s[i]) {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if needsEsc(s[i]) {
+			fmt.Fprintf(&sb, `\x%02x`, s[i])
+		} else {
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
 }
 
+// unescape decodes escape's output: the sentinel and \xNN sequences.
+// Malformed sequences pass through verbatim (garbage in, garbage out, but
+// never a panic).
 func unescape(s string) string {
 	if s == "__empty__" {
 		return ""
 	}
-	return strings.ReplaceAll(s, "\\x20", " ")
+	if !strings.Contains(s, `\x`) {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '\\' && i+3 < len(s) && s[i+1] == 'x' {
+			if hi, ok1 := hexVal(s[i+2]); ok1 {
+				if lo, ok2 := hexVal(s[i+3]); ok2 {
+					sb.WriteByte(hi<<4 | lo)
+					i += 4
+					continue
+				}
+			}
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// Merge aggregates N profiles (shards of the same logical run, or runs of
+// the same binary) into one deterministic profile: branch and sample
+// counts sum, shapes are taken from the first shard that carries them.
+// All shards must agree on the LBR/non-LBR mode and sampling event, and
+// shards carrying *conflicting* shapes for the same function are
+// rejected — they were recorded on different builds, and merging their
+// records under one shape set would make stale matching silently anchor
+// counts to the wrong blocks.
+func Merge(fds []*Fdata) (*Fdata, error) {
+	if len(fds) == 0 {
+		return nil, fmt.Errorf("profile: nothing to merge")
+	}
+	event := ""
+	for _, fd := range fds {
+		if fd.LBR != fds[0].LBR {
+			return nil, fmt.Errorf("profile: cannot merge LBR and non-LBR shards")
+		}
+		if event == "" {
+			event = fd.Event
+		} else if fd.Event != "" && fd.Event != event {
+			return nil, fmt.Errorf("profile: cannot merge shards of different events (%q vs %q)", event, fd.Event)
+		}
+	}
+	b := NewBuilder(fds[0].LBR, event)
+	var shapes map[string]FuncShape
+	for _, fd := range fds {
+		for _, br := range fd.Branches {
+			b.AddBranchN(br.From, br.To, br.Count, br.Mispreds)
+		}
+		for _, s := range fd.Samples {
+			b.AddSampleN(s.At, s.Count)
+		}
+		for name, sh := range fd.Shapes {
+			if shapes == nil {
+				shapes = map[string]FuncShape{}
+			}
+			prev, ok := shapes[name]
+			if !ok {
+				shapes[name] = sh
+				continue
+			}
+			if !shapesCompatible(prev, sh) {
+				return nil, fmt.Errorf("profile: shards carry conflicting shapes for %q (recorded on different builds)", name)
+			}
+		}
+	}
+	out := b.Build()
+	out.Shapes = shapes
+	return out, nil
+}
+
+// shapesCompatible reports whether two shapes describe the same CFG
+// (same blocks, offsets, hashes, successor lists).
+func shapesCompatible(a, b FuncShape) bool {
+	if len(a.Blocks) != len(b.Blocks) {
+		return false
+	}
+	for i := range a.Blocks {
+		x, y := a.Blocks[i], b.Blocks[i]
+		if x.Off != y.Off || x.Hash != y.Hash || len(x.Succs) != len(y.Succs) {
+			return false
+		}
+		for k := range x.Succs {
+			if x.Succs[k] != y.Succs[k] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // CallEdge is a weighted caller->callee pair.

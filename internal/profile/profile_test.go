@@ -62,9 +62,13 @@ func TestParseRejectsGarbage(t *testing.T) {
 	for _, s := range []string{
 		"",
 		"not a profile\n",
-		"boltprofile v2 lbr\n",
+		"boltprofile v3 lbr\n",
 		"boltprofile v1 lbr\n1 f 10 1 g\n", // short line
 		"boltprofile v1 lbr\nX f 10\n",
+		"boltprofile v2 lbr\ns f 2\nb 0 1 -\n",          // truncated shape
+		"boltprofile v2 lbr\nb 0 1 -\n",                 // block outside shape
+		"boltprofile v2 lbr\ns f 1\nb 0 1 2,x\n",        // bad successor list
+		"boltprofile v2 lbr\ns f 1\n1 f 10 1 f 0 0 1\n", // record interrupts shape
 	} {
 		if _, err := Parse(strings.NewReader(s)); err == nil {
 			t.Errorf("Parse(%q) unexpectedly succeeded", s)
@@ -85,6 +89,138 @@ func TestSymbolEscaping(t *testing.T) {
 	}
 	if got.Branches[0].From.Sym != "fn with space" {
 		t.Errorf("escaping broken: %q", got.Branches[0].From.Sym)
+	}
+}
+
+// TestSymbolEscapingHostile is the regression test for the escape
+// round-trip bug: symbols containing a literal `\x20`, the escape
+// character itself, whitespace/control bytes, or the `__empty__` sentinel
+// used to corrupt on Write→Parse.
+func TestSymbolEscapingHostile(t *testing.T) {
+	hostile := []string{
+		`lit\x20eral`, // literal backslash-x-2-0, NOT a space
+		`back\slash`,
+		`\x5c`,
+		"__empty__",
+		"_x5f_empty__",
+		"tab\there",
+		"nl\nthere",
+		"a b c",
+		`\`,
+		`\\`,
+		"mixed \\x20 and space",
+		"nb\u00a0space", // Unicode whitespace: Fields splits on it too
+		"ideo\u3000space",
+		"utf8\u00b7sym",
+	}
+	for _, sym := range hostile {
+		b := NewBuilder(true, "e")
+		b.AddBranchN(Loc{sym, 4}, Loc{"plain", 0}, 7, 1)
+		var buf bytes.Buffer
+		if err := b.Build().Write(&buf); err != nil {
+			t.Fatalf("%q: %v", sym, err)
+		}
+		got, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("%q: %v", sym, err)
+		}
+		if len(got.Branches) != 1 || got.Branches[0].From.Sym != sym {
+			t.Errorf("round trip corrupted %q -> %q", sym, got.Branches[0].From.Sym)
+		}
+	}
+}
+
+func TestShapesRoundTrip(t *testing.T) {
+	fd := &Fdata{LBR: true, Event: "cycles",
+		Branches: []Branch{{From: Loc{"f", 0x10}, To: Loc{"f", 0x20}, Count: 3}},
+		Shapes: map[string]FuncShape{
+			"f": {Blocks: []BlockShape{
+				{Off: 0, Hash: 0xDEADBEEF, Succs: []int{1, 2}},
+				{Off: 0x10, Hash: 0x1234, Succs: []int{2}},
+				{Off: 0x20, Hash: 0x5678},
+			}},
+			"g with space": {Blocks: []BlockShape{{Off: 0, Hash: 1}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fd.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "boltprofile v2 ") {
+		t.Fatalf("shapes did not trigger v2 header: %q", buf.String()[:30])
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Shapes) != 2 {
+		t.Fatalf("got %d shapes", len(got.Shapes))
+	}
+	f := got.Shapes["f"]
+	if len(f.Blocks) != 3 || f.Blocks[0].Hash != 0xDEADBEEF ||
+		f.Blocks[1].Off != 0x10 || len(f.Blocks[0].Succs) != 2 || f.Blocks[0].Succs[1] != 2 {
+		t.Fatalf("shape corrupted: %+v", f)
+	}
+	if f.Blocks[2].Succs != nil {
+		t.Fatalf("empty successor list corrupted: %+v", f.Blocks[2])
+	}
+	if _, ok := got.Shapes["g with space"]; !ok {
+		t.Fatal("escaped shape name lost")
+	}
+	if len(got.Branches) != 1 || got.Branches[0].Count != 3 {
+		t.Fatalf("branch records lost alongside shapes: %+v", got.Branches)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(count uint64) *Fdata {
+		b := NewBuilder(true, "cycles")
+		b.AddBranchN(Loc{"f", 1}, Loc{"f", 9}, count, count/2)
+		b.AddBranchN(Loc{"g", 2}, Loc{"h", 0}, 1, 0)
+		return b.Build()
+	}
+	a, b := mk(10), mk(32)
+	a.Shapes = map[string]FuncShape{
+		"f": {Blocks: []BlockShape{{Off: 0, Hash: 42, Succs: []int{1}}}},
+		"g": {Blocks: []BlockShape{{Off: 0, Hash: 7}}},
+	}
+	b.Shapes = map[string]FuncShape{
+		"f": {Blocks: []BlockShape{{Off: 0, Hash: 42, Succs: []int{1}}}},
+	}
+	got, err := Merge([]*Fdata{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalBranchCount() != 44 {
+		t.Fatalf("merged total = %d, want 44", got.TotalBranchCount())
+	}
+	if len(got.Branches) != 2 {
+		t.Fatalf("merged records = %d, want 2 (aggregated)", len(got.Branches))
+	}
+	if got.Branches[0].From.Sym != "f" || got.Branches[0].Count != 42 || got.Branches[0].Mispreds != 21 {
+		t.Fatalf("aggregation wrong: %+v", got.Branches[0])
+	}
+	if len(got.Shapes) != 2 || got.Shapes["f"].Blocks[0].Hash != 42 {
+		t.Fatalf("shape merge wrong: %+v", got.Shapes)
+	}
+
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("empty merge unexpectedly succeeded")
+	}
+	nolbr := NewBuilder(false, "cycles").Build()
+	if _, err := Merge([]*Fdata{a, nolbr}); err == nil {
+		t.Fatal("mixed-mode merge unexpectedly succeeded")
+	}
+	instr := NewBuilder(true, "instructions").Build()
+	if _, err := Merge([]*Fdata{a, instr}); err == nil {
+		t.Fatal("mixed-event merge unexpectedly succeeded")
+	}
+	// Shards recorded on different builds (conflicting shapes) must be
+	// rejected, not silently merged under one build's shapes.
+	c := mk(1)
+	c.Shapes = map[string]FuncShape{"f": {Blocks: []BlockShape{{Off: 0, Hash: 99, Succs: []int{1}}}}}
+	if _, err := Merge([]*Fdata{a, c}); err == nil {
+		t.Fatal("conflicting-shape merge unexpectedly succeeded")
 	}
 }
 

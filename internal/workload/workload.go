@@ -64,6 +64,15 @@ type Spec struct {
 	// become non-simple.
 	IndirectTailFrac float64
 
+	// EntryPadOps prepends this many semantically neutral instructions to
+	// every application function's entry block — modeling a new release
+	// that grew prologue instrumentation. All block offsets below the
+	// entry shift, so a profile recorded on the unpadded build goes stale
+	// (its (function, offset) pairs stop resolving) while the opcode
+	// sequences of the unchanged blocks stay matchable. The continuous
+	// profiling experiment uses this as its version-skew lever.
+	EntryPadOps int
+
 	Iterations int
 	InputSize  int
 }
@@ -339,10 +348,11 @@ func (g *generator) makeFunc(name, file string, l, k int, callees, sharedNames [
 	}
 
 	entry := f.Blocks[0]
-	entry.Ops = []ir.Op{
-		{Kind: ir.OpMov, Dst: isa.RBX, Src: isa.RDI}, // accumulator
-		{Kind: ir.OpMov, Dst: isa.R12, Src: isa.RDI}, // work id
-	}
+	entry.Ops = append(entry.Ops, g.entryPad()...)
+	entry.Ops = append(entry.Ops,
+		ir.Op{Kind: ir.OpMov, Dst: isa.RBX, Src: isa.RDI}, // accumulator
+		ir.Op{Kind: ir.OpMov, Dst: isa.R12, Src: isa.RDI}, // work id
+	)
 	cur := entry
 
 	segments := s.SegmentsMin
@@ -552,6 +562,20 @@ func (g *generator) padCold(b *ir.Block) {
 	b.Ops = append(filler, b.Ops...)
 }
 
+// entryPad materializes the Spec.EntryPadOps version-skew filler:
+// identity moves on the return register, harmless under every calling
+// convention the generators use.
+func (g *generator) entryPad() []ir.Op {
+	if g.spec.EntryPadOps <= 0 {
+		return nil
+	}
+	ops := make([]ir.Op, g.spec.EntryPadOps)
+	for i := range ops {
+		ops[i] = ir.Op{Kind: ir.OpMov, Dst: isa.RAX, Src: isa.RAX}
+	}
+	return ops
+}
+
 // makeLeafLayerFunc emits a branchy frameless leaf.
 func (g *generator) makeLeafLayerFunc(f *ir.Func, name string) *ir.Func {
 	s := &g.spec
@@ -561,12 +585,12 @@ func (g *generator) makeLeafLayerFunc(f *ir.Func, name string) *ir.Func {
 	cold.Cold = true
 	done := f.AddBlock()
 	salt := int64(g.r.next() & 0x7FF)
-	b.Ops = []ir.Op{
-		{Kind: ir.OpMov, Dst: isa.RCX, Src: isa.RDI},
-		{Kind: ir.OpAddImm, Dst: isa.RCX, Imm: salt},
-		{Kind: ir.OpAndImm, Dst: isa.RCX, Imm: int64(s.InputSize - 1)},
-		{Kind: ir.OpLoadByte, Dst: isa.RAX, Src: isa.RCX, Sym: "input", Scale: 1},
-	}
+	b.Ops = append(g.entryPad(),
+		ir.Op{Kind: ir.OpMov, Dst: isa.RCX, Src: isa.RDI},
+		ir.Op{Kind: ir.OpAddImm, Dst: isa.RCX, Imm: salt},
+		ir.Op{Kind: ir.OpAndImm, Dst: isa.RCX, Imm: int64(s.InputSize - 1)},
+		ir.Op{Kind: ir.OpLoadByte, Dst: isa.RAX, Src: isa.RCX, Sym: "input", Scale: 1},
+	)
 	threshold := int64(256 * (1 - s.ColdProb))
 	b.Term = ir.Term{Kind: ir.TermBranch, Cc: isa.CondL, CmpReg: isa.RAX, CmpImm: threshold,
 		Then: hot.Index, Else: cold.Index, Prob: 1 - s.ColdProb}
