@@ -1,0 +1,389 @@
+// Package bolt is the public library API for the gobolt post-link
+// optimizer: the one way to drive the paper's Figure 3 pipeline (read
+// profile → disassemble/CFG → optimize → rewrite) from Go code. The
+// command-line tools (cmd/gobolt, cmd/perf2bolt, cmd/vmrun), every
+// example, and the experiment harness are thin adapters over this
+// package.
+//
+// # Stages
+//
+// A Session moves through four stages, strictly in order:
+//
+//	Open / OpenReader / OpenELF   read the input ELF executable
+//	LoadProfile(cx, sources...)   attach sample data (optional, one-shot)
+//	Optimize(cx)                  run the Table 1 pipeline + emission (one-shot)
+//	WriteFile / WriteTo           serialize the optimized binary (repeatable)
+//
+// Analyze(cx) is an optional intermediate stage that builds the CFGs and
+// applies the profile without optimizing — enough for the report-only
+// entry points (DynoStats, BadLayoutReport, PrintCFG, Shapes). Optimize
+// calls it implicitly. Analyze is idempotent; LoadProfile and Optimize
+// are one-shot: calling LoadProfile twice, after Analyze, or Optimize
+// twice is an error rather than a silent re-run.
+//
+// Every stage taking a context.Context honors cancellation promptly: the
+// parallel phases (loader disassembly+CFG, function passes, code
+// emission) stop claiming work as soon as the context is done and the
+// stage returns the context's error.
+//
+// # Profile sources
+//
+// Where the profile comes from is orthogonal to the pipeline: a
+// ProfileSource can be an fdata file (FdataFile), an in-memory
+// *profile.Fdata (Fdata), the merge of N shards from parallel runs
+// (MergeShards), or a profile sampled on an already-BOLTed binary that
+// must be translated back to input coordinates through its .bolt.bat
+// section (SampledOn, which auto-detects the table). Passing several
+// sources to LoadProfile merges them.
+//
+// Library code never calls os.Exit and never prints; all failures are
+// returned errors and all results live in the Report.
+package bolt
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"gobolt/internal/core"
+	"gobolt/internal/elfx"
+	"gobolt/internal/passes"
+	"gobolt/internal/profile"
+)
+
+// Session is one run of the optimizer over one input binary. It is not
+// safe for concurrent use; the parallelism knob is Options.Jobs, not
+// concurrent sessions over the same Session value.
+type Session struct {
+	input string // path or descriptive name, for reports
+	file  *elfx.File
+	opts  core.Options
+
+	fd          *profile.Fdata
+	profileDesc string
+
+	bctx *core.BinaryContext
+	res  *core.RewriteResult
+	rep  *Report
+
+	profiled  bool
+	analyzed  bool
+	optimized bool
+	// broken marks a session whose pipeline failed (or was cancelled)
+	// mid-flight: the CFGs may be partially transformed, so re-running
+	// would not reproduce a clean run.
+	broken bool
+}
+
+// Open reads the input executable from a file path.
+func Open(path string, opts ...Option) (*Session, error) {
+	f, err := elfx.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bolt: open %s: %w", path, err)
+	}
+	return newSession(path, f, opts), nil
+}
+
+// OpenReader reads the input executable from a stream (for example a
+// pipe or an in-memory buffer).
+func OpenReader(r io.Reader, opts ...Option) (*Session, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bolt: read input: %w", err)
+	}
+	f, err := elfx.Read(data)
+	if err != nil {
+		return nil, fmt.Errorf("bolt: parse input: %w", err)
+	}
+	return newSession("<reader>", f, opts), nil
+}
+
+// OpenELF wraps an already-loaded ELF image — the entry point for
+// toolchain code that holds an *elfx.File (a linker result, a previous
+// session's output) and wants to optimize it without a serialization
+// round trip. The file is used in place and must not be mutated by the
+// caller while the session is live.
+func OpenELF(f *elfx.File, opts ...Option) (*Session, error) {
+	if f == nil {
+		return nil, fmt.Errorf("bolt: OpenELF: nil file")
+	}
+	return newSession("<memory>", f, opts), nil
+}
+
+func newSession(input string, f *elfx.File, opts []Option) *Session {
+	o := core.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Session{input: input, file: f, opts: o.Normalized()}
+}
+
+// Input returns the ELF image the session was opened on.
+func (s *Session) Input() *elfx.File { return s.file }
+
+// Options returns the resolved option set (defaults plus the Option
+// values passed at open time).
+func (s *Session) Options() core.Options { return s.opts }
+
+// LoadProfile loads and attaches sample data. It is one-shot and must
+// run before Analyze/Optimize; several sources are merged as shards
+// (profile.Merge semantics). With no sources it is a no-op, so optional
+// "-data" style plumbing does not need a branch at the call site.
+func (s *Session) LoadProfile(cx context.Context, sources ...ProfileSource) error {
+	if len(sources) == 0 {
+		return nil
+	}
+	if s.profiled {
+		return fmt.Errorf("bolt: LoadProfile is one-shot (profile already loaded from %s)", s.profileDesc)
+	}
+	if s.analyzed {
+		return fmt.Errorf("bolt: LoadProfile must precede Analyze/Optimize")
+	}
+	src := sources[0]
+	if len(sources) > 1 {
+		src = MergeShards(sources...)
+	}
+	fd, err := src.Load(cx)
+	if err != nil {
+		return fmt.Errorf("bolt: load profile (%s): %w", src.Describe(), err)
+	}
+	s.fd, s.profileDesc, s.profiled = fd, src.Describe(), true
+	return nil
+}
+
+// Profile returns the loaded (merged, translated) profile, or nil.
+func (s *Session) Profile() *profile.Fdata { return s.fd }
+
+// Analyze builds the binary context — function discovery, disassembly,
+// CFG construction — and applies the loaded profile. It is idempotent
+// and implicit in Optimize; call it directly only for the report-only
+// entry points (DynoStats, BadLayoutReport, PrintCFG, Shapes, Functions).
+func (s *Session) Analyze(cx context.Context) error {
+	if s.analyzed {
+		return nil
+	}
+	bctx, err := core.NewContext(cx, s.file, s.opts)
+	if err != nil {
+		return err
+	}
+	if s.fd != nil {
+		bctx.ApplyProfile(s.fd)
+	}
+	s.bctx, s.analyzed = bctx, true
+	return nil
+}
+
+// Optimize runs the Table 1 pass pipeline and emits the rewritten
+// binary. One-shot: the CFGs are mutated in place, so re-optimizing
+// requires a fresh Session — and a failed or cancelled Optimize leaves
+// the session unusable for the same reason (the pipeline may have
+// partially transformed the CFGs). On success the Report (also available
+// from s.Report) carries the counts, stats, dyno comparison, and
+// per-phase timings; the output is retrieved with WriteFile, WriteTo, or
+// Output.
+func (s *Session) Optimize(cx context.Context) (*Report, error) {
+	if s.optimized {
+		return nil, fmt.Errorf("bolt: Optimize is one-shot; open a new Session to re-optimize")
+	}
+	if s.broken {
+		return nil, fmt.Errorf("bolt: session unusable after a failed or cancelled Optimize; open a new Session")
+	}
+	if err := s.Analyze(cx); err != nil {
+		s.broken = true
+		return nil, err
+	}
+	var dynoBefore core.DynoStats
+	if s.opts.DynoStats {
+		dynoBefore = s.bctx.CollectDynoStats()
+	}
+	pm := core.NewPassManager(s.opts.Jobs)
+	if err := pm.Run(cx, s.bctx, passes.BuildPipeline(s.opts)); err != nil {
+		s.broken = true
+		return nil, err
+	}
+	var dynoAfter core.DynoStats
+	if s.opts.DynoStats {
+		dynoAfter = s.bctx.CollectDynoStats()
+	}
+	res, err := s.bctx.Rewrite(cx)
+	if err != nil {
+		s.broken = true
+		return nil, err
+	}
+	s.res, s.optimized = res, true
+	s.rep = s.buildReport(dynoBefore, dynoAfter)
+	return s.rep, nil
+}
+
+// Report returns the Optimize report, or nil before Optimize succeeded.
+func (s *Session) Report() *Report { return s.rep }
+
+// Output returns the optimized ELF image, or nil before Optimize.
+func (s *Session) Output() *elfx.File {
+	if s.res == nil {
+		return nil
+	}
+	return s.res.File
+}
+
+// WriteFile serializes the optimized binary to path. Requires a
+// successful Optimize; repeatable.
+func (s *Session) WriteFile(path string) error {
+	if s.res == nil {
+		return fmt.Errorf("bolt: WriteFile before Optimize")
+	}
+	return s.res.File.WriteFile(path)
+}
+
+// WriteTo serializes the optimized binary to w. Requires a successful
+// Optimize; repeatable.
+func (s *Session) WriteTo(w io.Writer) (int64, error) {
+	if s.res == nil {
+		return 0, fmt.Errorf("bolt: WriteTo before Optimize")
+	}
+	data, err := s.res.File.Bytes()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// requireAnalyzed guards the report-only accessors. A broken session
+// (failed or cancelled Optimize) is rejected too: its CFGs may be
+// partially transformed, so shapes, stats, and dumps would describe a
+// state that never corresponds to any binary.
+func (s *Session) requireAnalyzed(what string) error {
+	if s.broken {
+		return fmt.Errorf("bolt: %s on a session whose Optimize failed or was cancelled; open a new Session", what)
+	}
+	if !s.analyzed {
+		return fmt.Errorf("bolt: %s requires Analyze (or Optimize) first", what)
+	}
+	return nil
+}
+
+// DynoStats collects the paper's dynamic instruction statistics for the
+// current CFG state: pre-pipeline when called after Analyze,
+// post-pipeline after Optimize.
+func (s *Session) DynoStats() (core.DynoStats, error) {
+	if err := s.requireAnalyzed("DynoStats"); err != nil {
+		return core.DynoStats{}, err
+	}
+	return s.bctx.CollectDynoStats(), nil
+}
+
+// Stats exposes the pipeline's counters (profile matching, per-pass
+// work). The map is live — treat it as read-only; Report.Stats is a
+// stable snapshot taken when Optimize finished.
+func (s *Session) Stats() (map[string]int64, error) {
+	if err := s.requireAnalyzed("Stats"); err != nil {
+		return nil, err
+	}
+	return s.bctx.Stats, nil
+}
+
+// Functions returns the discovered functions in address order (after
+// Analyze). Callers may inspect CFGs and profile annotations but must
+// not mutate them.
+func (s *Session) Functions() ([]*core.BinaryFunction, error) {
+	if err := s.requireAnalyzed("Functions"); err != nil {
+		return nil, err
+	}
+	return s.bctx.Funcs, nil
+}
+
+// Function returns the named function after Analyze (aliases resolve to
+// their canonical function), or nil if unknown.
+func (s *Session) Function(name string) (*core.BinaryFunction, error) {
+	if err := s.requireAnalyzed("Function"); err != nil {
+		return nil, err
+	}
+	return s.bctx.ByName[name], nil
+}
+
+// HottestFunctions returns the n most executed functions (after
+// Analyze with a profile loaded).
+func (s *Session) HottestFunctions(n int) ([]*core.BinaryFunction, error) {
+	if err := s.requireAnalyzed("HottestFunctions"); err != nil {
+		return nil, err
+	}
+	return s.bctx.HottestFunctions(n), nil
+}
+
+// PrintCFG writes the Figure 4-style CFG dump of the named function.
+func (s *Session) PrintCFG(w io.Writer, name string) error {
+	if err := s.requireAnalyzed("PrintCFG"); err != nil {
+		return err
+	}
+	fn := s.bctx.ByName[name]
+	if fn == nil {
+		return fmt.Errorf("bolt: no function %q", name)
+	}
+	s.bctx.PrintCFG(w, fn)
+	return nil
+}
+
+// BadLayoutReport renders the -report-bad-layout analysis (cold blocks
+// interleaved with hot ones), limited to the worst `limit` functions.
+func (s *Session) BadLayoutReport(limit int) (string, error) {
+	if err := s.requireAnalyzed("BadLayoutReport"); err != nil {
+		return "", err
+	}
+	return s.bctx.BadLayoutReport(limit), nil
+}
+
+// Shapes computes the per-function CFG shapes of the input binary — the
+// v2-profile payload that makes stale matching possible (vmrun -record
+// embeds them).
+func (s *Session) Shapes() (map[string]profile.FuncShape, error) {
+	if err := s.requireAnalyzed("Shapes"); err != nil {
+		return nil, err
+	}
+	return core.ComputeShapes(s.bctx), nil
+}
+
+// PipelineNames lists the pass pipeline (paper Table 1) the given
+// options select, in execution order — gobolt's -print-pipeline.
+func PipelineNames(opts ...Option) []string {
+	o := core.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var names []string
+	for _, p := range passes.BuildPipeline(o) {
+		names = append(names, p.Name())
+	}
+	return names
+}
+
+func (s *Session) buildReport(dynoBefore, dynoAfter core.DynoStats) *Report {
+	rep := &Report{
+		Input:        s.input,
+		MovedFuncs:   s.res.MovedFuncs,
+		SkippedFuncs: s.res.SkippedFuncs,
+		FoldedFuncs:  s.res.FoldedFuncs,
+		SplitFuncs:   s.res.SplitFuncs,
+		SimpleFuncs:  len(s.bctx.SimpleFuncs()),
+		HotTextSize:  s.res.HotTextSize,
+		ColdTextSize: s.res.ColdTextSize,
+		OrigTextSize: s.res.OrigTextSize,
+		HasDynoStats: s.opts.DynoStats,
+		DynoBefore:   dynoBefore,
+		DynoAfter:    dynoAfter,
+		Stats:        make(map[string]int64, len(s.bctx.Stats)),
+		LoadTimings:  append([]core.PassTiming(nil), s.bctx.LoadTimings...),
+		PassTimings:  append([]core.PassTiming(nil), s.bctx.PassTimings...),
+		EmitTimings:  append([]core.PassTiming(nil), s.bctx.EmitTimings...),
+	}
+	for k, v := range s.bctx.Stats {
+		rep.Stats[k] = v
+	}
+	if s.fd != nil {
+		rep.ProfileSource = s.profileDesc
+		rep.ProfileBranches = len(s.fd.Branches)
+		rep.ProfileSamples = len(s.fd.Samples)
+		rep.ProfileTotalCount = s.fd.TotalBranchCount()
+	}
+	return rep
+}

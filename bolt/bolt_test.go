@@ -1,0 +1,356 @@
+package bolt_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"gobolt/bolt"
+	"gobolt/internal/cc"
+	"gobolt/internal/core"
+	"gobolt/internal/elfx"
+	"gobolt/internal/ld"
+	"gobolt/internal/passes"
+	"gobolt/internal/perf"
+	"gobolt/internal/profile"
+	"gobolt/internal/vm"
+	"gobolt/internal/workload"
+)
+
+// buildTiny compiles and links the Tiny synthetic workload with
+// relocations kept (the paper's relocations mode).
+func buildTiny(t *testing.T) *elfx.File {
+	t.Helper()
+	objs, err := cc.Compile(workload.Generate(workload.Tiny()), cc.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := ld.Link(objs, ld.Options{EmitRelocs: true, ICF: true})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return res.File
+}
+
+func record(t *testing.T, f *elfx.File) *profile.Fdata {
+	t.Helper()
+	fd, _, err := perf.RecordFile(f, perf.DefaultMode(), 0)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	return fd
+}
+
+func runVM(t *testing.T, f *elfx.File) uint64 {
+	t.Helper()
+	m, err := vm.New(f)
+	if err != nil {
+		t.Fatalf("vm load: %v", err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatalf("vm run: %v", err)
+	}
+	if !m.Halted() {
+		t.Fatal("vm did not halt")
+	}
+	return m.Result()
+}
+
+// optimizeViaSession drives the staged bolt API end to end and returns
+// the serialized output plus the report.
+func optimizeViaSession(t *testing.T, f *elfx.File, fd *profile.Fdata, jobs int) ([]byte, *bolt.Report, *bolt.Session) {
+	t.Helper()
+	cx := context.Background()
+	sess, err := bolt.OpenELF(f, bolt.WithJobs(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Optimize(cx)
+	if err != nil {
+		t.Fatalf("optimize (jobs=%d): %v", jobs, err)
+	}
+	var buf bytes.Buffer
+	if _, err := sess.WriteTo(&buf); err != nil {
+		t.Fatalf("serialize (jobs=%d): %v", jobs, err)
+	}
+	return buf.Bytes(), rep, sess
+}
+
+// TestSessionMatchesDirectPipeline is the API-redesign contract: the
+// staged Session (open → profile → optimize → write) emits a binary
+// byte-identical to the hand-assembled core driver path the CLIs used
+// before the bolt package existed.
+func TestSessionMatchesDirectPipeline(t *testing.T) {
+	f := buildTiny(t)
+	fd := record(t, f)
+	cx := context.Background()
+
+	// Old driver path, assembled directly from core primitives.
+	opts := core.DefaultOptions()
+	ctx, err := core.NewContext(cx, f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.ApplyProfile(fd)
+	if err := core.NewPassManager(opts.Jobs).Run(cx, ctx, passes.BuildPipeline(opts)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctx.Rewrite(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := res.File.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New API path over the same input and profile.
+	viaAPI, rep, _ := optimizeViaSession(t, f, fd, 0)
+	if !bytes.Equal(direct, viaAPI) {
+		t.Fatalf("bolt API output differs from the direct core pipeline (%d vs %d bytes)",
+			len(viaAPI), len(direct))
+	}
+	if rep.MovedFuncs != res.MovedFuncs || rep.FoldedFuncs != res.FoldedFuncs ||
+		rep.SplitFuncs != res.SplitFuncs || rep.HotTextSize != res.HotTextSize {
+		t.Errorf("report disagrees with rewrite result: %+v vs %+v", rep, res)
+	}
+	if !reflect.DeepEqual(rep.Stats, ctx.Stats) {
+		t.Errorf("report stats diverge from direct pipeline stats")
+	}
+
+	// And the output still computes the same checksum as the input.
+	want := runVM(t, f)
+	out, err := elfx.Read(viaAPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runVM(t, out); got != want {
+		t.Fatalf("semantic change through the bolt API: got %d want %d", got, want)
+	}
+}
+
+// TestPipelineDeterministicAcrossJobs is the parallel pipeline's
+// end-to-end contract, now proven through the public entry points: the
+// emitted binary is byte-identical and the stat counters exactly equal
+// for any worker count, across all three stages — the staged loader
+// (parallel disassembly+CFG), the function passes, and the concurrent
+// emitter. Run under -race this also exercises every fan-out phase.
+func TestPipelineDeterministicAcrossJobs(t *testing.T) {
+	f := buildTiny(t)
+	fd := record(t, f)
+	serialBytes, serialRep, _ := optimizeViaSession(t, f, fd, 1)
+	for _, jobs := range []int{2, 8} {
+		gotBytes, rep, _ := optimizeViaSession(t, f, fd, jobs)
+		if !bytes.Equal(serialBytes, gotBytes) {
+			t.Errorf("jobs=%d: emitted binary differs from jobs=1 (%d vs %d bytes)",
+				jobs, len(gotBytes), len(serialBytes))
+		}
+		if !reflect.DeepEqual(serialRep.Stats, rep.Stats) {
+			t.Errorf("jobs=%d: stats diverge:\n  jobs=1: %v\n  jobs=%d: %v",
+				jobs, serialRep.Stats, jobs, rep.Stats)
+		}
+		if len(rep.PassTimings) == 0 {
+			t.Errorf("jobs=%d: no pass timings recorded", jobs)
+		}
+		// Loader and emitter phases must be instrumented and scheduled
+		// on the pool.
+		assertParallelPhase(t, jobs, rep.LoadTimings, "load:disasm+cfg")
+		assertParallelPhase(t, jobs, rep.EmitTimings, "emit:functions")
+		// ICF's hashing runs as a parallel function pass; only the fold
+		// remains a barrier.
+		assertParallelPhase(t, jobs, rep.PassTimings, "icf-1-hash")
+		assertParallelPhase(t, jobs, rep.PassTimings, "icf-2-hash")
+	}
+}
+
+// assertParallelPhase checks that the named phase was recorded and fanned
+// out over more than one worker.
+func assertParallelPhase(t *testing.T, jobs int, timings []core.PassTiming, name string) {
+	t.Helper()
+	for _, pt := range timings {
+		if pt.Name != name {
+			continue
+		}
+		if !pt.Parallel || pt.Jobs < 2 {
+			t.Errorf("jobs=%d: phase %s not parallel: %+v", jobs, name, pt)
+		}
+		return
+	}
+	t.Errorf("jobs=%d: phase %s missing from timings", jobs, name)
+}
+
+// TestOptimizeCancellation cancels Optimize before and during the
+// pipeline. Under -race the concurrent variant also proves the fan-out
+// phases shut down cleanly when the context dies mid-flight.
+func TestOptimizeCancellation(t *testing.T) {
+	f := buildTiny(t)
+	fd := record(t, f)
+
+	// Pre-cancelled context: every stage fails fast with the context
+	// error and produces no output.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess, err := bolt.OpenELF(f, bolt.WithJobs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.LoadProfile(cancelled, bolt.Fdata(fd)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LoadProfile under cancelled context: %v", err)
+	}
+	if _, err := sess.Optimize(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Optimize under cancelled context: %v", err)
+	}
+	if sess.Output() != nil {
+		t.Fatal("cancelled Optimize produced output")
+	}
+
+	// Mid-pipeline: cancel from a second goroutine while the pipeline
+	// runs. The timer races the (fast) pipeline, so both outcomes are
+	// legal; what must hold is that a cancelled run reports
+	// context.Canceled, yields no output, and poisons the session.
+	for _, delay := range []time.Duration{50 * time.Microsecond, 500 * time.Microsecond, 5 * time.Millisecond} {
+		cx, cancelMid := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancelMid()
+		}()
+		s, err := bolt.OpenELF(f, bolt.WithJobs(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadProfile(context.Background(), bolt.Fdata(fd)); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Optimize(cx)
+		switch {
+		case err == nil:
+			if rep == nil || s.Output() == nil {
+				t.Fatalf("delay=%v: successful Optimize without report/output", delay)
+			}
+		case errors.Is(err, context.Canceled):
+			if s.Output() != nil {
+				t.Fatalf("delay=%v: cancelled Optimize left output", delay)
+			}
+			if _, err := s.Optimize(context.Background()); err == nil {
+				t.Fatalf("delay=%v: cancelled session allowed a re-run", delay)
+			}
+		default:
+			t.Fatalf("delay=%v: unexpected error %v", delay, err)
+		}
+		cancelMid()
+	}
+}
+
+// TestStageOrdering pins the one-shot contracts documented in the
+// package comment.
+func TestStageOrdering(t *testing.T) {
+	f := buildTiny(t)
+	fd := record(t, f)
+	cx := context.Background()
+
+	sess, err := bolt.OpenELF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Report-only accessors before Analyze must fail, not panic.
+	if _, err := sess.Stats(); err == nil {
+		t.Error("Stats before Analyze succeeded")
+	}
+	if err := sess.WriteFile(t.TempDir() + "/x"); err == nil {
+		t.Error("WriteFile before Optimize succeeded")
+	}
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		t.Fatal(err)
+	}
+	// Second LoadProfile: one-shot.
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err == nil {
+		t.Error("second LoadProfile succeeded")
+	}
+	if _, err := sess.Optimize(cx); err != nil {
+		t.Fatal(err)
+	}
+	// LoadProfile after the pipeline ran: stage violation.
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err == nil {
+		t.Error("LoadProfile after Optimize succeeded")
+	}
+	// Second Optimize: one-shot.
+	if _, err := sess.Optimize(cx); err == nil {
+		t.Error("second Optimize succeeded")
+	}
+	// Analyze stays idempotent and the accessors work post-Optimize.
+	if err := sess.Analyze(cx); err != nil {
+		t.Errorf("post-Optimize Analyze: %v", err)
+	}
+	if st, err := sess.Stats(); err != nil || len(st) == 0 {
+		t.Errorf("post-Optimize Stats: %v (%d entries)", err, len(st))
+	}
+}
+
+// TestMergedShardSource checks that LoadProfile with several sources
+// behaves like profile.Merge over the shards.
+func TestMergedShardSource(t *testing.T) {
+	f := buildTiny(t)
+	fd := record(t, f)
+	cx := context.Background()
+
+	merged, err := bolt.MergeShards(bolt.Fdata(fd), bolt.Fdata(fd)).Load(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.TotalBranchCount(), 2*fd.TotalBranchCount(); got != want {
+		t.Fatalf("merged total %d, want doubled %d", got, want)
+	}
+
+	sess, err := bolt.OpenELF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd), bolt.Fdata(fd)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Profile().TotalBranchCount(); got != merged.TotalBranchCount() {
+		t.Fatalf("LoadProfile(multi) total %d, want %d", got, merged.TotalBranchCount())
+	}
+}
+
+// TestZeroOptionsNoFootgun: the historical `core.Options{}` zero value
+// now means "defaults", so an analysis-only context gets stale matching
+// and the full pass set instead of silently disabling everything.
+func TestZeroOptionsNoFootgun(t *testing.T) {
+	if got := (core.Options{}).Normalized(); !reflect.DeepEqual(got, core.DefaultOptions()) {
+		t.Fatalf("Options{}.Normalized() = %+v, want DefaultOptions", got)
+	}
+	// The operational knobs (Jobs, TimePasses, DynoStats) don't count as
+	// configuration: Options{Jobs: n} means "defaults at n workers" for
+	// every n, with the knobs preserved — no discontinuity at n=0.
+	for _, jobs := range []int{0, 1, 4} {
+		got := (core.Options{Jobs: jobs, DynoStats: true}).Normalized()
+		want := core.DefaultOptions()
+		want.Jobs, want.DynoStats = jobs, true
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Options{Jobs:%d}.Normalized() = %+v, want defaults with knobs kept", jobs, got)
+		}
+	}
+	// An explicit pass-selection field marks the Options as configured.
+	explicit := core.Options{ICF: true, Jobs: 2}
+	if got := explicit.Normalized(); !reflect.DeepEqual(got, explicit) {
+		t.Fatalf("configured Options were rewritten: %+v", got)
+	}
+	f := buildTiny(t)
+	ctx, err := core.NewContext(context.Background(), f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Opts.StaleMatching || !ctx.Opts.ICF {
+		t.Fatalf("zero Options reached the pipeline un-normalized: %+v", ctx.Opts)
+	}
+	if len(passes.BuildPipeline(core.Options{})) != len(passes.BuildPipeline(core.DefaultOptions())) {
+		t.Fatal("BuildPipeline treats the zero value as all-off")
+	}
+}

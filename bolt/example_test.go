@@ -1,0 +1,92 @@
+package bolt_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"gobolt/bolt"
+	"gobolt/internal/cc"
+	"gobolt/internal/ld"
+	"gobolt/internal/perf"
+	"gobolt/internal/vm"
+	"gobolt/internal/workload"
+)
+
+// ExampleSession shows the staged API end to end: build a synthetic
+// binary with the bundled toolchain, profile it under the VM, optimize
+// it through a Session, and verify the output computes the same result.
+func ExampleSession() {
+	cx := context.Background()
+
+	// Build a deterministic toy binary (relocations kept, as the
+	// paper's relocations mode requires).
+	objs, err := cc.Compile(workload.Generate(workload.Tiny()), cc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	linked, err := ld.Link(objs, ld.Options{EmitRelocs: true, ICF: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile it with LBR-style sampling.
+	fd, _, err := perf.RecordFile(linked.File, perf.DefaultMode(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The staged pipeline: open → profile → optimize → output.
+	sess, err := bolt.OpenELF(linked.File)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sess.Optimize(cx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The optimized binary must compute the same checksum.
+	before, _ := vm.New(linked.File)
+	before.Run(0)
+	after, _ := vm.New(sess.Output())
+	after.Run(0)
+
+	fmt.Println("moved functions:", rep.MovedFuncs > 0)
+	fmt.Println("identical result:", before.Result() == after.Result())
+	// Output:
+	// moved functions: true
+	// identical result: true
+}
+
+// ExampleMergeShards merges profile shards from parallel production
+// runs into one deterministic profile, the way `perf2bolt -merge` does.
+func ExampleMergeShards() {
+	objs, err := cc.Compile(workload.Generate(workload.Tiny()), cc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	linked, err := ld.Link(objs, ld.Options{EmitRelocs: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shard1, _, err := perf.RecordFile(linked.File, perf.DefaultMode(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shard2, _, err := perf.RecordFile(linked.File, perf.DefaultMode(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	merged, err := bolt.MergeShards(bolt.Fdata(shard1), bolt.Fdata(shard2)).Load(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("counts add up:", merged.TotalBranchCount() == shard1.TotalBranchCount()+shard2.TotalBranchCount())
+	// Output:
+	// counts add up: true
+}

@@ -1,0 +1,54 @@
+package bolt
+
+import (
+	"gobolt/internal/core"
+)
+
+// Option configures a Session at open time. The base configuration is
+// always core.DefaultOptions() — the paper's evaluation setup — so a
+// zero-option session runs the full pipeline; Options only deviate from
+// it. The historical `core.Options{}` "everything silently off" zero
+// value cannot be expressed through this API.
+type Option func(*core.Options)
+
+// WithOptions replaces the whole option set — the escape hatch for CLI
+// adapters that materialize a core.Options from flags. The zero value is
+// normalized to the defaults (see core.Options.Normalized).
+func WithOptions(o core.Options) Option {
+	return func(dst *core.Options) { *dst = o.Normalized() }
+}
+
+// WithJobs bounds the worker pools of every parallel phase — loader
+// disassembly+CFG, function passes, code emission (0 = GOMAXPROCS,
+// 1 = serial). Output is bit-identical for every value.
+func WithJobs(n int) Option {
+	return func(o *core.Options) { o.Jobs = n }
+}
+
+// WithDynoStats collects the before/after dynamic instruction statistics
+// into Report.DynoBefore/DynoAfter.
+func WithDynoStats(on bool) Option {
+	return func(o *core.Options) { o.DynoStats = on }
+}
+
+// WithLite skips functions with no profile samples entirely.
+func WithLite(on bool) Option {
+	return func(o *core.Options) { o.Lite = on }
+}
+
+// WithBAT controls emission of the .bolt.bat address-translation section
+// (continuous profiling, §7.3). Default on.
+func WithBAT(on bool) Option {
+	return func(o *core.Options) { o.EnableBAT = on }
+}
+
+// WithStaleMatching controls CFG-shape recovery of stale profile records
+// (arXiv:2401.17168). Default on.
+func WithStaleMatching(on bool) Option {
+	return func(o *core.Options) { o.StaleMatching = on }
+}
+
+// WithSplitFunctions sets the hot/cold splitting level (0 = off).
+func WithSplitFunctions(level int) Option {
+	return func(o *core.Options) { o.SplitFunctions = level }
+}

@@ -1,0 +1,84 @@
+package bolt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gobolt/internal/core"
+)
+
+// Report is the structured result of Session.Optimize — everything the
+// old drivers used to printf, as data. CLI adapters render it; library
+// callers assert on it.
+type Report struct {
+	// Input is the path (or "<memory>"/"<reader>") the session opened.
+	Input string
+
+	// Function accounting from the rewrite: moved into the new layout,
+	// skipped as non-simple, folded by ICF, split hot/cold. SimpleFuncs
+	// is the final rewritable-function count.
+	MovedFuncs, SkippedFuncs, FoldedFuncs, SplitFuncs, SimpleFuncs int
+
+	// Section sizes of the new layout versus the original .text.
+	HotTextSize, ColdTextSize, OrigTextSize uint64
+
+	// Stats is a snapshot of every pipeline counter (profile matching,
+	// per-pass work) taken when Optimize finished.
+	Stats map[string]int64
+
+	// DynoBefore/DynoAfter hold the paper's dynamic instruction
+	// statistics around the pass pipeline; collected only when the
+	// session ran WithDynoStats (HasDynoStats).
+	HasDynoStats          bool
+	DynoBefore, DynoAfter core.DynoStats
+
+	// Per-phase wall-clock instrumentation: the loader phases
+	// (discovery, parallel disassembly+CFG), each optimization pass, and
+	// the emission phases (parallel code generation, layout+patch).
+	LoadTimings, PassTimings, EmitTimings []core.PassTiming
+
+	// Profile provenance: source description and record counts of the
+	// profile that drove the run (zero values when none was loaded).
+	ProfileSource     string
+	ProfileBranches   int
+	ProfileSamples    int
+	ProfileTotalCount uint64
+}
+
+// Timings returns all three instrumentation groups concatenated in
+// execution order (load → passes → emit).
+func (r *Report) Timings() []core.PassTiming {
+	out := make([]core.PassTiming, 0, len(r.LoadTimings)+len(r.PassTimings)+len(r.EmitTimings))
+	out = append(out, r.LoadTimings...)
+	out = append(out, r.PassTimings...)
+	out = append(out, r.EmitTimings...)
+	return out
+}
+
+// WriteTimings renders the -time-passes report: per-phase wall time,
+// pipeline share, scheduling mode, and stat deltas for the whole
+// pipeline in one table.
+func (r *Report) WriteTimings(w io.Writer) {
+	core.WriteTimings(w, r.Timings())
+}
+
+// WriteDynoStats renders the before/after dyno-stats comparison (paper
+// Table 2). No-op unless the session ran WithDynoStats.
+func (r *Report) WriteDynoStats(w io.Writer) {
+	if !r.HasDynoStats {
+		return
+	}
+	core.PrintComparison(w, r.Input, r.DynoBefore, r.DynoAfter)
+}
+
+// Summary renders the human-readable two-line result the gobolt CLI
+// prints after a successful run.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "moved %d functions (%d skipped non-simple, %d folded, %d split)\n",
+		r.MovedFuncs, r.SkippedFuncs, r.FoldedFuncs, r.SplitFuncs)
+	fmt.Fprintf(&sb, "hot text %d bytes, cold text %d bytes (original %d)",
+		r.HotTextSize, r.ColdTextSize, r.OrigTextSize)
+	return sb.String()
+}

@@ -5,22 +5,43 @@
 //	gobolt binary -data perf.fdata -o binary.bolt \
 //	    -reorder-blocks=cache+ -reorder-functions=hfsort+ \
 //	    -split-functions=3 -split-all-cold -split-eh -icf=1 -dyno-stats
+//
+// It is a thin flag→option adapter over the bolt library package: all
+// pipeline work happens in bolt.Session, every failure is a returned
+// error (the only os.Exit lives in main), and Ctrl-C cancels the
+// pipeline through context cancellation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
+	"gobolt/bolt"
 	"gobolt/internal/core"
-	"gobolt/internal/elfx"
 	"gobolt/internal/hfsort"
 	"gobolt/internal/layout"
-	"gobolt/internal/passes"
-	"gobolt/internal/profile"
 )
 
+// errUsage marks a bad invocation; main exits 2 (the flag-package
+// convention) after the usage line was printed, everything else exits 1.
+var errUsage = errors.New("usage")
+
 func main() {
+	if err := run(); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "gobolt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	data := flag.String("data", "", "fdata profile file (from perf2bolt)")
 	out := flag.String("o", "", "output binary path (default <input>.bolt)")
 	reorderBlocks := flag.String("reorder-blocks", "cache+", "block layout: none|reverse|ph|cache+")
@@ -73,98 +94,74 @@ func main() {
 	opts.UpdateDebugSections = *updateDebug
 
 	if *printPipeline {
-		for i, p := range passes.BuildPipeline(opts) {
-			fmt.Printf("%2d. %s\n", i+1, p.Name())
+		for i, name := range bolt.PipelineNames(bolt.WithOptions(opts)) {
+			fmt.Printf("%2d. %s\n", i+1, name)
 		}
-		return
+		return nil
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gobolt <binary> [flags]")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: gobolt [flags] <binary>")
+		return errUsage
 	}
 	input := flag.Arg(0)
-	f, err := elfx.ReadFile(input)
+
+	// Ctrl-C cancels the pipeline: the parallel phases stop claiming
+	// work and Optimize returns context.Canceled.
+	cx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sess, err := bolt.Open(input, bolt.WithOptions(opts))
 	if err != nil {
-		fatal(err)
+		return err
 	}
-
-	var fd *profile.Fdata
 	if *data != "" {
-		r, err := os.Open(*data)
-		if err != nil {
-			fatal(err)
-		}
-		fd, err = profile.Parse(r)
-		r.Close()
-		if err != nil {
-			fatal(err)
+		if err := sess.LoadProfile(cx, bolt.FdataFile(*data)); err != nil {
+			return err
 		}
 	}
 
-	// Report-only modes.
+	// Report-only modes stop after analysis.
 	if *badLayout || *printCFG != "" {
-		ctx, err := core.NewContext(f, opts)
-		if err != nil {
-			fatal(err)
-		}
-		if fd != nil {
-			ctx.ApplyProfile(fd)
+		if err := sess.Analyze(cx); err != nil {
+			return err
 		}
 		if *badLayout {
-			fmt.Print(ctx.BadLayoutReport(20))
-			return
+			report, err := sess.BadLayoutReport(20)
+			if err != nil {
+				return err
+			}
+			fmt.Print(report)
+			return nil
 		}
-		fn := ctx.ByName[*printCFG]
-		if fn == nil {
-			fatal(fmt.Errorf("no function %q", *printCFG))
-		}
-		ctx.PrintCFG(os.Stdout, fn)
-		return
+		return sess.PrintCFG(os.Stdout, *printCFG)
 	}
 
-	ctx, err := core.NewContext(f, opts)
+	rep, err := sess.Optimize(cx)
 	if err != nil {
-		fatal(err)
+		// No timing or dyno output on failure: a report must never print
+		// alongside a swallowed error.
+		return err
 	}
-	if fd != nil {
-		ctx.ApplyProfile(fd)
-	}
-	var before core.DynoStats
-	if *dynoStats {
-		before = ctx.CollectDynoStats()
-	}
-	pm := core.NewPassManager(opts.Jobs)
-	if err := pm.Run(ctx, passes.BuildPipeline(opts)); err != nil {
-		fatal(err)
-	}
-	if *dynoStats {
-		core.PrintComparison(os.Stdout, input, before, ctx.CollectDynoStats())
-	}
-	res, err := ctx.Rewrite()
 	if *timePasses {
-		// Printed after Rewrite so the report includes the loader and
-		// emission phases next to the passes.
-		core.WriteFullTimings(os.Stdout, ctx)
+		rep.WriteTimings(os.Stdout)
 	}
-	if err != nil {
-		fatal(err)
+	if *dynoStats {
+		rep.WriteDynoStats(os.Stdout)
 	}
 	outPath := *out
 	if outPath == "" {
 		outPath = input + ".bolt"
 	}
-	if err := res.File.WriteFile(outPath); err != nil {
-		fatal(err)
+	if err := sess.WriteFile(outPath); err != nil {
+		return err
 	}
 	fmt.Printf("gobolt: %s -> %s\n", input, outPath)
-	fmt.Printf("  moved %d functions (%d skipped non-simple, %d folded, %d split)\n",
-		res.MovedFuncs, res.SkippedFuncs, res.FoldedFuncs, res.SplitFuncs)
-	fmt.Printf("  hot text %d bytes, cold text %d bytes (original %d)\n",
-		res.HotTextSize, res.ColdTextSize, res.OrigTextSize)
+	fmt.Println(indent(rep.Summary()))
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gobolt:", err)
-	os.Exit(1)
+// indent prefixes every line with two spaces (the CLI's result style).
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
 }

@@ -14,6 +14,10 @@
 //   - Merge mode (BOLT's merge-fdata) aggregates N profile shards from
 //     parallel runs into one deterministic profile.
 //
+// All three modes are thin adapters over the bolt package's profile
+// sources: bolt.SampledOn performs the BAT auto-detection/translation
+// and bolt.MergeShards the parallel shard merge.
+//
 // Usage:
 //
 //	perf2bolt -p perf.fdata -o clean.fdata binary
@@ -21,17 +25,32 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"gobolt/internal/bat"
-	"gobolt/internal/elfx"
-	"gobolt/internal/par"
-	"gobolt/internal/profile"
+	"gobolt/bolt"
 )
 
+// errUsage marks a bad invocation; main exits 2 (the flag-package
+// convention) after the usage lines were printed, everything else
+// exits 1.
+var errUsage = errors.New("usage")
+
 func main() {
+	if err := run(); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "perf2bolt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	in := flag.String("p", "", "input profile")
 	out := flag.String("o", "", "output profile (default: overwrite input)")
 	merge := flag.Bool("merge", false, "merge N profile shards (args are fdata files, no binary)")
@@ -39,103 +58,65 @@ func main() {
 	translate := flag.Bool("translate", true, "translate through the binary's .bolt.bat section when present")
 	flag.Parse()
 
+	cx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *merge {
-		runMerge(flag.Args(), *out, *jobs)
-		return
+		return runMerge(cx, flag.Args(), *out, *jobs)
 	}
 	if flag.NArg() != 1 || *in == "" {
 		fmt.Fprintln(os.Stderr, "usage: perf2bolt -p perf.fdata [-o out.fdata] <binary>")
 		fmt.Fprintln(os.Stderr, "       perf2bolt -merge -o out.fdata <shard.fdata>...")
-		os.Exit(2)
+		return errUsage
 	}
-	f, err := elfx.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	fd, err := parseFile(*in)
-	if err != nil {
-		fatal(err)
-	}
+	binary := flag.Arg(0)
 
-	// Translation mode: the binary is a gobolt output; rewrite the
-	// profile into input-binary coordinates through its BAT table.
+	// SampledOn auto-detects whether the binary is a gobolt output: with
+	// a .bolt.bat section the profile is rewritten into input-binary
+	// coordinates, otherwise stale records are validated and dropped.
 	// -translate=false skips even reading the section, so a corrupt
 	// table can always be bypassed.
-	var table *bat.Table
-	if *translate {
-		if table, err = bat.FromFile(f); err != nil {
-			fatal(err)
-		}
+	src := bolt.SampledOn(bolt.FdataFile(*in), binary)
+	src.Translate = *translate
+	fd, err := src.Load(cx)
+	if err != nil {
+		return err
 	}
-	if table != nil {
-		kept, st := bat.TranslateProfile(fd, f, table)
-		writeProfile(kept, *in, *out)
+	if err := bolt.SaveProfile(fd, outPath(*in, *out)); err != nil {
+		return err
+	}
+	r := src.Result
+	if r.Translated {
 		fmt.Printf("perf2bolt: %s: translated via BAT (%d funcs, %d ranges): %d branch records, %d samples kept; counts: %d translated, %d passthrough, %d dropped -> %s\n",
-			flag.Arg(0), len(table.Funcs), len(table.Ranges),
-			len(kept.Branches), len(kept.Samples),
-			st.TranslatedBranches+st.TranslatedSamples, st.PassthroughCount, st.DroppedCount, outPath(*in, *out))
-		return
+			binary, r.BATFuncs, r.BATRanges, r.Branches, r.Samples,
+			r.Stats.TranslatedBranches+r.Stats.TranslatedSamples,
+			r.Stats.PassthroughCount, r.Stats.DroppedCount, outPath(*in, *out))
+	} else {
+		fmt.Printf("perf2bolt: %d branch records, %d samples kept (%d dropped) -> %s\n",
+			r.Branches, r.Samples, r.Dropped, outPath(*in, *out))
 	}
-
-	resolves := func(l profile.Loc) bool {
-		sym, ok := f.SymbolByName(l.Sym)
-		return ok && l.Off < sym.Size
-	}
-	kept := &profile.Fdata{LBR: fd.LBR, Event: fd.Event, Shapes: fd.Shapes}
-	dropped := 0
-	for _, b := range fd.Branches {
-		if resolves(b.From) && resolves(b.To) {
-			kept.Branches = append(kept.Branches, b)
-		} else {
-			dropped++
-		}
-	}
-	for _, s := range fd.Samples {
-		if resolves(s.At) {
-			kept.Samples = append(kept.Samples, s)
-		} else {
-			dropped++
-		}
-	}
-	writeProfile(kept, *in, *out)
-	fmt.Printf("perf2bolt: %d branch records, %d samples kept (%d dropped) -> %s\n",
-		len(kept.Branches), len(kept.Samples), dropped, outPath(*in, *out))
+	return nil
 }
 
 // runMerge implements merge-fdata: shards parse concurrently over the
 // shared worker pool, then fold into one deterministic profile.
-func runMerge(paths []string, out string, jobs int) {
+func runMerge(cx context.Context, paths []string, out string, jobs int) error {
 	if len(paths) == 0 || out == "" {
 		fmt.Fprintln(os.Stderr, "usage: perf2bolt -merge -o out.fdata <shard.fdata>...")
-		os.Exit(2)
+		return errUsage
 	}
-	shards := make([]*profile.Fdata, len(paths))
-	if _, err := par.For(len(paths), par.Jobs(jobs, len(paths)), func(_, i int) error {
-		fd, err := parseFile(paths[i])
-		if err != nil {
-			return fmt.Errorf("%s: %w", paths[i], err)
-		}
-		shards[i] = fd
-		return nil
-	}); err != nil {
-		fatal(err)
-	}
-	merged, err := profile.Merge(shards)
+	src := bolt.MergeShards(bolt.FdataFiles(paths...)...)
+	src.Jobs = jobs
+	merged, err := src.Load(cx)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	writeProfile(merged, "", out)
+	if err := bolt.SaveProfile(merged, out); err != nil {
+		return err
+	}
 	fmt.Printf("perf2bolt: merged %d shards: %d branch records (%d total count), %d samples -> %s\n",
 		len(paths), len(merged.Branches), merged.TotalBranchCount(), len(merged.Samples), out)
-}
-
-func parseFile(path string) (*profile.Fdata, error) {
-	r, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer r.Close()
-	return profile.Parse(r)
+	return nil
 }
 
 func outPath(in, out string) string {
@@ -143,20 +124,4 @@ func outPath(in, out string) string {
 		return in
 	}
 	return out
-}
-
-func writeProfile(fd *profile.Fdata, in, out string) {
-	w, err := os.Create(outPath(in, out))
-	if err != nil {
-		fatal(err)
-	}
-	if err := fd.Write(w); err != nil {
-		fatal(err)
-	}
-	w.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "perf2bolt:", err)
-	os.Exit(1)
 }

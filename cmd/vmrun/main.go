@@ -5,18 +5,35 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"gobolt/internal/core"
+	"gobolt/bolt"
 	"gobolt/internal/elfx"
 	"gobolt/internal/perf"
+	"gobolt/internal/profile"
 	"gobolt/internal/uarch"
 	"gobolt/internal/vm"
 )
 
+// errUsage marks a bad invocation; main exits 2 (the flag-package
+// convention) after the usage line was printed, everything else exits 1.
+var errUsage = errors.New("usage")
+
 func main() {
+	if err := run(); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "vmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	record := flag.String("record", "", "write an fdata profile to this path")
 	lbr := flag.Bool("lbr", true, "use LBR sampling (-j any,u)")
 	event := flag.String("event", "cycles", "sampling event: cycles|instructions|branches")
@@ -29,45 +46,40 @@ func main() {
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vmrun [flags] <binary>")
-		os.Exit(2)
+		return errUsage
 	}
 	f, err := elfx.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *record != "" {
 		mode := perf.Mode{LBR: *lbr, Event: perf.Event(*event), Period: *period, PEBS: *pebs}
 		fd, m, err := perf.RecordFile(f, mode, *maxInstr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if *shapes {
 			// Disassemble the profiled binary and embed its CFG shapes so
 			// a future gobolt run on a *different* build can stale-match
 			// this profile instead of dropping it.
-			if ctx, err := core.NewContext(f, core.Options{}); err == nil {
-				fd.Shapes = core.ComputeShapes(ctx)
+			if fs, err := fileShapes(f); err == nil {
+				fd.Shapes = fs
 			} else {
 				fmt.Fprintf(os.Stderr, "vmrun: cannot derive CFG shapes (profile stays v1, stale matching unavailable): %v\n", err)
 			}
 		}
-		w, err := os.Create(*record)
-		if err != nil {
-			fatal(err)
+		if err := bolt.SaveProfile(fd, *record); err != nil {
+			return err
 		}
-		if err := fd.Write(w); err != nil {
-			fatal(err)
-		}
-		w.Close()
 		fmt.Printf("vmrun: result=%d instructions=%d branches=%d (profile: %d branch records, %d samples, %d shapes)\n",
 			m.Result(), m.C.Instructions, m.C.Branches, len(fd.Branches), len(fd.Samples), len(fd.Shapes))
-		return
+		return nil
 	}
 
 	m, err := vm.New(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var sim *uarch.Sim
 	if *stat {
@@ -75,7 +87,7 @@ func main() {
 		m.SetTracer(sim)
 	}
 	if _, err := m.Run(*maxInstr); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("vmrun: result=%d halted=%v\n", m.Result(), m.Halted())
 	fmt.Printf("  retired: %d instructions, %d cond branches (%d taken), %d calls, %d returns, %d throws\n",
@@ -83,9 +95,18 @@ func main() {
 	if sim != nil {
 		fmt.Print(sim.Finish().Format())
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vmrun:", err)
-	os.Exit(1)
+// fileShapes analyzes the binary through a bolt session and returns its
+// CFG shapes.
+func fileShapes(f *elfx.File) (map[string]profile.FuncShape, error) {
+	sess, err := bolt.OpenELF(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Analyze(context.Background()); err != nil {
+		return nil, err
+	}
+	return sess.Shapes()
 }

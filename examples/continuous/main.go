@@ -4,13 +4,14 @@
 //
 // A data center never stops: by the time a binary is BOLTed and deployed,
 // the profile that built it is already aging. This example closes the
-// loop the way production BOLT does:
+// loop the way production BOLT does, entirely through the bolt package:
 //
-//  1. build and profile a binary, then optimize it (gobolt writes a
+//  1. build and profile a binary, then optimize it (the session writes a
 //     .bolt.bat address-translation section into the output);
 //  2. keep sampling the *optimized* binary in "production";
-//  3. translate that profile back to input-binary coordinates through
-//     BAT (the perf2bolt -translate step);
+//  3. feed that profile back through bolt.SampledOn, which auto-detects
+//     the BAT table and translates the samples to input-binary
+//     coordinates (the perf2bolt -translate step);
 //  4. re-optimize the original binary with the translated profile — no
 //     un-optimized canary machines needed;
 //  5. ship a *new release* of the program and apply the same old
@@ -19,21 +20,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"gobolt/internal/bat"
+	"gobolt/bolt"
 	"gobolt/internal/bench"
 	"gobolt/internal/cc"
-	"gobolt/internal/core"
+	"gobolt/internal/elfx"
 	"gobolt/internal/ld"
-	"gobolt/internal/passes"
 	"gobolt/internal/perf"
+	"gobolt/internal/profile"
 	"gobolt/internal/uarch"
 	"gobolt/internal/workload"
 )
 
 func main() {
+	cx := context.Background()
 	spec := workload.Tiny()
 	mode := perf.DefaultMode()
 
@@ -49,51 +52,71 @@ func main() {
 		return res
 	}
 
+	// optimize runs one full session and returns it (output, report,
+	// stats all hang off the session).
+	optimize := func(f *elfx.File, fd *profile.Fdata) (*bolt.Session, *bolt.Report) {
+		sess, err := bolt.OpenELF(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sess.Optimize(cx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sess, rep
+	}
+
 	// 1. Build v1, profile it, embed CFG shapes (vmrun -record -shapes).
 	v1 := link(spec)
 	fd, _, err := perf.RecordFile(v1.File, mode, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx, err := core.NewContext(v1.File, core.Options{})
+	shapeSess, err := bolt.OpenELF(v1.File)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fd.Shapes = core.ComputeShapes(ctx)
+	if err := shapeSess.Analyze(cx); err != nil {
+		log.Fatal(err)
+	}
+	if fd.Shapes, err = shapeSess.Shapes(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("v1 profiled: %d branch records (total count %d), %d shapes\n",
 		len(fd.Branches), fd.TotalBranchCount(), len(fd.Shapes))
 
 	// 2. Optimize; the output carries the BAT section.
-	opt, _, err := passes.Optimize(v1.File, fd, core.DefaultOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
-	table, err := bat.FromFile(opt.File)
-	if err != nil || table == nil {
-		log.Fatalf("no BAT table in optimized binary: %v", err)
-	}
-	fmt.Printf("bolted: %d functions moved; BAT maps %d ranges of %d functions\n",
-		opt.MovedFuncs, len(table.Ranges), len(table.Funcs))
+	sess1, rep1 := optimize(v1.File, fd)
+	fmt.Printf("bolted: %d functions moved\n", rep1.MovedFuncs)
 
-	// 3. Sample the optimized binary in "production" and translate.
-	fdProd, _, err := perf.RecordFile(opt.File, mode, 0)
+	// 3. Sample the optimized binary in "production" and translate back
+	//    through the auto-detected BAT table.
+	fdProd, _, err := perf.RecordFile(sess1.Output(), mode, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fdBack, st := bat.TranslateProfile(fdProd, opt.File, table)
-	fmt.Printf("production profile translated: %d counts moved back to input coordinates, %d passthrough, %d dropped\n",
-		st.TranslatedBranches, st.PassthroughCount, st.DroppedCount)
+	src := bolt.SampledOnELF(bolt.Fdata(fdProd), sess1.Output())
+	fdBack, err := src.Load(cx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !src.Result.Translated {
+		log.Fatal("no BAT table in optimized binary")
+	}
+	fmt.Printf("production profile translated via BAT (%d funcs, %d ranges): %d counts moved back to input coordinates, %d passthrough, %d dropped\n",
+		src.Result.BATFuncs, src.Result.BATRanges,
+		src.Result.Stats.TranslatedBranches, src.Result.Stats.PassthroughCount, src.Result.Stats.DroppedCount)
 
 	// 4. Re-optimize v1 with the translated profile and verify.
-	opt2, _, err := passes.Optimize(v1.File, fdBack, core.DefaultOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
+	sess2, _ := optimize(v1.File, fdBack)
 	mb, err := bench.Measure(v1.File, uarch.DefaultConfig(), false)
 	if err != nil {
 		log.Fatal(err)
 	}
-	m2, err := bench.Measure(opt2.File, uarch.DefaultConfig(), false)
+	m2, err := bench.Measure(sess2.Output(), uarch.DefaultConfig(), false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,12 +131,21 @@ func main() {
 	spec2 := spec
 	spec2.EntryPadOps = 3
 	v2 := link(spec2)
-	ctx2, err := core.NewContext(v2.File, core.DefaultOptions())
+	sessV2, err := bolt.OpenELF(v2.File)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx2.ApplyProfile(fd)
+	if err := sessV2.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sessV2.Analyze(cx); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := sessV2.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("stale profile on v2: %d counts recovered by shape matching (%d funcs), %d dropped\n",
-		ctx2.Stats["profile-stale-count"], ctx2.Stats["profile-stale-funcs"],
-		ctx2.Stats["profile-stale-drop-count"])
+		stats["profile-stale-count"], stats["profile-stale-funcs"],
+		stats["profile-stale-drop-count"])
 }

@@ -35,13 +35,13 @@ func main() {
 	fmt.Printf("  %d functions, %d KB text\n", len(base.FuncSymbols()), lres.TextSize/1024)
 
 	fmt.Println("profiling and applying gobolt...")
-	bolted, ctx, err := bench.Bolt(base, mode, core.DefaultOptions())
+	bolted, rep, err := bench.Bolt(base, mode, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  passes: reordered %d functions' blocks, split %d, folded %d, ICP %d, PLT %d\n",
-		ctx.Stats["reorder-bbs-funcs"], ctx.Stats["split-functions"],
-		ctx.Stats["icf-folded"], ctx.Stats["icp-promoted"], ctx.Stats["plt-calls"])
+		rep.Stats["reorder-bbs-funcs"], rep.Stats["split-functions"],
+		rep.Stats["icf-folded"], rep.Stats["icp-promoted"], rep.Stats["plt-calls"])
 
 	fmt.Println("measuring under the microarchitecture simulator...")
 	mb, err := bench.Measure(base, uarch.DefaultConfig(), true)

@@ -8,16 +8,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
+	"gobolt/bolt"
 	"gobolt/internal/bench"
 	"gobolt/internal/cc"
 	"gobolt/internal/cfi"
-	"gobolt/internal/core"
 	"gobolt/internal/ld"
-	"gobolt/internal/passes"
 	"gobolt/internal/perf"
 	"gobolt/internal/uarch"
 	"gobolt/internal/vm"
@@ -25,6 +25,7 @@ import (
 )
 
 func main() {
+	cx := context.Background()
 	spec := workload.Tiny()
 	spec.ThrowFrac = 0.9 // make exception paths ubiquitous
 	spec.ColdProb = 0.1  // and reasonably frequent at runtime
@@ -52,17 +53,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.DefaultOptions()
-	opts.SplitEH = true
-	res, ctx, err := passes.Optimize(linked.File, fd, opts)
+	sess, err := bolt.OpenELF(linked.File) // -split-eh is on by default
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sess.Optimize(cx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("gobolt: split %d functions; %d cold blocks moved\n",
-		ctx.Stats["split-functions"], ctx.Stats["split-cold-blocks"])
+		rep.Stats["split-functions"], rep.Stats["split-cold-blocks"])
 
 	// Show the rebuilt exception metadata.
-	frames, _ := cfi.DecodeFrames(res.File.Section(cfi.FrameSectionName).Data)
+	out := sess.Output()
+	frames, _ := cfi.DecodeFrames(out.Section(cfi.FrameSectionName).Data)
 	withLSDA := 0
 	for _, f := range frames {
 		if f.LSDA != 0 {
@@ -70,10 +77,10 @@ func main() {
 		}
 	}
 	fmt.Printf("rebuilt CFI: %d FDEs (%d with exception tables); cold section %d bytes\n",
-		len(frames), withLSDA, res.ColdTextSize)
+		len(frames), withLSDA, rep.ColdTextSize)
 
 	// The proof: run the rewritten binary; every unwind must still work.
-	m2, err := vm.New(res.File)
+	m2, err := vm.New(out)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,16 +93,22 @@ func main() {
 		os.Exit(1)
 	}
 	before, _ := bench.Measure(linked.File, uarch.DefaultConfig(), false)
-	after, _ := bench.Measure(res.File, uarch.DefaultConfig(), false)
+	after, _ := bench.Measure(out, uarch.DefaultConfig(), false)
 	if before != nil && after != nil {
 		fmt.Printf("speedup with exception paths split out: %.2f%%\n",
 			100*uarch.Speedup(before.Metrics, after.Metrics))
 	}
 	// Print a Figure 4-style CFG dump of a function with landing pads.
-	for _, fn := range ctx.HottestFunctions(50) {
+	hottest, err := sess.HottestFunctions(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fn := range hottest {
 		if fn.HasLSDA && fn.Simple {
 			fmt.Println("\nFigure 4-style dump of one exception-handling function:")
-			ctx.PrintCFG(os.Stdout, fn)
+			if err := sess.PrintCFG(os.Stdout, fn.Name); err != nil {
+				log.Fatal(err)
+			}
 			break
 		}
 	}

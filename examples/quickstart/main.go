@@ -1,27 +1,31 @@
-// Quickstart: the whole BOLT workflow in one file.
+// Quickstart: the whole BOLT workflow in one file, driven through the
+// public bolt package.
 //
 //	go run ./examples/quickstart
 //
 // It builds a small synthetic binary, profiles it under the VM with
-// LBR-style sampling, applies gobolt, verifies the optimized binary
+// LBR-style sampling, optimizes it with a staged bolt.Session
+// (open → profile → optimize → output), verifies the optimized binary
 // computes the same result, and compares simulated CPU time.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"gobolt/bolt"
 	"gobolt/internal/bench"
 	"gobolt/internal/cc"
-	"gobolt/internal/core"
 	"gobolt/internal/ld"
-	"gobolt/internal/passes"
 	"gobolt/internal/perf"
 	"gobolt/internal/uarch"
 	"gobolt/internal/workload"
 )
 
 func main() {
+	cx := context.Background()
+
 	// 1. "Source code": a seeded synthetic program.
 	prog := workload.Generate(workload.Tiny())
 
@@ -44,20 +48,28 @@ func main() {
 	}
 	fmt.Printf("profiled: result=%d, %d branch records\n", m.Result(), len(fd.Branches))
 
-	// 4. gobolt: discover, disassemble, optimize, rewrite.
-	res, ctx, err := passes.Optimize(linked.File, fd, core.DefaultOptions())
+	// 4. gobolt through the library: open a session on the linked image,
+	//    attach the in-memory profile, optimize.
+	sess, err := bolt.OpenELF(linked.File)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("bolted: moved %d functions, split %d, folded %d (stats: %v)\n",
-		res.MovedFuncs, res.SplitFuncs, res.FoldedFuncs, ctx.Stats["reorder-bbs-funcs"])
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sess.Optimize(cx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bolted: moved %d functions, split %d, folded %d (reordered %d)\n",
+		rep.MovedFuncs, rep.SplitFuncs, rep.FoldedFuncs, rep.Stats["reorder-bbs-funcs"])
 
 	// 5. Verify semantics and measure both binaries under the simulator.
 	before, err := bench.Measure(linked.File, uarch.DefaultConfig(), false)
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := bench.Measure(res.File, uarch.DefaultConfig(), false)
+	after, err := bench.Measure(sess.Output(), uarch.DefaultConfig(), false)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,16 +5,17 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"gobolt/bolt"
 	"gobolt/internal/cc"
 	"gobolt/internal/core"
 	"gobolt/internal/elfx"
 	"gobolt/internal/heatmap"
 	"gobolt/internal/hfsort"
 	"gobolt/internal/ld"
-	"gobolt/internal/passes"
 	"gobolt/internal/perf"
 	"gobolt/internal/profile"
 	"gobolt/internal/uarch"
@@ -107,14 +108,24 @@ func Build(spec workload.Spec, cfg BuildConfig, mode perf.Mode) (*elfx.File, *ld
 // shares one entry, which is precisely the accuracy loss of paper
 // Figure 2 (§2.2); perfect per-copy truth cannot be represented.
 func SourceProfile(f *elfx.File, fd *profile.Fdata) (*cc.SourceProfile, error) {
-	ctx, err := core.NewContext(f, core.Options{})
+	cx := context.Background()
+	sess, err := bolt.OpenELF(f, bolt.WithJobs(boltJobs))
 	if err != nil {
 		return nil, err
 	}
-	ctx.ApplyProfile(fd)
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		return nil, err
+	}
+	if err := sess.Analyze(cx); err != nil {
+		return nil, err
+	}
+	funcs, err := sess.Functions()
+	if err != nil {
+		return nil, err
+	}
 
 	sp := cc.NewSourceProfile()
-	for _, fn := range ctx.Funcs {
+	for _, fn := range funcs {
 		if !fn.Simple {
 			continue
 		}
@@ -157,17 +168,25 @@ func blockSrcKey(b *core.BasicBlock) (cc.SrcKey, bool) {
 }
 
 // Bolt applies gobolt to a binary: profile on the train input, then
-// optimize.
-func Bolt(f *elfx.File, mode perf.Mode, opts core.Options) (*elfx.File, *core.BinaryContext, error) {
+// optimize through the bolt API.
+func Bolt(f *elfx.File, mode perf.Mode, opts core.Options) (*elfx.File, *bolt.Report, error) {
 	fd, _, err := perf.RecordFile(f, mode, 0)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, ctx, err := passes.Optimize(f, fd, opts)
+	cx := context.Background()
+	sess, err := bolt.OpenELF(f, bolt.WithOptions(opts))
 	if err != nil {
-		return nil, ctx, err
+		return nil, nil, err
 	}
-	return res.File, ctx, nil
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		return nil, nil, err
+	}
+	rep, err := sess.Optimize(cx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess.Output(), rep, nil
 }
 
 // Measurement is one simulated run.

@@ -1,13 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"gobolt/bolt"
 	"gobolt/internal/bat"
 	"gobolt/internal/core"
 	"gobolt/internal/elfx"
-	"gobolt/internal/passes"
 	"gobolt/internal/perf"
 	"gobolt/internal/profile"
 	"gobolt/internal/uarch"
@@ -49,23 +50,39 @@ func recordWithShapes(f *elfx.File, mode perf.Mode) (*profile.Fdata, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, err := core.NewContext(f, core.Options{Jobs: boltJobs})
+	sess, err := bolt.OpenELF(f, bolt.WithJobs(boltJobs))
 	if err != nil {
 		return nil, err
 	}
-	fd.Shapes = core.ComputeShapes(ctx)
+	if err := sess.Analyze(context.Background()); err != nil {
+		return nil, err
+	}
+	shapes, err := sess.Shapes()
+	if err != nil {
+		return nil, err
+	}
+	fd.Shapes = shapes
 	return fd, nil
 }
 
-// appliedCounts applies a profile to a fresh context of f and returns the
-// branch counts that landed (edges+calls), plus the full stats map.
+// appliedCounts applies a profile to a fresh analysis of f and returns
+// the branch counts that landed (edges+calls), plus the full stats map.
 func appliedCounts(f *elfx.File, fd *profile.Fdata, opts core.Options) (int64, map[string]int64, error) {
-	ctx, err := core.NewContext(f, opts)
+	cx := context.Background()
+	sess, err := bolt.OpenELF(f, bolt.WithOptions(opts))
 	if err != nil {
 		return 0, nil, err
 	}
-	ctx.ApplyProfile(fd)
-	st := ctx.Stats
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		return 0, nil, err
+	}
+	if err := sess.Analyze(cx); err != nil {
+		return 0, nil, err
+	}
+	st, err := sess.Stats()
+	if err != nil {
+		return 0, nil, err
+	}
 	return st["profile-edge-count"] + st["profile-call-count"] + st["profile-stale-count"], st, nil
 }
 
@@ -107,24 +124,25 @@ func Continuous(scale Scale) (*ContinuousResult, string, error) {
 		spec.Name, len(fdFresh.Branches), fdFresh.TotalBranchCount(), len(fdFresh.Shapes))
 
 	// Round 1: optimize with the fresh profile; the output carries BAT.
-	opt1, _, err := passes.Optimize(base, fdFresh, boltOptions())
+	sess1, _, err := optimizeSession(base, fdFresh, bolt.WithOptions(boltOptions()))
 	if err != nil {
 		return nil, "", fmt.Errorf("round-1 bolt: %w", err)
 	}
+	opt1 := sess1.Output()
 
 	// "Production" sampling on the optimized binary, then translation.
-	fdOpt, _, err := perf.RecordFile(opt1.File, mode, 0)
+	fdOpt, _, err := perf.RecordFile(opt1, mode, 0)
 	if err != nil {
 		return nil, "", err
 	}
-	table, err := bat.FromFile(opt1.File)
+	table, err := bat.FromFile(opt1)
 	if err != nil {
 		return nil, "", err
 	}
 	if table == nil {
 		return nil, "", fmt.Errorf("continuous: optimized binary carries no %s section", bat.SectionName)
 	}
-	fdTrans, tstats := bat.TranslateProfile(fdOpt, opt1.File, table)
+	fdTrans, tstats := bat.TranslateProfile(fdOpt, opt1, table)
 	res.TranslationSurvival = ratio(fdTrans.TotalBranchCount(), fdOpt.TotalBranchCount())
 	res.VsFresh = ratio(fdTrans.TotalBranchCount(), fdFresh.TotalBranchCount())
 	fmt.Fprintf(&sb, "  sampled on BOLTed binary: total count %d; BAT (%d funcs, %d ranges) translated %d, passthrough %d, dropped %d\n",
@@ -147,19 +165,20 @@ func Continuous(scale Scale) (*ContinuousResult, string, error) {
 		appliedFresh, appliedTrans, 100*res.AppliedVsFresh)
 
 	// Round 2: re-optimize v1 with the translated profile and compare.
-	opt2, _, err := passes.Optimize(base, fdTrans, boltOptions())
+	sess2, _, err := optimizeSession(base, fdTrans, bolt.WithOptions(boltOptions()))
 	if err != nil {
 		return nil, "", fmt.Errorf("round-2 bolt: %w", err)
 	}
+	opt2 := sess2.Output()
 	mBase, err := Measure(base, uarch.DefaultConfig(), false)
 	if err != nil {
 		return nil, "", err
 	}
-	m1, err := Measure(opt1.File, uarch.DefaultConfig(), false)
+	m1, err := Measure(opt1, uarch.DefaultConfig(), false)
 	if err != nil {
 		return nil, "", err
 	}
-	m2, err := Measure(opt2.File, uarch.DefaultConfig(), false)
+	m2, err := Measure(opt2, uarch.DefaultConfig(), false)
 	if err != nil {
 		return nil, "", err
 	}
@@ -202,7 +221,7 @@ func Continuous(scale Scale) (*ContinuousResult, string, error) {
 		res.StaleFuncsMatched, res.StaleRecovered, 100*res.StaleRecoveryRate)
 
 	// BOLT the new release with the stale profile.
-	opt3, _, err := passes.Optimize(v2, fdFresh, boltOptions())
+	sess3, _, err := optimizeSession(v2, fdFresh, bolt.WithOptions(boltOptions()))
 	if err != nil {
 		return nil, "", fmt.Errorf("stale bolt: %w", err)
 	}
@@ -210,7 +229,7 @@ func Continuous(scale Scale) (*ContinuousResult, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	m3, err := Measure(opt3.File, uarch.DefaultConfig(), false)
+	m3, err := Measure(sess3.Output(), uarch.DefaultConfig(), false)
 	if err != nil {
 		return nil, "", err
 	}

@@ -2,18 +2,20 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
+	"gobolt/bolt"
 	"gobolt/internal/bat"
-	"gobolt/internal/core"
-	"gobolt/internal/passes"
+	"gobolt/internal/elfx"
 	"gobolt/internal/perf"
+	"gobolt/internal/profile"
 	"gobolt/internal/workload"
 )
 
 // buildTiny links the Tiny workload (optionally with version-skew pads).
-func buildTiny(t *testing.T, pad int) *core.BinaryContext {
+func buildTiny(t *testing.T, pad int) *elfx.File {
 	t.Helper()
 	spec := workload.Tiny()
 	spec.EntryPadOps = pad
@@ -21,11 +23,35 @@ func buildTiny(t *testing.T, pad int) *core.BinaryContext {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, err := core.NewContext(f, core.DefaultOptions())
+	return f
+}
+
+// analyzeProfile applies fd to a fresh analysis of f through the bolt
+// API (optionally with stale matching disabled) and returns the session
+// for stats and function inspection.
+func analyzeProfile(t *testing.T, f *elfx.File, fd *profile.Fdata, stale bool) *bolt.Session {
+	t.Helper()
+	cx := context.Background()
+	sess, err := bolt.OpenELF(f, bolt.WithOptions(boltOptions()), bolt.WithStaleMatching(stale))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return ctx
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Analyze(cx); err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func sessionStats(t *testing.T, sess *bolt.Session) map[string]int64 {
+	t.Helper()
+	st, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
 }
 
 // TestContinuousBATRoundTrip drives the full optimize→sample→translate
@@ -34,6 +60,7 @@ func buildTiny(t *testing.T, pad int) *core.BinaryContext {
 // translated profile drives ApplyProfile (including flow repair on
 // functions that were split in round 1).
 func TestContinuousBATRoundTrip(t *testing.T) {
+	cx := context.Background()
 	spec := workload.Tiny()
 	mode := perf.DefaultMode()
 	base, _, err := Build(spec, CfgBaseline, mode)
@@ -44,12 +71,13 @@ func TestContinuousBATRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, ctx1, err := passes.Optimize(base, fdFresh, boltOptions())
+	sess1, _, err := optimizeSession(base, fdFresh, bolt.WithOptions(boltOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
+	opt := sess1.Output()
 
-	table, err := bat.FromFile(opt.File)
+	table, err := bat.FromFile(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,12 +88,15 @@ func TestContinuousBATRoundTrip(t *testing.T) {
 	// The loop re-disassembles gobolt's own output (vmrun -record embeds
 	// shapes of whatever binary it runs, BOLTed or not). This must not
 	// choke on gobolt-only constructs like SCTC conditional tail calls.
-	optCtx, err := core.NewContext(opt.File, core.Options{})
+	optSess, err := bolt.OpenELF(opt)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := optSess.Analyze(cx); err != nil {
 		t.Fatalf("re-disassembling the BOLTed binary: %v", err)
 	}
-	if len(core.ComputeShapes(optCtx)) == 0 {
-		t.Fatal("no shapes derivable from the BOLTed binary")
+	if shapes, err := optSess.Shapes(); err != nil || len(shapes) == 0 {
+		t.Fatalf("no shapes derivable from the BOLTed binary (%v)", err)
 	}
 
 	// Cold fragments must be mapped and must translate into their parent
@@ -88,14 +119,25 @@ func TestContinuousBATRoundTrip(t *testing.T) {
 		t.Fatal("no cold ranges in BAT table (split functions expected)")
 	}
 
-	// Sample the optimized binary and translate — twice; the two outputs
-	// must serialize byte-identically (determinism satellite).
-	fdOpt, _, err := perf.RecordFile(opt.File, mode, 0)
+	// Sample the optimized binary and translate — twice, through the
+	// BAT-auto-detecting profile source; the two outputs must serialize
+	// byte-identically (determinism satellite).
+	fdOpt, _, err := perf.RecordFile(opt, mode, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trans1, st1 := bat.TranslateProfile(fdOpt, opt.File, table)
-	trans2, _ := bat.TranslateProfile(fdOpt, opt.File, table)
+	src1 := bolt.SampledOnELF(bolt.Fdata(fdOpt), opt)
+	trans1, err := src1.Load(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src1.Result.Translated {
+		t.Fatal("SampledOn did not auto-detect the BAT table")
+	}
+	trans2, err := bolt.SampledOnELF(bolt.Fdata(fdOpt), opt).Load(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf1, buf2 bytes.Buffer
 	if err := trans1.Write(&buf1); err != nil {
 		t.Fatal(err)
@@ -106,28 +148,32 @@ func TestContinuousBATRoundTrip(t *testing.T) {
 	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
 		t.Fatal("translating the same profile twice produced different bytes")
 	}
-	if st1.DroppedCount > fdOpt.TotalBranchCount()/20 {
-		t.Fatalf("translation dropped %d of %d counts", st1.DroppedCount, fdOpt.TotalBranchCount())
+	if src1.Result.Stats.DroppedCount > fdOpt.TotalBranchCount()/20 {
+		t.Fatalf("translation dropped %d of %d counts", src1.Result.Stats.DroppedCount, fdOpt.TotalBranchCount())
 	}
 
-	// Apply the translated profile to a fresh context of the input
+	// Apply the translated profile to a fresh analysis of the input
 	// binary: counts must attach, and functions that were split in round
 	// 1 (their profile partly collected in the cold section) must come
 	// out of flow repair with consistent counts.
-	ctxT, err := core.NewContext(base, boltOptions())
+	sessT := analyzeProfile(t, base, trans1, true)
+	stats := sessionStats(t, sessT)
+	if stats["profile-edge-count"] == 0 || stats["profile-call-count"] == 0 {
+		t.Fatalf("translated profile did not apply: %v", stats)
+	}
+	funcs1, err := sess1.Functions()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctxT.ApplyProfile(trans1)
-	if ctxT.Stats["profile-edge-count"] == 0 || ctxT.Stats["profile-call-count"] == 0 {
-		t.Fatalf("translated profile did not apply: %v", ctxT.Stats)
-	}
 	splitSampled := 0
-	for _, fn1 := range ctx1.Funcs {
+	for _, fn1 := range funcs1 {
 		if !fn1.IsSplit {
 			continue
 		}
-		fn := ctxT.ByName[fn1.Name]
+		fn, err := sessT.Function(fn1.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if fn == nil || !fn.Sampled {
 			continue
 		}
@@ -155,29 +201,32 @@ func TestStaleMatchingRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	v2 := buildTiny(t, 3)
-	// Stale matching off: today's behaviour, intra-function counts die.
-	off := buildTiny(t, 3)
-	off.Opts.StaleMatching = false
-	off.ApplyProfile(fd)
+	v2f := buildTiny(t, 3)
+	// Stale matching off: the classic behaviour, intra-function counts die.
+	offStats := sessionStats(t, analyzeProfile(t, v2f, fd, false))
 
-	v2.ApplyProfile(fd)
-	recovered := v2.Stats["profile-stale-count"]
+	v2 := analyzeProfile(t, v2f, fd, true)
+	onStats := sessionStats(t, v2)
+	recovered := onStats["profile-stale-count"]
 	if recovered == 0 {
-		t.Fatalf("stale matching recovered nothing: %v", v2.Stats)
+		t.Fatalf("stale matching recovered nothing: %v", onStats)
 	}
-	if v2.Stats["profile-stale-funcs"] == 0 {
+	if onStats["profile-stale-funcs"] == 0 {
 		t.Fatal("no function was diagnosed stale")
 	}
 	// The classic pipeline must be visibly worse: everything the matcher
 	// recovered was dropped (or worse, misattributed) before.
-	if off.Stats["profile-edge-count"] >= v2.Stats["profile-edge-count"]+recovered {
-		t.Fatalf("stale matching did not add edge counts: off=%v on=%v", off.Stats, v2.Stats)
+	if offStats["profile-edge-count"] >= onStats["profile-edge-count"]+recovered {
+		t.Fatalf("stale matching did not add edge counts: off=%v on=%v", offStats, onStats)
 	}
 	// Recovered counts must have landed on actual edges of padded
 	// functions.
+	funcs, err := v2.Functions()
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := false
-	for _, fn := range v2.Funcs {
+	for _, fn := range funcs {
 		if !fn.Simple || !fn.Sampled {
 			continue
 		}

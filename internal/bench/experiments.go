@@ -2,12 +2,14 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
 	"strings"
 	"time"
 
+	"gobolt/bolt"
 	"gobolt/internal/cc"
 	"gobolt/internal/core"
 	"gobolt/internal/elfx"
@@ -16,8 +18,8 @@ import (
 	"gobolt/internal/layout"
 	"gobolt/internal/ld"
 	"gobolt/internal/obj"
-	"gobolt/internal/passes"
 	"gobolt/internal/perf"
+	"gobolt/internal/profile"
 	"gobolt/internal/uarch"
 	"gobolt/internal/workload"
 )
@@ -281,17 +283,11 @@ func Table2(scale Scale) (string, error) {
 		if err != nil {
 			return core.DynoStats{}, core.DynoStats{}, err
 		}
-		ctx, err := core.NewContext(f, boltOptions())
+		_, rep, err := optimizeSession(f, fd, bolt.WithOptions(boltOptions()), bolt.WithDynoStats(true))
 		if err != nil {
 			return core.DynoStats{}, core.DynoStats{}, err
 		}
-		ctx.ApplyProfile(fd)
-		before := ctx.CollectDynoStats()
-		if err := runPipeline(ctx); err != nil {
-			return core.DynoStats{}, core.DynoStats{}, err
-		}
-		after := ctx.CollectDynoStats()
-		return before, after, nil
+		return rep.DynoBefore, rep.DynoAfter, nil
 	}
 
 	var buf bytes.Buffer
@@ -347,12 +343,18 @@ func Fig10(scale Scale) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	ctx, err := core.NewContext(f, boltOptions())
+	cx := context.Background()
+	sess, err := bolt.OpenELF(f, bolt.WithOptions(boltOptions()))
 	if err != nil {
 		return "", err
 	}
-	ctx.ApplyProfile(fd)
-	return ctx.BadLayoutReport(10), nil
+	if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+		return "", err
+	}
+	if err := sess.Analyze(cx); err != nil {
+		return "", err
+	}
+	return sess.BadLayoutReport(10)
 }
 
 // Fig11Row reports the improvement from using LBRs for one optimization
@@ -498,18 +500,14 @@ func ICF(scale Scale) (*ICFResult, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	ctx, err := core.NewContext(lres.File, boltOptions())
+	_, rep, err := optimizeSession(lres.File, fd, bolt.WithOptions(boltOptions()))
 	if err != nil {
-		return nil, "", err
-	}
-	ctx.ApplyProfile(fd)
-	if err := runPipeline(ctx); err != nil {
 		return nil, "", err
 	}
 	res := &ICFResult{
 		LinkerFolded: lres.ICFFolded,
-		BoltFolded:   int(ctx.Stats["icf-folded"]),
-		BoltBytes:    ctx.Stats["icf-bytes"],
+		BoltFolded:   int(rep.Stats["icf-folded"]),
+		BoltBytes:    rep.Stats["icf-bytes"],
 		TextSize:     lres.TextSize,
 	}
 	report := fmt.Sprintf(
@@ -540,30 +538,38 @@ func PipelineScaling(scale Scale, jobs int) (string, error) {
 		return "", err
 	}
 
-	run := func(j int) (*core.BinaryContext, []byte, time.Duration, error) {
+	run := func(j int) (*bolt.Report, []byte, time.Duration, error) {
 		opts := boltOptions()
 		opts.Jobs = j
 		start := time.Now()
-		res, ctx, err := passes.Optimize(f, fd, opts)
+		sess, err := bolt.OpenELF(f, bolt.WithOptions(opts))
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		cx := context.Background()
+		if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+			return nil, nil, 0, err
+		}
+		rep, err := sess.Optimize(cx)
 		d := time.Since(start)
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		raw, err := res.File.Bytes()
-		return ctx, raw, d, err
+		raw, err := sess.Output().Bytes()
+		return rep, raw, d, err
 	}
 
-	ctx1, raw1, d1, err := run(1)
+	rep1, raw1, d1, err := run(1)
 	if err != nil {
 		return "", err
 	}
-	ctxN, rawN, dN, err := run(jobs)
+	repN, rawN, dN, err := run(jobs)
 	if err != nil {
 		return "", err
 	}
-	if !reflect.DeepEqual(ctx1.Stats, ctxN.Stats) {
+	if !reflect.DeepEqual(rep1.Stats, repN.Stats) {
 		return "", fmt.Errorf("bench: stats diverge across worker counts:\n  jobs=1: %v\n  jobs=%d: %v",
-			ctx1.Stats, jobs, ctxN.Stats)
+			rep1.Stats, jobs, repN.Stats)
 	}
 	if !bytes.Equal(raw1, rawN) {
 		return "", fmt.Errorf("bench: emitted binaries differ across worker counts (%d vs %d bytes)",
@@ -572,11 +578,11 @@ func PipelineScaling(scale Scale, jobs int) (string, error) {
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Pipeline scaling on %s (%d simple functions, GOMAXPROCS=%d)\n",
-		spec.Name, len(ctx1.SimpleFuncs()), runtime.GOMAXPROCS(0))
+		spec.Name, rep1.SimpleFuncs, runtime.GOMAXPROCS(0))
 	fmt.Fprintf(&sb, "\n-- jobs=1 --\n")
-	core.WriteFullTimings(&sb, ctx1)
+	rep1.WriteTimings(&sb)
 	fmt.Fprintf(&sb, "\n-- jobs=%d --\n", jobs)
-	core.WriteFullTimings(&sb, ctxN)
+	repN.WriteTimings(&sb)
 	speedup := float64(d1) / float64(dN)
 	fmt.Fprintf(&sb, "\npipeline wall time (load+passes+emit): %v (jobs=1) -> %v (jobs=%d), %.2fx; stats identical; binaries byte-identical\n",
 		d1.Round(time.Microsecond), dN.Round(time.Microsecond), jobs, speedup)
@@ -588,14 +594,25 @@ func PipelineScaling(scale Scale, jobs int) (string, error) {
 
 // Small indirection helpers (keep experiment code readable).
 
-func pipelineFor(ctx *core.BinaryContext) []core.Pass {
-	return passes.BuildPipeline(ctx.Opts)
-}
-
-// runPipeline schedules the Table 1 pipeline over the context with the
-// harness's configured parallelism.
-func runPipeline(ctx *core.BinaryContext) error {
-	return core.NewPassManager(ctx.Opts.Jobs).Run(ctx, pipelineFor(ctx))
+// optimizeSession drives one full bolt run (open → profile → optimize)
+// over an in-memory binary and returns the finished session plus its
+// report (the output image is sess.Output()).
+func optimizeSession(f *elfx.File, fd *profile.Fdata, opts ...bolt.Option) (*bolt.Session, *bolt.Report, error) {
+	cx := context.Background()
+	sess, err := bolt.OpenELF(f, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fd != nil {
+		if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+			return nil, nil, err
+		}
+	}
+	rep, err := sess.Optimize(cx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, rep, nil
 }
 
 func ccCompileDefault(prog *ir.Program) ([]*obj.Object, error) {

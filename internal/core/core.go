@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -69,10 +70,39 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = fully serial). Output is bit-identical for
 	// every value.
 	Jobs int
-	// TimePasses makes passes.Optimize write the per-pass timing report
-	// to stderr after the pipeline (drivers running the PassManager
-	// directly print pm.Timings themselves).
+	// TimePasses asks the driver to render the per-phase timing report
+	// after the pipeline (the bolt package exposes it as
+	// Report.WriteTimings; the timings themselves are always collected).
 	TimePasses bool
+}
+
+// Normalized upgrades an unconfigured Options value to DefaultOptions.
+// Historically `core.Options{}` silently meant "every pass off" — a
+// footgun for callers that only wanted a context to analyze (compute
+// shapes, apply a profile) and accidentally also disabled stale matching
+// and BAT. Every pipeline entry point (NewContext, passes.BuildPipeline)
+// normalizes its options, so an unconfigured value now means "the
+// paper's defaults".
+//
+// "Unconfigured" ignores the operational knobs that do not select
+// passes — Jobs, TimePasses, DynoStats — so `Options{Jobs: n}` means
+// "defaults at n workers" for every n, not "all passes off unless n is
+// 0". Turning every optimization off deliberately still works: start
+// from DefaultOptions() and clear fields, or set any pass-selection
+// field.
+func (o Options) Normalized() Options {
+	probe := o
+	probe.Jobs = 0
+	probe.TimePasses = false
+	probe.DynoStats = false
+	if probe != (Options{}) {
+		return o
+	}
+	d := DefaultOptions()
+	d.Jobs = o.Jobs
+	d.TimePasses = o.TimePasses
+	d.DynoStats = o.DynoStats
+	return d
 }
 
 // DefaultOptions reproduces the paper's evaluation configuration.
@@ -416,8 +446,8 @@ type BinaryContext struct {
 	// LoadTimings records the loader phases (serial discovery, parallel
 	// disassembly+CFG), set by NewContext. EmitTimings records the
 	// emission phases (parallel per-function code generation, serial
-	// layout+patch), set by Rewrite. WriteFullTimings renders all three
-	// timing groups as one report.
+	// layout+patch), set by Rewrite. The bolt package's
+	// Report.WriteTimings renders all three timing groups as one report.
 	LoadTimings []PassTiming
 	EmitTimings []PassTiming
 }
@@ -498,8 +528,8 @@ type Pass interface {
 // RunPasses executes the pipeline in order on a single thread. It is the
 // serial convenience entry point; use a PassManager to schedule function
 // passes over a worker pool.
-func RunPasses(ctx *BinaryContext, passes []Pass) error {
-	return NewPassManager(1).Run(ctx, passes)
+func RunPasses(cx context.Context, ctx *BinaryContext, passes []Pass) error {
+	return NewPassManager(1).Run(cx, ctx, passes)
 }
 
 // InitialStateForTest exposes the ABI entry unwind state to tests.

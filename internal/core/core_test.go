@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -61,7 +62,7 @@ func buildBinary(t *testing.T) *BinaryContext {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, err := NewContext(res.File, DefaultOptions())
+	ctx, err := NewContext(context.Background(), res.File, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestStateInterning(t *testing.T) {
 func TestRewriteRequiresRelocs(t *testing.T) {
 	ctx := buildBinary(t)
 	ctx.HasRelocs = false
-	if _, err := ctx.Rewrite(); err == nil {
+	if _, err := ctx.Rewrite(context.Background()); err == nil {
 		t.Fatal("rewrite without relocations must fail")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -19,10 +20,19 @@ import (
 // attachment) fanned out over opts.Jobs workers — safe because after
 // discovery a worker only writes state local to the function it was
 // handed, plus a private stats shard merged at the join. The resulting
-// context is identical for every worker count.
-func NewContext(f *elfx.File, opts Options) (*BinaryContext, error) {
+// context is identical for every worker count. Cancelling cx aborts the
+// parallel phase promptly and returns cx.Err(). The zero Options value is
+// upgraded to DefaultOptions (see Options.Normalized).
+func NewContext(cx context.Context, f *elfx.File, opts Options) (*BinaryContext, error) {
+	if cx == nil {
+		cx = context.Background()
+	}
+	opts = opts.Normalized()
 	if opts.AlignFunctions == 0 {
 		opts.AlignFunctions = 16
+	}
+	if err := cx.Err(); err != nil {
+		return nil, err
 	}
 	discoverStart := time.Now()
 	ctx := &BinaryContext{
@@ -119,10 +129,12 @@ func NewContext(f *elfx.File, opts Options) (*BinaryContext, error) {
 	for w := range shards {
 		shards[w] = map[string]int64{}
 	}
-	parallelFor(len(ctx.Funcs), jobs, func(w, i int) error {
+	if _, err := parallelFor(cx, len(ctx.Funcs), jobs, func(w, i int) error {
 		ctx.loadFunction(ctx.Funcs[i], shards[w])
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, s := range shards {
 		ctx.mergeStats(s)
 	}

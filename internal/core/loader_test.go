@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -117,7 +118,7 @@ func TestNewContextDeterministicAcrossJobs(t *testing.T) {
 	f := buildLoaderFile(t, 24)
 	opts := DefaultOptions()
 	opts.Jobs = 1
-	base, err := NewContext(f, opts)
+	base, err := NewContext(context.Background(), f, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestNewContextDeterministicAcrossJobs(t *testing.T) {
 	}
 	for _, jobs := range []int{2, 8} {
 		opts.Jobs = jobs
-		got, err := NewContext(f, opts)
+		got, err := NewContext(context.Background(), f, opts)
 		if err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}

@@ -1,6 +1,10 @@
 package core
 
-import "gobolt/internal/par"
+import (
+	"context"
+
+	"gobolt/internal/par"
+)
 
 // effectiveJobs resolves a -jobs setting against GOMAXPROCS and the
 // amount of work available: jobs <= 0 selects GOMAXPROCS (the production
@@ -11,8 +15,9 @@ func effectiveJobs(jobs, n int) int { return par.Jobs(jobs, n) }
 // engine-local name for par.For, the one fan-out primitive shared by the
 // pipeline's parallel phases: the loader's per-function disassembly+CFG
 // stage, the PassManager's function passes, and the emitter's
-// per-function code generation. See par.For for the scheduling and
-// error-attribution contract.
-func parallelFor(n, jobs int, work func(worker, item int) error) (int, error) {
-	return par.For(n, jobs, work)
+// per-function code generation. Cancelling cx drains the pool promptly
+// (no new item is claimed) and returns (-1, cx.Err()). See par.For for
+// the scheduling and error-attribution contract.
+func parallelFor(cx context.Context, n, jobs int, work func(worker, item int) error) (int, error) {
+	return par.For(cx, n, jobs, work)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -105,14 +106,23 @@ func NewPassManager(jobs int) *PassManager {
 
 // Run executes the pipeline in order, recording per-pass wall time and
 // stat deltas. The error (if any) is wrapped with the failing pass name.
-func (pm *PassManager) Run(ctx *BinaryContext, passes []Pass) error {
+// Cancelling cx stops the pipeline at the next pass boundary — and, for
+// function passes in flight, at the next work-item claim — returning
+// cx.Err() unwrapped.
+func (pm *PassManager) Run(cx context.Context, ctx *BinaryContext, passes []Pass) error {
+	if cx == nil {
+		cx = context.Background()
+	}
 	for _, p := range passes {
+		if err := cx.Err(); err != nil {
+			return err
+		}
 		before := ctx.statsSnapshot()
 		start := time.Now()
 		timing := PassTiming{Name: p.Name(), Jobs: 1}
 		var err error
 		if a, ok := p.(funcPassAdapter); ok && pm.Jobs > 1 {
-			timing.Funcs, timing.Jobs, err = pm.runFunctionPass(ctx, a.fp)
+			timing.Funcs, timing.Jobs, err = pm.runFunctionPass(cx, ctx, a.fp)
 			timing.Parallel = timing.Jobs > 1
 		} else {
 			if _, ok := p.(funcPassAdapter); ok {
@@ -125,6 +135,11 @@ func (pm *PassManager) Run(ctx *BinaryContext, passes []Pass) error {
 		pm.Timings = append(pm.Timings, timing)
 		ctx.PassTimings = pm.Timings
 		if err != nil {
+			if cx.Err() != nil && err == cx.Err() {
+				// Cancellation is not the pass's failure; surface it bare
+				// so callers can match it with errors.Is.
+				return err
+			}
 			return fmt.Errorf("pass %s: %w", p.Name(), err)
 		}
 	}
@@ -135,7 +150,7 @@ func (pm *PassManager) Run(ctx *BinaryContext, passes []Pass) error {
 // parallelFor; each worker owns a private stats shard, merged after the
 // join. On error the failure attributed to the lowest function index is
 // reported, keeping messages stable across schedules.
-func (pm *PassManager) runFunctionPass(ctx *BinaryContext, fp FunctionPass) (int, int, error) {
+func (pm *PassManager) runFunctionPass(cx context.Context, ctx *BinaryContext, fp FunctionPass) (int, int, error) {
 	funcs := ctx.SimpleFuncs()
 	jobs := pm.Jobs
 	if jobs > len(funcs) {
@@ -149,13 +164,17 @@ func (pm *PassManager) runFunctionPass(ctx *BinaryContext, fp FunctionPass) (int
 	for w := range workers {
 		workers[w] = newFuncCtx(ctx)
 	}
-	errIdx, err := parallelFor(len(funcs), jobs, func(w, i int) error {
+	errIdx, err := parallelFor(cx, len(funcs), jobs, func(w, i int) error {
 		return fp.RunOnFunction(workers[w], funcs[i])
 	})
 	for _, fc := range workers {
 		ctx.mergeStats(fc.stats)
 	}
 	if err != nil {
+		if errIdx < 0 {
+			// Cancellation: no function failed; return the context error.
+			return len(funcs), jobs, err
+		}
 		return len(funcs), jobs, fmt.Errorf("%s: %w", funcs[errIdx].Name, err)
 	}
 	return len(funcs), jobs, nil
@@ -173,20 +192,6 @@ func statDelta(before, after map[string]int64) map[string]int64 {
 		}
 	}
 	return out
-}
-
-// WriteFullTimings renders the -time-passes report for the whole
-// pipeline: the loader phases (discovery, parallel disassembly+CFG), the
-// optimization passes, and the emission phases (parallel code
-// generation, serial layout+patch), in execution order with one shared
-// total — so the serial→parallel win of each phase is visible in the
-// same table.
-func WriteFullTimings(w io.Writer, ctx *BinaryContext) {
-	all := make([]PassTiming, 0, len(ctx.LoadTimings)+len(ctx.PassTimings)+len(ctx.EmitTimings))
-	all = append(all, ctx.LoadTimings...)
-	all = append(all, ctx.PassTimings...)
-	all = append(all, ctx.EmitTimings...)
-	WriteTimings(w, all)
 }
 
 // WriteTimings renders the -time-passes report: per-pass wall time, share

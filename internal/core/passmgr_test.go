@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -39,7 +40,7 @@ func TestPassManagerShardsMergeIdentically(t *testing.T) {
 	for _, jobs := range []int{1, 3, 8, 64} {
 		ctx := fakeCtx(37)
 		pm := NewPassManager(jobs)
-		if err := pm.Run(ctx, []Pass{ForEachFunction(touchPass{})}); err != nil {
+		if err := pm.Run(context.Background(), ctx, []Pass{ForEachFunction(touchPass{})}); err != nil {
 			t.Fatalf("jobs=%d: %v", jobs, err)
 		}
 		if got := ctx.Stats["touched"]; got != 37 {
@@ -79,7 +80,7 @@ func (p failPass) RunOnFunction(fc *FuncCtx, fn *BinaryFunction) error {
 func TestPassManagerErrorPropagation(t *testing.T) {
 	for _, jobs := range []int{1, 4} {
 		ctx := fakeCtx(16)
-		err := NewPassManager(jobs).Run(ctx, []Pass{ForEachFunction(failPass{victim: "f007"})})
+		err := NewPassManager(jobs).Run(context.Background(), ctx, []Pass{ForEachFunction(failPass{victim: "f007"})})
 		if !errors.Is(err, errBoom) {
 			t.Fatalf("jobs=%d: error %v does not wrap the pass failure", jobs, err)
 		}
@@ -99,7 +100,7 @@ func TestCountStatConcurrencySafe(t *testing.T) {
 		fc.BinaryContext.CountStat("direct", 1)
 		return nil
 	}}
-	if err := NewPassManager(8).Run(ctx, []Pass{ForEachFunction(direct)}); err != nil {
+	if err := NewPassManager(8).Run(context.Background(), ctx, []Pass{ForEachFunction(direct)}); err != nil {
 		t.Fatal(err)
 	}
 	if got := ctx.Stats["direct"]; got != 64 {
@@ -120,7 +121,7 @@ func (p passFunc) RunOnFunction(fc *FuncCtx, f *BinaryFunction) error { return p
 func TestWriteTimingsReport(t *testing.T) {
 	ctx := fakeCtx(5)
 	pm := NewPassManager(4)
-	if err := pm.Run(ctx, []Pass{ForEachFunction(touchPass{})}); err != nil {
+	if err := pm.Run(context.Background(), ctx, []Pass{ForEachFunction(touchPass{})}); err != nil {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
@@ -130,6 +131,75 @@ func TestWriteTimingsReport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// barrierFunc adapts a closure to a whole-binary Pass for tests.
+type barrierFunc struct {
+	name string
+	fn   func(ctx *BinaryContext) error
+}
+
+func (p barrierFunc) Name() string                 { return p.name }
+func (p barrierFunc) Run(ctx *BinaryContext) error { return p.fn(ctx) }
+
+// TestPassManagerCancellationMidPipeline cancels the context from a
+// barrier in the middle of the pipeline: the manager must stop at the
+// next pass boundary, report the context error unwrapped, and never run
+// the downstream passes.
+func TestPassManagerCancellationMidPipeline(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		cx, cancel := context.WithCancel(context.Background())
+		ctx := fakeCtx(16)
+		ranAfter := false
+		pipeline := []Pass{
+			ForEachFunction(touchPass{}),
+			barrierFunc{name: "cancel", fn: func(*BinaryContext) error {
+				cancel()
+				return nil
+			}},
+			ForEachFunction(passFunc{name: "after", fn: func(*FuncCtx, *BinaryFunction) error {
+				ranAfter = true
+				return nil
+			}}),
+		}
+		err := NewPassManager(jobs).Run(cx, ctx, pipeline)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: got %v, want context.Canceled", jobs, err)
+		}
+		if ranAfter {
+			t.Fatalf("jobs=%d: pass after cancellation still ran", jobs)
+		}
+		if got := ctx.Stats["touched"]; got != 16 {
+			t.Errorf("jobs=%d: pre-cancel pass incomplete: touched=%d", jobs, got)
+		}
+	}
+}
+
+// TestPassManagerCancelledFunctionPass cancels while a parallel function
+// pass is in flight: workers stop claiming items and Run returns the
+// bare context error (not wrapped in a function name).
+func TestPassManagerCancelledFunctionPass(t *testing.T) {
+	cx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx := fakeCtx(512)
+	trigger := passFunc{name: "trigger", fn: func(fc *FuncCtx, f *BinaryFunction) error {
+		if f.Name == "f005" {
+			cancel()
+		}
+		fc.CountStat("visited", 1)
+		return nil
+	}}
+	err := NewPassManager(4).Run(cx, ctx, []Pass{ForEachFunction(trigger)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if strings.Contains(err.Error(), "f0") {
+		t.Errorf("cancellation error blamed a function: %v", err)
+	}
+	if got := ctx.Stats["visited"]; got == 0 || got >= 512 {
+		t.Errorf("visited=%d, want partial progress (0 < n < 512)", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"strconv"
@@ -32,10 +33,17 @@ type RewriteResult struct {
 // reveal, rebuilds CFI/LSDA/line metadata, and returns the new
 // executable. Non-simple functions stay at their original addresses in
 // the renamed ".bolt.org.text" section with their outgoing calls patched
-// in place (paper §3.2 relocations mode).
-func (ctx *BinaryContext) Rewrite() (*RewriteResult, error) {
+// in place (paper §3.2 relocations mode). Cancelling cx aborts the
+// parallel emission phase promptly and returns cx.Err().
+func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
+	if cx == nil {
+		cx = context.Background()
+	}
 	if !ctx.HasRelocs {
 		return nil, fmt.Errorf("core: relocations mode requires a binary linked with --emit-relocs")
+	}
+	if err := cx.Err(); err != nil {
+		return nil, err
 	}
 	f := ctx.File
 	res := &RewriteResult{}
@@ -59,7 +67,7 @@ func (ctx *BinaryContext) Rewrite() (*RewriteResult, error) {
 	emitStart := time.Now()
 	emits := make([]*emitted, len(moved))
 	jobs := effectiveJobs(ctx.Opts.Jobs, len(moved))
-	if _, err := parallelFor(len(moved), jobs, func(_, i int) error {
+	if _, err := parallelFor(cx, len(moved), jobs, func(_, i int) error {
 		e, err := emitFunction(moved[i])
 		if err != nil {
 			return err

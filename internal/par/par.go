@@ -1,12 +1,13 @@
 // Package par provides the one bounded fan-out primitive shared by every
 // parallel phase of the toolchain: the loader's per-function
 // disassembly+CFG stage, the PassManager's function passes, the emitter's
-// per-function code generation, and profile-shard parsing in perf2bolt's
-// merge mode. It lives outside internal/core so leaf packages (profile
-// tooling, commands) can use the same pool without importing the engine.
+// per-function code generation, and profile-shard parsing. It lives
+// outside internal/core so leaf packages (profile tooling, the bolt API)
+// can use the same pool without importing the engine.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,9 +35,21 @@ func Jobs(jobs, n int) int {
 // pool drains and the error attributed to the lowest item index is
 // returned along with that index, keeping error messages stable across
 // schedules. jobs <= 1 degenerates to a plain loop.
-func For(n, jobs int, work func(worker, item int) error) (int, error) {
+//
+// Cancelling cx stops the pool promptly: no new item is claimed once the
+// context is done (items already claimed run to completion), and For
+// returns (-1, cx.Err()). Item errors take precedence over cancellation
+// in the returned error, so a real failure is never masked by a
+// simultaneous cancel. A nil cx behaves like context.Background().
+func For(cx context.Context, n, jobs int, work func(worker, item int) error) (int, error) {
+	if cx == nil {
+		cx = context.Background()
+	}
 	if jobs <= 1 {
 		for i := 0; i < n; i++ {
+			if err := cx.Err(); err != nil {
+				return -1, err
+			}
 			if err := work(0, i); err != nil {
 				return i, err
 			}
@@ -60,7 +73,7 @@ func For(n, jobs int, work func(worker, item int) error) (int, error) {
 				// item below a recorded error index has run, and the
 				// lowest-index error is reported exactly — the same
 				// failure jobs=1 would stop at.
-				if failed.Load() {
+				if failed.Load() || cx.Err() != nil {
 					return
 				}
 				i := int(cursor.Add(1)) - 1
@@ -80,5 +93,11 @@ func For(n, jobs int, work func(worker, item int) error) (int, error) {
 		}(w)
 	}
 	wg.Wait()
-	return errIdx, firstErr
+	if firstErr != nil {
+		return errIdx, firstErr
+	}
+	if err := cx.Err(); err != nil {
+		return -1, err
+	}
+	return -1, nil
 }

@@ -1,93 +1,22 @@
 package passes
 
 import (
-	"bytes"
-	"reflect"
 	"testing"
 
 	"gobolt/internal/core"
-	"gobolt/internal/elfx"
-	"gobolt/internal/profile"
 )
-
-// optimizeWithJobs runs the full pipeline (context build, profile,
-// passes, rewrite) at the given worker count and returns the serialized
-// output binary plus the final context. The input file and profile are
-// shared across calls: Optimize never mutates them.
-func optimizeWithJobs(t *testing.T, f *elfx.File, fd *profile.Fdata, jobs int) ([]byte, *core.BinaryContext) {
-	t.Helper()
-	opts := core.DefaultOptions()
-	opts.Jobs = jobs
-	res, ctx, err := Optimize(f, fd, opts)
-	if err != nil {
-		t.Fatalf("optimize (jobs=%d): %v", jobs, err)
-	}
-	raw, err := res.File.Bytes()
-	if err != nil {
-		t.Fatalf("serialize (jobs=%d): %v", jobs, err)
-	}
-	return raw, ctx
-}
-
-// TestPipelineDeterministicAcrossJobs is the parallel pipeline's
-// end-to-end contract, covering all three stages — the staged loader
-// (parallel disassembly+CFG), the function passes, and the concurrent
-// emitter: the emitted binary is byte-identical and the stat counters
-// are exactly equal for any worker count. Run under -race this also
-// exercises every fan-out phase for data races.
-func TestPipelineDeterministicAcrossJobs(t *testing.T) {
-	f, _ := buildWork(t)
-	fd := record(t, f, true)
-	serialBytes, serialCtx := optimizeWithJobs(t, f, fd, 1)
-	for _, jobs := range []int{2, 8} {
-		gotBytes, ctx := optimizeWithJobs(t, f, fd, jobs)
-		if !bytes.Equal(serialBytes, gotBytes) {
-			t.Errorf("jobs=%d: emitted binary differs from jobs=1 (%d vs %d bytes)",
-				jobs, len(gotBytes), len(serialBytes))
-		}
-		if !reflect.DeepEqual(serialCtx.Stats, ctx.Stats) {
-			t.Errorf("jobs=%d: stats diverge:\n  jobs=1: %v\n  jobs=%d: %v",
-				jobs, serialCtx.Stats, jobs, ctx.Stats)
-		}
-		if len(ctx.PassTimings) == 0 {
-			t.Errorf("jobs=%d: no pass timings recorded", jobs)
-		}
-		// Loader and emitter phases must be instrumented and scheduled
-		// on the pool.
-		assertParallelPhase(t, jobs, ctx.LoadTimings, "load:disasm+cfg")
-		assertParallelPhase(t, jobs, ctx.EmitTimings, "emit:functions")
-		// ICF's hashing runs as a parallel function pass; only the fold
-		// remains a barrier.
-		assertParallelPhase(t, jobs, ctx.PassTimings, "icf-1-hash")
-		assertParallelPhase(t, jobs, ctx.PassTimings, "icf-2-hash")
-	}
-}
-
-// assertParallelPhase checks that the named phase was recorded and fanned
-// out over more than one worker.
-func assertParallelPhase(t *testing.T, jobs int, timings []core.PassTiming, name string) {
-	t.Helper()
-	for _, pt := range timings {
-		if pt.Name != name {
-			continue
-		}
-		if !pt.Parallel || pt.Jobs < 2 {
-			t.Errorf("jobs=%d: phase %s not parallel: %+v", jobs, name, pt)
-		}
-		return
-	}
-	t.Errorf("jobs=%d: phase %s missing from timings", jobs, name)
-}
 
 // TestParallelPipelineSemantics re-runs the round-trip check with an
 // explicitly parallel manager: the rewritten binary must still compute
-// the same checksum.
+// the same checksum. (The cross-jobs byte-identity contract,
+// TestPipelineDeterministicAcrossJobs, lives in the bolt package and
+// exercises this pipeline through the public entry points.)
 func TestParallelPipelineSemantics(t *testing.T) {
 	f, want := buildWork(t)
 	fd := record(t, f, true)
 	opts := core.DefaultOptions()
 	opts.Jobs = 8
-	res, ctx, err := Optimize(f, fd, opts)
+	res, ctx, err := optimize(f, fd, opts)
 	if err != nil {
 		t.Fatalf("optimize: %v", err)
 	}

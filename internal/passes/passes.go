@@ -23,6 +23,7 @@ import (
 //  7. icf (second run)  15. frame-opts
 //  8. plt               16. shrink-wrapping
 func BuildPipeline(opts core.Options) []core.Pass {
+	opts = opts.Normalized()
 	var p []core.Pass
 	add := func(enabled bool, pass core.Pass) {
 		if enabled {

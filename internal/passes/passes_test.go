@@ -1,6 +1,7 @@
 package passes
 
 import (
+	"context"
 	"testing"
 
 	"gobolt/internal/cc"
@@ -15,6 +16,30 @@ import (
 	"gobolt/internal/uarch"
 	"gobolt/internal/vm"
 )
+
+// optimize assembles the Figure 3 pipeline directly from core
+// primitives — the reference driver path. Production callers go through
+// the bolt package instead; the bolt e2e suite checks byte-identity of
+// its staged Session against exactly this sequence.
+func optimize(f *elfx.File, fd *profile.Fdata, opts core.Options) (*core.RewriteResult, *core.BinaryContext, error) {
+	cx := context.Background()
+	ctx, err := core.NewContext(cx, f, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fd != nil {
+		ctx.ApplyProfile(fd)
+	}
+	pm := core.NewPassManager(opts.Jobs)
+	if err := pm.Run(cx, ctx, BuildPipeline(opts)); err != nil {
+		return nil, ctx, err
+	}
+	res, err := ctx.Rewrite(cx)
+	if err != nil {
+		return nil, ctx, err
+	}
+	return res, ctx, nil
+}
 
 // buildAndRun compiles/links p and returns (file, result-of-run).
 func buildAndRun(t *testing.T, p *ir.Program) (*elfx.File, uint64) {
@@ -259,7 +284,7 @@ func TestBoltRoundTrip(t *testing.T) {
 	if fd.TotalBranchCount() == 0 {
 		t.Fatal("no profile collected")
 	}
-	res, ctx, err := Optimize(f, fd, core.DefaultOptions())
+	res, ctx, err := optimize(f, fd, core.DefaultOptions())
 	if err != nil {
 		t.Fatalf("optimize: %v", err)
 	}
@@ -284,7 +309,7 @@ func TestBoltNonLBRProfile(t *testing.T) {
 	if len(fd.Samples) == 0 {
 		t.Fatal("no samples collected")
 	}
-	res, _, err := Optimize(f, fd, core.DefaultOptions())
+	res, _, err := optimize(f, fd, core.DefaultOptions())
 	if err != nil {
 		t.Fatalf("optimize: %v", err)
 	}
@@ -296,7 +321,7 @@ func TestBoltNonLBRProfile(t *testing.T) {
 func TestBoltWithoutProfile(t *testing.T) {
 	// No profile: layout stays, but rewriting must still be sound.
 	f, want := buildWork(t)
-	res, _, err := Optimize(f, nil, core.DefaultOptions())
+	res, _, err := optimize(f, nil, core.DefaultOptions())
 	if err != nil {
 		t.Fatalf("optimize: %v", err)
 	}
@@ -310,7 +335,7 @@ func TestBoltLiteMode(t *testing.T) {
 	fd := record(t, f, true)
 	opts := core.DefaultOptions()
 	opts.Lite = true
-	res, ctx, err := Optimize(f, fd, opts)
+	res, ctx, err := optimize(f, fd, opts)
 	if err != nil {
 		t.Fatalf("optimize: %v", err)
 	}
@@ -325,13 +350,13 @@ func TestBoltLiteMode(t *testing.T) {
 func TestDynoStatsImprove(t *testing.T) {
 	f, _ := buildWork(t)
 	fd := record(t, f, true)
-	ctx, err := core.NewContext(f, core.DefaultOptions())
+	ctx, err := core.NewContext(context.Background(), f, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx.ApplyProfile(fd)
 	before := ctx.CollectDynoStats()
-	if err := core.RunPasses(ctx, BuildPipeline(ctx.Opts)); err != nil {
+	if err := core.RunPasses(context.Background(), ctx, BuildPipeline(ctx.Opts)); err != nil {
 		t.Fatal(err)
 	}
 	after := ctx.CollectDynoStats()
@@ -344,7 +369,7 @@ func TestDynoStatsImprove(t *testing.T) {
 func TestBoltSpeedsUpUnderSim(t *testing.T) {
 	f, want := buildWork(t)
 	fd := record(t, f, true)
-	res, _, err := Optimize(f, fd, core.DefaultOptions())
+	res, _, err := optimize(f, fd, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
