@@ -167,7 +167,9 @@ func (s *Session) Analyze(cx context.Context) error {
 		return err
 	}
 	if s.fd != nil {
-		bctx.ApplyProfile(s.fd)
+		if err := bctx.ApplyProfile(cx, s.fd); err != nil {
+			return err
+		}
 	}
 	s.bctx, s.analyzed = bctx, true
 	return nil
@@ -333,6 +335,21 @@ func (s *Session) BadLayoutReport(limit int) (string, error) {
 	return s.bctx.BadLayoutReport(limit), nil
 }
 
+// FlowAccuracy reports the count-weighted flow-equation consistency of
+// the applied profile before and after the profile:infer stage (1.0 =
+// every block's count equals its out-flow). With minimum-cost-flow
+// inference active (see core.Options.InferFlow) the after value is 1.0
+// by construction. Requires a profile and Analyze.
+func (s *Session) FlowAccuracy() (before, after float64, err error) {
+	if err := s.requireAnalyzed("FlowAccuracy"); err != nil {
+		return 0, 0, err
+	}
+	if s.fd == nil {
+		return 0, 0, fmt.Errorf("bolt: FlowAccuracy requires a loaded profile")
+	}
+	return s.bctx.FlowAccBefore, s.bctx.FlowAccAfter, nil
+}
+
 // Shapes computes the per-function CFG shapes of the input binary — the
 // v2-profile payload that makes stale matching possible (vmrun -record
 // embeds them).
@@ -384,6 +401,9 @@ func (s *Session) buildReport(dynoBefore, dynoAfter core.DynoStats) *Report {
 		rep.ProfileBranches = len(s.fd.Branches)
 		rep.ProfileSamples = len(s.fd.Samples)
 		rep.ProfileTotalCount = s.fd.TotalBranchCount()
+		rep.FlowAccBefore = s.bctx.FlowAccBefore
+		rep.FlowAccAfter = s.bctx.FlowAccAfter
+		rep.InferredFuncs = s.bctx.InferredFuncs
 	}
 	return rep
 }

@@ -61,10 +61,10 @@ func runVM(t *testing.T, f *elfx.File) uint64 {
 
 // optimizeViaSession drives the staged bolt API end to end and returns
 // the serialized output plus the report.
-func optimizeViaSession(t *testing.T, f *elfx.File, fd *profile.Fdata, jobs int) ([]byte, *bolt.Report, *bolt.Session) {
+func optimizeViaSession(t *testing.T, f *elfx.File, fd *profile.Fdata, jobs int, extra ...bolt.Option) ([]byte, *bolt.Report, *bolt.Session) {
 	t.Helper()
 	cx := context.Background()
-	sess, err := bolt.OpenELF(f, bolt.WithJobs(jobs))
+	sess, err := bolt.OpenELF(f, append([]bolt.Option{bolt.WithJobs(jobs)}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,9 @@ func TestSessionMatchesDirectPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx.ApplyProfile(fd)
+	if err := ctx.ApplyProfile(cx, fd); err != nil {
+		t.Fatal(err)
+	}
 	if err := core.NewPassManager(opts.Jobs).Run(cx, ctx, passes.BuildPipeline(opts)); err != nil {
 		t.Fatal(err)
 	}
@@ -159,13 +161,36 @@ func TestPipelineDeterministicAcrossJobs(t *testing.T) {
 			t.Errorf("jobs=%d: no pass timings recorded", jobs)
 		}
 		// Loader and emitter phases must be instrumented and scheduled
-		// on the pool.
+		// on the pool, as must the profile-inference stage.
 		assertParallelPhase(t, jobs, rep.LoadTimings, "load:disasm+cfg")
 		assertParallelPhase(t, jobs, rep.EmitTimings, "emit:functions")
+		assertParallelPhase(t, jobs, rep.LoadTimings, "profile:infer")
 		// ICF's hashing runs as a parallel function pass; only the fold
 		// remains a barrier.
 		assertParallelPhase(t, jobs, rep.PassTimings, "icf-1-hash")
 		assertParallelPhase(t, jobs, rep.PassTimings, "icf-2-hash")
+	}
+
+	// With minimum-cost-flow inference forced on for the LBR profile,
+	// the output must stay byte-identical across worker counts too, and
+	// the inferred counts must be exactly consistent.
+	mcf1, mcfRep1, _ := optimizeViaSession(t, f, fd, 1, bolt.WithInferFlow(core.InferAlways))
+	for _, jobs := range []int{2, 8} {
+		mcfN, repN, _ := optimizeViaSession(t, f, fd, jobs, bolt.WithInferFlow(core.InferAlways))
+		if !bytes.Equal(mcf1, mcfN) {
+			t.Errorf("infer-flow jobs=%d: emitted binary differs from jobs=1 (%d vs %d bytes)",
+				jobs, len(mcfN), len(mcf1))
+		}
+		if !reflect.DeepEqual(mcfRep1.Stats, repN.Stats) {
+			t.Errorf("infer-flow jobs=%d: stats diverge:\n  jobs=1: %v\n  jobs=%d: %v",
+				jobs, mcfRep1.Stats, jobs, repN.Stats)
+		}
+	}
+	if mcfRep1.InferredFuncs == 0 {
+		t.Error("InferAlways reported no inferred functions")
+	}
+	if mcfRep1.FlowAccAfter != 1.0 {
+		t.Errorf("InferAlways left FlowAccAfter %v, want 1.0", mcfRep1.FlowAccAfter)
 	}
 }
 

@@ -48,6 +48,16 @@ func WithStaleMatching(on bool) Option {
 	return func(o *core.Options) { o.StaleMatching = on }
 }
 
+// WithInferFlow selects the minimum-cost-flow profile-inference mode
+// (the production replacement for the paper's §5.1 "non-ideal
+// algorithm"): core.InferAuto (default) solves MCF for non-LBR sample
+// profiles, core.InferAlways also repairs LBR/stale/BAT-translated
+// profiles after classic flow repair, core.InferNever restores the
+// proportional estimator.
+func WithInferFlow(mode core.InferMode) Option {
+	return func(o *core.Options) { o.InferFlow = mode }
+}
+
 // WithSplitFunctions sets the hot/cold splitting level (0 = off).
 func WithSplitFunctions(level int) Option {
 	return func(o *core.Options) { o.SplitFunctions = level }

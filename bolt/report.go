@@ -44,6 +44,14 @@ type Report struct {
 	ProfileBranches   int
 	ProfileSamples    int
 	ProfileTotalCount uint64
+
+	// FlowAccBefore/FlowAccAfter are the count-weighted flow-equation
+	// consistency of the profiled CFGs before and after the
+	// profile:infer stage (1.0 = every block's count equals its
+	// out-flow); InferredFuncs counts the functions rebalanced by the
+	// minimum-cost-flow solver (0 when inference did not run).
+	FlowAccBefore, FlowAccAfter float64
+	InferredFuncs               int
 }
 
 // Timings returns all three instrumentation groups concatenated in

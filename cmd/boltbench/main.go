@@ -22,7 +22,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, timing (comma separated or 'all')")
+		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, inference, timing (comma separated or 'all')")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (iterations multiplier)")
 	jobs := flag.Int("jobs", 0, "worker threads for every gobolt run's parallel phases — loader, function passes, emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "run the 'timing' experiment (load/pass/emit wall time at jobs=1 vs -jobs) even when not listed")
@@ -32,7 +32,7 @@ func main() {
 	bench.SetBoltJobs(*jobs)
 	list := strings.Split(*exp, ",")
 	if *exp == "all" {
-		list = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "events", "icf", "fig2", "continuous"}
+		list = []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "events", "icf", "fig2", "continuous", "inference"}
 	}
 	if *timePasses && !strings.Contains(*exp, "timing") {
 		list = append(list, "timing")
@@ -83,6 +83,8 @@ func main() {
 			report, err = bench.Fig2Report(sc)
 		case "continuous":
 			_, report, err = bench.Continuous(sc)
+		case "inference":
+			_, report, err = bench.Inference(sc)
 		case "timing":
 			report, err = bench.PipelineScaling(sc, *jobs)
 		default:

@@ -60,6 +60,7 @@ func run() error {
 	sctc := flag.Bool("sctc", true, "simplify conditional tail calls")
 	enableBAT := flag.Bool("enable-bat", true, "write the BOLT Address Translation table (.bolt.bat) for continuous profiling")
 	staleMatch := flag.Bool("stale-matching", true, "recover stale profile records via CFG shape matching (v2 profiles)")
+	inferFlow := flag.String("infer-flow", "auto", "minimum-cost-flow profile inference: auto (non-LBR sample profiles), always (also repair LBR/stale/translated profiles), never (legacy proportional estimator)")
 	lite := flag.Bool("lite", false, "only process functions with profile samples")
 	jobs := flag.Int("jobs", 0, "worker threads for the parallel phases — loader disasm+CFG, function passes, code emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "print per-pass wall time and stat deltas")
@@ -87,6 +88,11 @@ func run() error {
 	opts.SCTC = *sctc
 	opts.EnableBAT = *enableBAT
 	opts.StaleMatching = *staleMatch
+	mode, err := core.ParseInferMode(*inferFlow)
+	if err != nil {
+		return err
+	}
+	opts.InferFlow = mode
 	opts.Lite = *lite
 	opts.Jobs = *jobs
 	opts.TimePasses = *timePasses

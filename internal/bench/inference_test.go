@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+
+	"gobolt/internal/core"
+)
+
+// TestDynoSimilarity sanity-checks the scale-free scoring function.
+func TestDynoSimilarity(t *testing.T) {
+	a := core.DynoStats{ExecutedInstructions: 1000, TakenBranches: 100, ExecutedUncond: 50}
+	if got := dynoSimilarity(a, a); got != 1.0 {
+		t.Errorf("self-similarity = %v, want 1.0", got)
+	}
+	// Uniform sub-sampling (everything /10) must score 1.0: only the
+	// branch *mix* matters, not the sampling period.
+	b := core.DynoStats{ExecutedInstructions: 100, TakenBranches: 10, ExecutedUncond: 5}
+	if got := dynoSimilarity(a, b); got != 1.0 {
+		t.Errorf("scaled similarity = %v, want 1.0", got)
+	}
+	// A distorted mix must score below a faithful one.
+	c := core.DynoStats{ExecutedInstructions: 1000, TakenBranches: 300, ExecutedUncond: 10}
+	if faithful, distorted := dynoSimilarity(a, b), dynoSimilarity(a, c); distorted >= faithful {
+		t.Errorf("distorted mix scored %v >= faithful %v", distorted, faithful)
+	}
+}
+
+// TestInferenceExperiment runs the §5.1 experiment at reduced scale and
+// asserts the acceptance-level results: minimum-cost-flow inference
+// recovers strictly more dyno-stat accuracy from sample-only profiles
+// than the old proportional estimator, with exactly consistent counts,
+// and the MCF consistency repair does not degrade stale-profile
+// recovery.
+func TestInferenceExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("inference experiment takes seconds; skipped in -short")
+	}
+	res, report, err := Inference(Scale(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(report)
+	if res.SampleAccMCF <= res.SampleAccProportional {
+		t.Errorf("min-cost flow accuracy %.4f not strictly above proportional %.4f",
+			res.SampleAccMCF, res.SampleAccProportional)
+	}
+	if res.SampleFlowAfter != 1.0 {
+		t.Errorf("sample-profile flow accuracy after MCF = %.6f, want exactly 1.0", res.SampleFlowAfter)
+	}
+	if !res.AllConsistent {
+		t.Error("some inferred simple function violates the flow equations")
+	}
+	if res.InferredFuncs == 0 {
+		t.Error("solver inferred no functions")
+	}
+	if res.StaleAccMCF < res.StaleAccPlain {
+		t.Errorf("MCF repair degraded stale recovery: %.4f < %.4f",
+			res.StaleAccMCF, res.StaleAccPlain)
+	}
+	if res.StaleAccMCF < 0.9 {
+		t.Errorf("stale+MCF recovery %.4f < 0.9", res.StaleAccMCF)
+	}
+}

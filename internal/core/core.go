@@ -14,6 +14,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -63,6 +64,13 @@ type Options struct {
 	// ICPThreshold is the minimum fraction of calls going to the dominant
 	// target for indirect-call promotion (e.g. 0.51).
 	ICPThreshold float64
+	// InferFlow selects the minimum-cost-flow profile-inference stage
+	// (internal/flow), the production replacement for the §5.1 "non-ideal
+	// algorithm": InferAuto (default) solves MCF for non-LBR sample
+	// profiles and leaves LBR profiles to classic flow repair; InferAlways
+	// additionally repairs LBR/stale/BAT-translated profiles after
+	// repairFlow; InferNever keeps the legacy proportional estimator.
+	InferFlow InferMode
 
 	// Jobs bounds the worker pools of every parallel pipeline phase:
 	// the loader's per-function disassembly+CFG stage, the PassManager's
@@ -74,6 +82,49 @@ type Options struct {
 	// after the pipeline (the bolt package exposes it as
 	// Report.WriteTimings; the timings themselves are always collected).
 	TimePasses bool
+}
+
+// InferMode selects how ApplyProfile reconstructs consistent counts
+// from the attached samples (the profile:infer stage).
+type InferMode int
+
+const (
+	// InferAuto solves minimum-cost flow for non-LBR sample profiles —
+	// where edges must be reconstructed from scratch — and applies only
+	// classic flow repair (§5.2) to LBR profiles. The default.
+	InferAuto InferMode = iota
+	// InferAlways additionally runs the MCF consistency repair on LBR,
+	// stale-matched, and BAT-translated profiles after repairFlow.
+	InferAlways
+	// InferNever keeps the paper's §5.1 proportional estimator for
+	// non-LBR profiles (the deliberately "non-ideal algorithm" —
+	// useful as the boltbench comparison baseline).
+	InferNever
+)
+
+// String renders the mode the way the -infer-flow flag spells it.
+func (m InferMode) String() string {
+	switch m {
+	case InferAlways:
+		return "always"
+	case InferNever:
+		return "never"
+	default:
+		return "auto"
+	}
+}
+
+// ParseInferMode converts a -infer-flow flag value.
+func ParseInferMode(s string) (InferMode, error) {
+	switch s {
+	case "auto", "":
+		return InferAuto, nil
+	case "always":
+		return InferAlways, nil
+	case "never":
+		return InferNever, nil
+	}
+	return InferAuto, fmt.Errorf("invalid infer-flow mode %q (want auto, always, or never)", s)
 }
 
 // Normalized upgrades an unconfigured Options value to DefaultOptions.
@@ -444,12 +495,21 @@ type BinaryContext struct {
 	PassTimings []PassTiming
 
 	// LoadTimings records the loader phases (serial discovery, parallel
-	// disassembly+CFG), set by NewContext. EmitTimings records the
-	// emission phases (parallel per-function code generation, serial
-	// layout+patch), set by Rewrite. The bolt package's
-	// Report.WriteTimings renders all three timing groups as one report.
+	// disassembly+CFG) set by NewContext, plus the profile:infer stage
+	// appended by ApplyProfile. EmitTimings records the emission phases
+	// (parallel per-function code generation, serial layout+patch), set
+	// by Rewrite. The bolt package's Report.WriteTimings renders all
+	// three timing groups as one report.
 	LoadTimings []PassTiming
 	EmitTimings []PassTiming
+
+	// FlowAccBefore/FlowAccAfter are the count-weighted flow-equation
+	// consistency of the profiled CFGs before and after the
+	// profile:infer stage (1.0 = every block's count equals its
+	// out-flow); InferredFuncs counts the functions the minimum-cost
+	// flow solver rebalanced. Set by ApplyProfile.
+	FlowAccBefore, FlowAccAfter float64
+	InferredFuncs               int
 }
 
 // FuncByAddr returns the function starting at addr.

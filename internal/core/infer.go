@@ -1,0 +1,62 @@
+package core
+
+import (
+	"gobolt/internal/flow"
+)
+
+// buildFlowProblem converts fn's CFG and current counts into the
+// minimum-cost-flow inference problem. pos maps blocks to their layout
+// index. withEdges seeds the measured edge counts as baselines (the
+// LBR/stale consistency-repair case); without it only block counts
+// constrain the solve (the non-LBR case, where edges must be
+// reconstructed from scratch). Edge costs encode the static layout
+// (§5.2): fall-through cheapest, taken forward next, backward dearest.
+func buildFlowProblem(fn *BinaryFunction, pos map[*BasicBlock]int, withEdges bool) []flow.Node {
+	nodes := make([]flow.Node, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		nodes[i].Weight = b.ExecCount
+		nodes[i].IsEntry = b.IsEntry || i == 0
+		if len(b.Succs) == 0 {
+			continue
+		}
+		nodes[i].Succs = make([]flow.Succ, len(b.Succs))
+		cond := isCondTerm(b)
+		for k := range b.Succs {
+			j := pos[b.Succs[k].To]
+			cost := int64(flow.CostTaken)
+			switch {
+			case j <= i:
+				cost = flow.CostBackward
+			case j == i+1 && ((cond && k == 1) || len(b.Succs) == 1):
+				cost = flow.CostFallThrough
+			}
+			nodes[i].Succs[k] = flow.Succ{To: j, Cost: cost}
+			if withEdges {
+				nodes[i].Succs[k].Weight = b.Succs[k].Count
+			}
+		}
+	}
+	return nodes
+}
+
+// inferFlowMCF runs minimum-cost-flow inference over fn and writes the
+// conserving counts back onto the CFG. It mutates only fn (blocks and
+// edges), so it is safe as a parallel per-function stage; Mispreds are
+// preserved — only Counts are rebalanced.
+func inferFlowMCF(fn *BinaryFunction, withEdges bool) {
+	if len(fn.Blocks) == 0 {
+		return
+	}
+	pos := make(map[*BasicBlock]int, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		pos[b] = i
+	}
+	nodes := buildFlowProblem(fn, pos, withEdges)
+	res := flow.Infer(nodes)
+	for i, b := range fn.Blocks {
+		b.ExecCount = res.NodeCounts[i]
+		for k := range b.Succs {
+			b.Succs[k].Count = res.EdgeCounts[i][k]
+		}
+	}
+}

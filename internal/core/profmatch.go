@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"time"
+
 	"gobolt/internal/isa"
 	"gobolt/internal/profile"
 	"gobolt/internal/stale"
@@ -9,31 +12,43 @@ import (
 // Profile-application statistics (ctx.Stats keys). Counts are weighted by
 // record count, so they sum to the profile's total:
 //
-//	profile-total-count     every branch record seen
+//	profile-total-count     every branch or sample record seen
 //	profile-edge-count      applied to an intra-function CFG edge
 //	profile-call-count      applied as a call/entry record (ExecCount)
+//	profile-sample-count    applied as a PC sample to a block (non-LBR)
 //	profile-ignored-count   carries no CFG info here (returns, non-branch
-//	                        sources, mid-function landings)
+//	                        sources, mid-function landings, records inside
+//	                        non-simple functions)
 //	profile-drop-count      (function, offset) failed to resolve
 //	profile-stale-count     recovered by stale shape matching
 //	profile-stale-drop-count  stale and unrecoverable
 //
 // plus profile-stale-funcs, the number of functions whose shapes
-// mismatched and were routed through the matcher.
+// mismatched and were routed through the matcher, and
+// profile-inferred-funcs, the functions rebalanced by the minimum-cost
+// flow solver (neither is count-weighted).
 
 // ApplyProfile attaches an fdata profile to the CFGs: branch records
 // become edge counts, call records become function execution counts and
 // indirect-call histograms, and flow repair fills in the fall-through
 // counts LBRs cannot observe (paper §5.2). Non-LBR profiles set block
-// counts from PC samples and infer edges proportionally — the weaker
-// inference whose cost Figure 11 quantifies.
+// counts from PC samples and reconstruct edges with the minimum-cost
+// flow solver of internal/flow — the production replacement for the
+// "non-ideal algorithm" whose cost Figure 11 quantifies
+// (Opts.InferFlow = InferNever restores the proportional estimator, and
+// InferAlways also repairs LBR/stale/translated profiles after classic
+// flow repair).
 //
 // When the profile carries CFG shapes (format v2) and Opts.StaleMatching
 // is on, records whose offsets no longer resolve against this binary are
 // re-anchored by structural block matching instead of being dropped — the
 // stale-profile path that keeps week-old production profiles usable
 // across releases.
-func (ctx *BinaryContext) ApplyProfile(fd *profile.Fdata) {
+//
+// The per-function inference stage fans out over Opts.Jobs workers and
+// is reported as "profile:infer" by -time-passes. Cancelling cx stops it
+// promptly; the only possible error is cx.Err().
+func (ctx *BinaryContext) ApplyProfile(cx context.Context, fd *profile.Fdata) error {
 	ctx.ProfileLBR = fd.LBR
 	if ctx.CallEdges == nil {
 		ctx.CallEdges = map[[2]string]uint64{}
@@ -47,16 +62,83 @@ func (ctx *BinaryContext) ApplyProfile(fd *profile.Fdata) {
 	} else {
 		ctx.applySamples(fd, sm)
 	}
+	return ctx.inferStage(cx, fd.LBR)
+}
+
+// inferStage reconstructs consistent per-function counts from the raw
+// record application: classic flow repair and/or minimum-cost-flow
+// inference, fanned out over the worker pool (each function's counts
+// are function-local state, so the stage parallelizes like a function
+// pass). Appends the "profile:infer" timing to LoadTimings and fills
+// ctx.FlowAccBefore/FlowAccAfter/InferredFuncs.
+func (ctx *BinaryContext) inferStage(cx context.Context, lbr bool) error {
+	var funcs []*BinaryFunction
 	for _, fn := range ctx.Funcs {
-		if fn.Simple && fn.Sampled {
-			if fd.LBR {
-				repairFlow(fn)
+		if fn.Simple && fn.Sampled && len(fn.Blocks) > 0 {
+			funcs = append(funcs, fn)
+		}
+	}
+	useMCF := ctx.Opts.InferFlow == InferAlways ||
+		(!lbr && ctx.Opts.InferFlow != InferNever)
+
+	start := time.Now()
+	jobs := effectiveJobs(ctx.Opts.Jobs, len(funcs))
+	// Per-function accuracy terms land in index-addressed slots and fold
+	// serially below, so the aggregate floats are bit-identical for
+	// every worker count.
+	type accTerm struct {
+		violBefore, totalBefore uint64
+		violAfter, totalAfter   uint64
+	}
+	terms := make([]accTerm, len(funcs))
+	if _, err := parallelFor(cx, len(funcs), jobs, func(_, i int) error {
+		fn := funcs[i]
+		terms[i].violBefore, terms[i].totalBefore = flowViolation(fn)
+		if lbr {
+			repairFlow(fn)
+			if useMCF {
+				inferFlowMCF(fn, true)
+			}
+		} else {
+			entrySamples := fn.Blocks[0].ExecCount
+			if useMCF {
+				inferFlowMCF(fn, false)
 			} else {
 				inferEdgesFromBlockCounts(fn)
 			}
-			fn.ProfileAcc = flowAccuracy(fn)
+			// A function's execution count is its entry in-flow, not the
+			// entry block's own sample count: a hot function with a
+			// short, rarely-sampled entry block must not look cold.
+			var entryOut uint64
+			for _, e := range fn.Blocks[0].Succs {
+				entryOut += e.Count
+			}
+			fn.ExecCount = max(entrySamples, fn.Blocks[0].ExecCount, entryOut)
 		}
+		fn.ProfileAcc = flowAccuracy(fn)
+		terms[i].violAfter, terms[i].totalAfter = flowViolation(fn)
+		return nil
+	}); err != nil {
+		return err
 	}
+	var vb, tb, va, ta uint64
+	for _, t := range terms {
+		vb += t.violBefore
+		tb += t.totalBefore
+		va += t.violAfter
+		ta += t.totalAfter
+	}
+	ctx.FlowAccBefore = accFromViolation(vb, tb)
+	ctx.FlowAccAfter = accFromViolation(va, ta)
+	if useMCF {
+		ctx.InferredFuncs = len(funcs)
+		ctx.CountStat("profile-inferred-funcs", int64(len(funcs)))
+	}
+	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
+		Name: "profile:infer", Wall: time.Since(start),
+		Funcs: len(funcs), Parallel: jobs > 1, Jobs: jobs,
+	})
+	return nil
 }
 
 // staleMatcher lazily diagnoses per function whether the profile's shape
@@ -116,6 +198,16 @@ func (ctx *BinaryContext) applyLBR(fd *profile.Fdata, sm *staleMatcher) {
 		}
 		fromAddr := fromFn.Addr + br.From.Off
 		toAddr := toFn.Addr + br.To.Off
+
+		// Same-function records inside a non-simple function carry no
+		// recoverable CFG information — and a loop back-edge to offset 0
+		// must not be miscounted as a recursive call (it would inflate
+		// ExecCount and invent a self CallEdges entry).
+		if fromFn == toFn && !fromFn.Simple {
+			fromFn.Sampled = true
+			count("profile-ignored-count", br.Count)
+			continue
+		}
 
 		if fromFn == toFn && fromFn.Simple {
 			fn := fromFn
@@ -274,12 +366,9 @@ func (ctx *BinaryContext) applySamples(fd *profile.Fdata, sm *staleMatcher) {
 		fn.Sampled = true
 		ctx.CountStat("profile-sample-count", int64(s.Count))
 	}
-	// Function exec counts approximate entry-block sample counts.
-	for _, fn := range ctx.Funcs {
-		if fn.Simple && len(fn.Blocks) > 0 {
-			fn.ExecCount = fn.Blocks[0].ExecCount
-		}
-	}
+	// Function exec counts are derived after inference (inferStage): the
+	// entry block's own sample count understates hot functions whose
+	// entry is short and rarely sampled, so the entry *in-flow* decides.
 }
 
 // isCondTerm reports whether block b ends in a conditional branch with a
@@ -334,11 +423,14 @@ func repairFlow(fn *BinaryFunction) {
 	}
 }
 
-// inferEdgesFromBlockCounts is the non-LBR edge estimator: block counts
-// come from PC samples; each block's outflow is split across successors
-// in proportion to the successors' own sample counts. This is the
-// deliberately "non-ideal algorithm" of §5.1 (a production system would
-// solve minimum cost flow).
+// inferEdgesFromBlockCounts is the legacy non-LBR edge estimator
+// (Opts.InferFlow = InferNever): block counts come from PC samples;
+// each block's outflow is split across successors in proportion to the
+// successors' own sample counts. This is the deliberately "non-ideal
+// algorithm" of §5.1 — it loses flow to per-successor truncation and
+// its +1 smoothing invents counts on never-executed successors — kept
+// as the comparison baseline for the minimum-cost-flow solver
+// (internal/flow) that now runs by default.
 func inferEdgesFromBlockCounts(fn *BinaryFunction) {
 	for iter := 0; iter < 3; iter++ {
 		for _, b := range fn.Blocks {
@@ -357,10 +449,11 @@ func inferEdgesFromBlockCounts(fn *BinaryFunction) {
 	}
 }
 
-// flowAccuracy measures how consistently the final counts satisfy the
-// flow equations (1.0 = every block's inflow equals its outflow).
-func flowAccuracy(fn *BinaryFunction) float64 {
-	var total, violation float64
+// flowViolation sums, over every executed block with successors, the
+// block count and the absolute gap between it and its out-flow — the
+// integer terms behind flowAccuracy, kept exact so parallel aggregation
+// stays deterministic.
+func flowViolation(fn *BinaryFunction) (violation, total uint64) {
 	for _, b := range fn.Blocks {
 		if len(b.Succs) == 0 || b.ExecCount == 0 {
 			continue
@@ -373,15 +466,28 @@ func flowAccuracy(fn *BinaryFunction) float64 {
 		if diff < 0 {
 			diff = -diff
 		}
-		total += float64(b.ExecCount)
-		violation += float64(diff)
+		total += b.ExecCount
+		violation += uint64(diff)
 	}
+	return violation, total
+}
+
+// accFromViolation converts violation terms to the [0,1] accuracy scale
+// (empty = vacuously consistent).
+func accFromViolation(violation, total uint64) float64 {
 	if total == 0 {
 		return 1
 	}
-	acc := 1 - violation/total
+	acc := 1 - float64(violation)/float64(total)
 	if acc < 0 {
 		return 0
 	}
 	return acc
+}
+
+// flowAccuracy measures how consistently the final counts satisfy the
+// flow equations (1.0 = every block's inflow equals its outflow).
+func flowAccuracy(fn *BinaryFunction) float64 {
+	v, t := flowViolation(fn)
+	return accFromViolation(v, t)
 }

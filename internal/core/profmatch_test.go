@@ -1,0 +1,342 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"gobolt/internal/cc"
+	"gobolt/internal/ir"
+	"gobolt/internal/isa"
+	"gobolt/internal/ld"
+	"gobolt/internal/profile"
+)
+
+// buildProfBinary links a small program built for profile-matching
+// tests: `hot` has a conditional diamond plus a loop back-edge, `leaf`
+// is straight-line. entryPad prepends identity moves to hot's entry
+// block, modeling the version skew that makes a profile stale.
+func buildProfBinary(t *testing.T, entryPad int) *BinaryContext {
+	t.Helper()
+	leaf := ir.NewFunc("leaf", "l.mir", 4)
+	leaf.Blocks[0].Ops = []ir.Op{
+		{Kind: ir.OpMov, Dst: isa.RAX, Src: isa.RDI},
+		{Kind: ir.OpAddImm, Dst: isa.RAX, Imm: 5},
+	}
+	leaf.Blocks[0].Term = ir.Term{Kind: ir.TermReturn}
+
+	var pad []ir.Op
+	for i := 0; i < entryPad; i++ {
+		pad = append(pad, ir.Op{Kind: ir.OpMov, Dst: isa.RAX, Src: isa.RAX})
+	}
+
+	// hot: a diamond — entry -> {left, right} -> ret. The entry block is
+	// short, so sparse PC sampling routinely misses it while the arms
+	// stay hot (the ExecCount bug scenario).
+	f := ir.NewFunc("hot", "h.mir", 10)
+	left := f.AddBlock()
+	right := f.AddBlock()
+	ret := f.AddBlock()
+	f.Blocks[0].Ops = append(append([]ir.Op(nil), pad...), []ir.Op{
+		{Kind: ir.OpMov, Dst: isa.RCX, Src: isa.RDI},
+	}...)
+	f.Blocks[0].Term = ir.Term{Kind: ir.TermBranch, CmpReg: isa.RCX, CmpImm: 50,
+		Cc: isa.CondL, Then: right.Index, Else: left.Index}
+	left.Ops = []ir.Op{
+		{Kind: ir.OpMovImm, Dst: isa.RAX, Imm: 1},
+		{Kind: ir.OpAddImm, Dst: isa.RAX, Imm: 2},
+	}
+	left.Term = ir.Term{Kind: ir.TermJump, Then: ret.Index}
+	right.Ops = []ir.Op{{Kind: ir.OpMovImm, Dst: isa.RAX, Imm: 99}}
+	right.Term = ir.Term{Kind: ir.TermJump, Then: ret.Index}
+	ret.Term = ir.Term{Kind: ir.TermReturn}
+
+	// loopy: entry -> body; body -> {body, ret} — a hot back edge for
+	// the conservation property tests.
+	g := ir.NewFunc("loopy", "g.mir", 10)
+	body := g.AddBlock()
+	gret := g.AddBlock()
+	g.Blocks[0].Ops = append(append([]ir.Op(nil), pad...), []ir.Op{
+		{Kind: ir.OpMov, Dst: isa.RCX, Src: isa.RDI},
+		{Kind: ir.OpMovImm, Dst: isa.RAX, Imm: 0},
+	}...)
+	g.Blocks[0].Term = ir.Term{Kind: ir.TermJump, Then: body.Index}
+	body.Ops = []ir.Op{
+		{Kind: ir.OpAddImm, Dst: isa.RAX, Imm: 1},
+		{Kind: ir.OpAddImm, Dst: isa.RCX, Imm: -1},
+	}
+	body.Term = ir.Term{Kind: ir.TermBranch, CmpReg: isa.RCX, CmpImm: 0,
+		Cc: isa.CondG, Then: body.Index, Else: gret.Index}
+	gret.Term = ir.Term{Kind: ir.TermReturn}
+
+	start := ir.NewFunc("_start", "m.mir", 1)
+	start.Blocks[0].Ops = []ir.Op{
+		{Kind: ir.OpMovImm, Dst: isa.RDI, Imm: 100},
+		{Kind: ir.OpCall, Callee: "hot", SpillReg: isa.NoReg, LandingPad: -1},
+		{Kind: ir.OpCall, Callee: "loopy", SpillReg: isa.NoReg, LandingPad: -1},
+		{Kind: ir.OpCall, Callee: "leaf", SpillReg: isa.NoReg, LandingPad: -1},
+	}
+	start.Blocks[0].Term = ir.Term{Kind: ir.TermExit}
+
+	p := &ir.Program{Modules: []*ir.Module{{Name: "m", Funcs: []*ir.Func{start, f, g, leaf}}}}
+	p.Finalize()
+	opts := cc.DefaultOptions()
+	opts.TinyInlineOps = 1
+	objs, err := cc.Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ld.Link(objs, ld.Options{EmitRelocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(context.Background(), res.File, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// blockOff returns a block's offset within its function.
+func blockOff(fn *BinaryFunction, b *BasicBlock) uint64 { return b.Addr - fn.Addr }
+
+// applyTo runs ApplyProfile and fails the test on error.
+func applyTo(t *testing.T, ctx *BinaryContext, fd *profile.Fdata) {
+	t.Helper()
+	if err := ctx.ApplyProfile(context.Background(), fd); err != nil {
+		t.Fatalf("ApplyProfile: %v", err)
+	}
+}
+
+// TestSampleExecCountFromEntryInflow is the regression test for the
+// non-LBR ExecCount bug: a hot function whose short entry block drew no
+// PC samples must still get an execution count from its inferred entry
+// out-flow instead of being treated as cold.
+func TestSampleExecCountFromEntryInflow(t *testing.T) {
+	ctx := buildProfBinary(t, 0)
+	hot := ctx.ByName["hot"]
+	if hot == nil || !hot.Simple || len(hot.Blocks) < 4 {
+		t.Fatalf("hot not usable: %+v", hot)
+	}
+	// Samples only on the diamond arms — none on the short entry block.
+	fd := &profile.Fdata{Samples: []profile.Sample{
+		{At: profile.Loc{Sym: "hot", Off: blockOff(hot, hot.Blocks[1])}, Count: 3000},
+		{At: profile.Loc{Sym: "hot", Off: blockOff(hot, hot.Blocks[2])}, Count: 2000},
+	}}
+	applyTo(t, ctx, fd)
+	if hot.Blocks[0].ExecCount == 0 {
+		t.Fatal("entry block count stayed 0 despite hot downstream flow")
+	}
+	if hot.ExecCount == 0 {
+		t.Fatal("ExecCount derived from entry samples only: hot function treated as cold")
+	}
+	var entryOut uint64
+	for _, e := range hot.Blocks[0].Succs {
+		entryOut += e.Count
+	}
+	if hot.ExecCount != entryOut {
+		t.Errorf("ExecCount = %d, want entry out-flow %d", hot.ExecCount, entryOut)
+	}
+	if hot.ProfileAcc != 1.0 {
+		t.Errorf("inferred accuracy %v, want 1.0", hot.ProfileAcc)
+	}
+}
+
+// TestSelfBranchNonSimpleIgnored is the regression test for the applyLBR
+// misclassification: a same-function record landing on offset 0 of a
+// NON-simple function is a loop back-edge, not a recursive call — it
+// must not inflate ExecCount or invent a self CallEdges entry.
+func TestSelfBranchNonSimpleIgnored(t *testing.T) {
+	ctx := buildProfBinary(t, 0)
+	hot := ctx.ByName["hot"]
+	hot.Simple = false
+	hot.Reason = "forced non-simple for test"
+	fd := &profile.Fdata{LBR: true, Branches: []profile.Branch{
+		{From: profile.Loc{Sym: "hot", Off: 8}, To: profile.Loc{Sym: "hot", Off: 0}, Count: 7},
+	}}
+	applyTo(t, ctx, fd)
+	if hot.ExecCount != 0 {
+		t.Errorf("self branch inflated ExecCount to %d", hot.ExecCount)
+	}
+	if n := ctx.CallEdges[[2]string{"hot", "hot"}]; n != 0 {
+		t.Errorf("self CallEdges entry invented: %d", n)
+	}
+	if got := ctx.Stats["profile-ignored-count"]; got != 7 {
+		t.Errorf("profile-ignored-count = %d, want 7", got)
+	}
+	if !hot.Sampled {
+		t.Error("self branch should still mark the function sampled")
+	}
+}
+
+// sampleEverything synthesizes a pseudo-random non-LBR profile hitting
+// every block of every simple function.
+func sampleEverything(ctx *BinaryContext, rng *rand.Rand) *profile.Fdata {
+	fd := &profile.Fdata{}
+	for _, fn := range ctx.Funcs {
+		if !fn.Simple {
+			continue
+		}
+		for _, b := range fn.Blocks {
+			if rng.Intn(4) == 0 {
+				continue // sparse, like real PC sampling
+			}
+			fd.Samples = append(fd.Samples, profile.Sample{
+				At:    profile.Loc{Sym: fn.Name, Off: blockOff(fn, b)},
+				Count: uint64(1 + rng.Intn(10000)),
+			})
+		}
+	}
+	return fd
+}
+
+// TestSampleInferenceConservesFlow is the satellite property test: with
+// minimum-cost-flow inference (the default for non-LBR profiles), every
+// inferred simple function satisfies the flow equations exactly —
+// inflow == outflow == block count, flowAccuracy 1.0 — unlike the old
+// proportional estimator, which lost flow to per-successor truncation.
+func TestSampleInferenceConservesFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		ctx := buildProfBinary(t, 0)
+		fd := sampleEverything(ctx, rng)
+		applyTo(t, ctx, fd)
+		for _, fn := range ctx.Funcs {
+			if !fn.Simple || !fn.Sampled {
+				continue
+			}
+			if fn.ProfileAcc != 1.0 {
+				t.Errorf("trial %d: %s: ProfileAcc %v, want exactly 1.0", trial, fn.Name, fn.ProfileAcc)
+			}
+			inflow := map[*BasicBlock]uint64{}
+			hasPred := map[*BasicBlock]bool{}
+			for _, b := range fn.Blocks {
+				for _, e := range b.Succs {
+					inflow[e.To] += e.Count
+					hasPred[e.To] = true
+				}
+			}
+			for i, b := range fn.Blocks {
+				if len(b.Succs) > 0 {
+					var out uint64
+					for _, e := range b.Succs {
+						out += e.Count
+					}
+					if b.ExecCount != out {
+						t.Errorf("trial %d: %s block %d: count %d != outflow %d",
+							trial, fn.Name, i, b.ExecCount, out)
+					}
+				}
+				if i > 0 && hasPred[b] && !b.IsEntry && b.ExecCount != inflow[b] {
+					t.Errorf("trial %d: %s block %d: count %d != inflow %d",
+						trial, fn.Name, i, b.ExecCount, inflow[b])
+				}
+			}
+		}
+		if ctx.FlowAccAfter != 1.0 {
+			t.Errorf("trial %d: FlowAccAfter %v, want 1.0", trial, ctx.FlowAccAfter)
+		}
+	}
+}
+
+// lbrRecords synthesizes branch records for every conditional edge of
+// the function, plus inter-function call/return noise against toFn.
+func lbrRecords(fn *BinaryFunction, scale uint64) []profile.Branch {
+	var out []profile.Branch
+	for _, b := range fn.Blocks {
+		last := b.LastInst()
+		if last == nil || last.I.Op != isa.JCC || len(b.Succs) != 2 {
+			continue
+		}
+		lastOff := last.Addr - fn.Addr
+		out = append(out, profile.Branch{
+			From:  profile.Loc{Sym: fn.Name, Off: lastOff},
+			To:    profile.Loc{Sym: fn.Name, Off: blockOff(fn, b.Succs[0].To)},
+			Count: scale,
+		})
+	}
+	return out
+}
+
+// statSum asserts the documented invariant: the per-outcome stat keys
+// partition profile-total-count exactly.
+func statSum(t *testing.T, ctx *BinaryContext, label string) {
+	t.Helper()
+	st := ctx.Stats
+	sum := st["profile-edge-count"] + st["profile-call-count"] +
+		st["profile-sample-count"] + st["profile-ignored-count"] +
+		st["profile-drop-count"] + st["profile-stale-count"] +
+		st["profile-stale-drop-count"]
+	if total := st["profile-total-count"]; sum != total {
+		t.Errorf("%s: outcome stats sum to %d, want profile-total-count %d (stats: %v)",
+			label, sum, total, st)
+	}
+	if st["profile-total-count"] == 0 {
+		t.Errorf("%s: no records counted", label)
+	}
+}
+
+// TestProfileStatKeysSumToTotal pins the documented accounting
+// invariant for all three profile kinds: LBR, non-LBR samples, and a
+// stale v2 profile routed through the shape matcher.
+func TestProfileStatKeysSumToTotal(t *testing.T) {
+	// LBR: real edges, a call, a mid-function landing (ignored), and an
+	// unresolvable record (dropped).
+	ctx := buildProfBinary(t, 0)
+	hot := ctx.ByName["hot"]
+	fd := &profile.Fdata{LBR: true, Branches: append(lbrRecords(hot, 100),
+		profile.Branch{From: profile.Loc{Sym: "_start", Off: 2}, To: profile.Loc{Sym: "hot", Off: 0}, Count: 40},
+		profile.Branch{From: profile.Loc{Sym: "hot", Off: 3}, To: profile.Loc{Sym: "_start", Off: 9}, Count: 11},
+		profile.Branch{From: profile.Loc{Sym: "nosuch", Off: 0}, To: profile.Loc{Sym: "hot", Off: 0}, Count: 3},
+	)}
+	applyTo(t, ctx, fd)
+	statSum(t, ctx, "lbr")
+
+	// Non-LBR samples, including one that cannot resolve.
+	ctx = buildProfBinary(t, 0)
+	sfd := sampleEverything(ctx, rand.New(rand.NewSource(2)))
+	sfd.Samples = append(sfd.Samples, profile.Sample{At: profile.Loc{Sym: "nosuch", Off: 0}, Count: 9})
+	applyTo(t, ctx, sfd)
+	statSum(t, ctx, "samples")
+
+	// Stale: records carry v1 offsets plus v1 shapes, applied to a v2
+	// binary whose entry blocks grew pad instructions.
+	v1 := buildProfBinary(t, 0)
+	v2 := buildProfBinary(t, 3)
+	v1hot := v1.ByName["hot"]
+	stfd := &profile.Fdata{LBR: true,
+		Branches: lbrRecords(v1hot, 50),
+		Shapes:   ComputeShapes(v1),
+	}
+	applyTo(t, v2, stfd)
+	statSum(t, v2, "stale")
+	if v2.Stats["profile-stale-funcs"] == 0 {
+		t.Error("stale profile never engaged the shape matcher")
+	}
+	if v2.Stats["profile-stale-count"] == 0 {
+		t.Error("shape matcher recovered nothing")
+	}
+}
+
+// TestLBRInferAlwaysRepairs: with InferAlways, an inconsistent LBR
+// profile (edge counts lost to sampling skid) is rebalanced to exact
+// consistency after classic flow repair.
+func TestLBRInferAlwaysRepairs(t *testing.T) {
+	ctx := buildProfBinary(t, 0)
+	ctx.Opts.InferFlow = InferAlways
+	hot := ctx.ByName["hot"]
+	recs := lbrRecords(hot, 100)
+	// Skew one edge so plain repair cannot make the counts consistent.
+	recs[0].Count = 37
+	fd := &profile.Fdata{LBR: true, Branches: recs}
+	applyTo(t, ctx, fd)
+	if hot.ProfileAcc != 1.0 {
+		t.Errorf("InferAlways left accuracy %v, want 1.0", hot.ProfileAcc)
+	}
+	if ctx.FlowAccAfter != 1.0 {
+		t.Errorf("FlowAccAfter %v, want 1.0", ctx.FlowAccAfter)
+	}
+	if ctx.InferredFuncs == 0 {
+		t.Error("InferredFuncs not counted")
+	}
+}

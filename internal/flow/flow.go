@@ -1,0 +1,345 @@
+// Package flow implements minimum-cost maximum-flow profile inference:
+// the production-grade replacement for the paper's §5.1 "non-ideal
+// algorithm" that reconstructs consistent basic-block and edge counts
+// from sparse or inconsistent sample data.
+//
+// The formulation follows the classic profile-inference reduction (also
+// used by the stale-profile-matching work, arXiv:2401.17168): every
+// measured count is a *baseline* flow that may violate conservation;
+// the violations become supplies and demands on a residual network, and
+// a min-cost max-flow run routes the imbalance along the cheapest CFG
+// paths. Costs encode how much we trust each kind of adjustment:
+//
+//   - adding flow to a fall-through edge is cheapest (the static
+//     compiler's layout is trusted, paper §5.2),
+//   - adding flow to a taken forward branch costs more, a backward
+//     branch more still,
+//   - discarding measured counts (blocks or edges) is expensive —
+//     samples are evidence,
+//   - pseudo source/sink arcs absorb entry/exit imbalance for free, so
+//     a function whose observed entries and exits disagree still solves.
+//
+// The result conserves flow exactly: for every block with successors,
+// the block count equals the sum of its out-edge counts (flowAccuracy
+// 1.0), something the old proportional estimator's per-successor
+// truncation could never guarantee.
+package flow
+
+import "math"
+
+// Jump-weight costs for adding flow to a CFG edge, exported so callers
+// (internal/core) classify edges against the static layout.
+const (
+	// CostFallThrough is the cost of routing extra flow down the
+	// fall-through path — the cheapest adjustment, per §5.2's "trust the
+	// static layout" rule.
+	CostFallThrough = 1
+	// CostTaken is the cost for a taken forward branch.
+	CostTaken = 2
+	// CostBackward is the cost for a branch against the layout order.
+	CostBackward = 4
+)
+
+// Internal cost structure of the deviation network.
+const (
+	// costColdBlock guards never-sampled blocks: routing flow through a
+	// block with zero samples pays this on top of its edge costs, so the
+	// solver does not invent counts on cold paths unless conservation
+	// forces it (the old estimator's "+1 smoothing" did exactly that).
+	costColdBlock = 2
+	// costCut is the cost per unit of *discarding* a measured count —
+	// an order of magnitude above any routing cost.
+	costCut = 10
+	// costEmergency backstops feasibility on pathological CFGs (cycles
+	// unreachable from any entry); never on a cheapest path otherwise.
+	costEmergency = 10000
+)
+
+const inf = int64(math.MaxInt64) / 4
+
+// Succ is one CFG edge of the inference problem.
+type Succ struct {
+	To int
+	// Weight is the measured edge count (LBR / repaired profiles);
+	// 0 means unmeasured.
+	Weight uint64
+	// Cost is the per-unit cost of adding flow to this edge — one of
+	// CostFallThrough/CostTaken/CostBackward (values < 1 are clamped).
+	Cost int64
+}
+
+// Node is one basic block of the inference problem. Nodes are indexed by
+// slice position; Succ.To refers to those indices.
+type Node struct {
+	// Weight is the measured execution count (PC samples or LBR-derived
+	// block counts).
+	Weight  uint64
+	Succs   []Succ
+	IsEntry bool
+}
+
+// Result is a flow-conserving count assignment.
+type Result struct {
+	NodeCounts []uint64
+	// EdgeCounts parallels Node.Succs: EdgeCounts[i][k] is the inferred
+	// count of nodes[i].Succs[k].
+	EdgeCounts [][]uint64
+	// Residual is the imbalance the solver could not route. It is 0 for
+	// every CFG whose blocks are reachable from an entry or a
+	// predecessor-less block (i.e. every CFG a disassembler builds); a
+	// nonzero value means the dangling-block post-pass rebalanced the
+	// affected blocks from their edge flows instead.
+	Residual int64
+}
+
+// Infer solves minimum-cost maximum-flow over the CFG and returns
+// conserving counts. Deterministic: identical inputs produce identical
+// outputs regardless of caller parallelism.
+func Infer(nodes []Node) Result {
+	n := len(nodes)
+	res := Result{
+		NodeCounts: make([]uint64, n),
+		EdgeCounts: make([][]uint64, n),
+	}
+	for i := range nodes {
+		res.EdgeCounts[i] = make([]uint64, len(nodes[i].Succs))
+	}
+	if n == 0 {
+		return res
+	}
+
+	hasPred := make([]bool, n)
+	for i := range nodes {
+		for _, e := range nodes[i].Succs {
+			if e.To >= 0 && e.To < n {
+				hasPred[e.To] = true
+			}
+		}
+	}
+
+	// Node layout: block i splits into in=2i, out=2i+1; then the
+	// function-boundary pseudo nodes S and T, then the supply/demand
+	// terminals SS and TT.
+	in := func(i int) int { return 2 * i }
+	out := func(i int) int { return 2*i + 1 }
+	S, T := 2*n, 2*n+1
+	SS, TT := 2*n+2, 2*n+3
+	s := newSolver(2*n + 4)
+
+	// net accumulates baseline-flow imbalance per node: positive = the
+	// baselines produce surplus here, negative = they consume more than
+	// they deliver.
+	net := make([]int64, 2*n+4)
+
+	blockInc := make([]int, n) // arc ids: raising a block count
+	blockRed := make([]int, n) // arc ids: cutting measured block samples
+	edgeInc := make([][]int, n)
+	edgeRed := make([][]int, n)
+
+	for i := range nodes {
+		w := int64(nodes[i].Weight)
+		incCost := int64(0)
+		if w == 0 {
+			incCost = costColdBlock
+		}
+		blockInc[i] = s.addArc(in(i), out(i), inf, incCost)
+		blockRed[i] = -1
+		if w > 0 {
+			blockRed[i] = s.addArc(out(i), in(i), w, costCut)
+			// Baseline block flow: consumed at in, produced at out.
+			net[in(i)] -= w
+			net[out(i)] += w
+		}
+
+		edgeInc[i] = make([]int, len(nodes[i].Succs))
+		edgeRed[i] = make([]int, len(nodes[i].Succs))
+		for k, e := range nodes[i].Succs {
+			cost := e.Cost
+			if cost < 1 {
+				cost = 1
+			}
+			edgeInc[i][k] = s.addArc(out(i), in(e.To), inf, cost)
+			edgeRed[i][k] = -1
+			if ew := int64(e.Weight); ew > 0 {
+				edgeRed[i][k] = s.addArc(in(e.To), out(i), ew, costCut)
+				net[out(i)] -= ew
+				net[in(e.To)] += ew
+			}
+		}
+
+		// Function-boundary arcs: entries (and predecessor-less blocks,
+		// e.g. landing pads) draw inflow from S; exit blocks drain to T.
+		if nodes[i].IsEntry || !hasPred[i] {
+			s.addArc(S, in(i), inf, 0)
+		} else {
+			s.addArc(S, in(i), inf, costEmergency)
+		}
+		if len(nodes[i].Succs) == 0 {
+			s.addArc(out(i), T, inf, 0)
+		} else {
+			s.addArc(out(i), T, inf, costEmergency)
+		}
+	}
+	// Entry/exit imbalance circulates for free.
+	s.addArc(T, S, inf, 0)
+
+	// Supplies and demands from the baseline imbalance.
+	var supply int64
+	for v, d := range net {
+		if d > 0 {
+			s.addArc(SS, v, d, 0)
+			supply += d
+		} else if d < 0 {
+			s.addArc(v, TT, -d, 0)
+		}
+	}
+	routed, _ := s.run(SS, TT)
+	res.Residual = supply - routed
+
+	// Read back: final count = baseline + increase − reduction.
+	for i := range nodes {
+		c := int64(nodes[i].Weight) + s.flow(blockInc[i])
+		if blockRed[i] >= 0 {
+			c -= s.flow(blockRed[i])
+		}
+		if c < 0 {
+			c = 0
+		}
+		res.NodeCounts[i] = uint64(c)
+		for k, e := range nodes[i].Succs {
+			ec := int64(e.Weight) + s.flow(edgeInc[i][k])
+			if edgeRed[i][k] >= 0 {
+				ec -= s.flow(edgeRed[i][k])
+			}
+			if ec < 0 {
+				ec = 0
+			}
+			res.EdgeCounts[i][k] = uint64(ec)
+		}
+	}
+	rebalance(nodes, &res)
+	return res
+}
+
+// rebalance is the dangling-block post-pass: it pins every block count
+// to its own out-flow so the result conserves flow even when the solver
+// left residual imbalance (unreachable cycles, overflow-clamped counts).
+// On a fully-routed solution this is a no-op — conservation already
+// holds arc-by-arc — so the common path pays one verification sweep.
+func rebalance(nodes []Node, res *Result) {
+	inflow := make([]uint64, len(nodes))
+	for i := range nodes {
+		for k, e := range nodes[i].Succs {
+			inflow[e.To] += res.EdgeCounts[i][k]
+		}
+	}
+	for i := range nodes {
+		if len(nodes[i].Succs) > 0 {
+			var out uint64
+			for k := range nodes[i].Succs {
+				out += res.EdgeCounts[i][k]
+			}
+			res.NodeCounts[i] = out
+			continue
+		}
+		// Exit or dangling block: keep the larger of its inferred count
+		// and what actually flows in.
+		if inflow[i] > res.NodeCounts[i] {
+			res.NodeCounts[i] = inflow[i]
+		}
+	}
+}
+
+// arc is one directed residual edge; arcs are stored in pairs so arc
+// id^1 is always the reverse.
+type arc struct {
+	to   int32
+	cap  int64
+	cost int64
+}
+
+// solver is a successive-shortest-path min-cost max-flow engine (SPFA
+// for the shortest path, so residual negative costs are fine). Sized for
+// per-function CFGs: tens to a few hundred blocks.
+type solver struct {
+	arcs []arc
+	adj  [][]int32
+}
+
+func newSolver(n int) *solver { return &solver{adj: make([][]int32, n)} }
+
+// addArc inserts a forward arc and its zero-capacity reverse; the
+// returned id addresses the forward arc (flow() reads it back).
+func (s *solver) addArc(from, to int, capacity, cost int64) int {
+	id := len(s.arcs)
+	s.arcs = append(s.arcs,
+		arc{to: int32(to), cap: capacity, cost: cost},
+		arc{to: int32(from), cap: 0, cost: -cost})
+	s.adj[from] = append(s.adj[from], int32(id))
+	s.adj[to] = append(s.adj[to], int32(id+1))
+	return id
+}
+
+// flow reports how much flow was pushed through arc id.
+func (s *solver) flow(id int) int64 { return s.arcs[id^1].cap }
+
+// run pushes flow from src to dst along successive cheapest residual
+// paths until none remains; returns (flow, cost). Deterministic: the
+// adjacency order is insertion order and SPFA relaxes strictly, so tied
+// shortest paths always resolve the same way.
+func (s *solver) run(src, dst int) (int64, int64) {
+	n := len(s.adj)
+	dist := make([]int64, n)
+	inQueue := make([]bool, n)
+	prevArc := make([]int32, n)
+	var totalFlow, totalCost int64
+	for {
+		for i := range dist {
+			dist[i] = inf
+			prevArc[i] = -1
+		}
+		dist[src] = 0
+		queue := make([]int32, 0, n)
+		queue = append(queue, int32(src))
+		inQueue[src] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			du := dist[u]
+			for _, id := range s.adj[u] {
+				a := &s.arcs[id]
+				if a.cap <= 0 {
+					continue
+				}
+				if nd := du + a.cost; nd < dist[a.to] {
+					dist[a.to] = nd
+					prevArc[a.to] = id
+					if !inQueue[a.to] {
+						inQueue[a.to] = true
+						queue = append(queue, a.to)
+					}
+				}
+			}
+		}
+		if prevArc[dst] < 0 {
+			return totalFlow, totalCost
+		}
+		push := inf
+		for v := int32(dst); v != int32(src); {
+			id := prevArc[v]
+			if c := s.arcs[id].cap; c < push {
+				push = c
+			}
+			v = s.arcs[id^1].to
+		}
+		for v := int32(dst); v != int32(src); {
+			id := prevArc[v]
+			s.arcs[id].cap -= push
+			s.arcs[id^1].cap += push
+			v = s.arcs[id^1].to
+		}
+		totalFlow += push
+		totalCost += push * dist[dst]
+	}
+}

@@ -28,7 +28,9 @@ func optimize(f *elfx.File, fd *profile.Fdata, opts core.Options) (*core.Rewrite
 		return nil, nil, err
 	}
 	if fd != nil {
-		ctx.ApplyProfile(fd)
+		if err := ctx.ApplyProfile(cx, fd); err != nil {
+			return nil, ctx, err
+		}
 	}
 	pm := core.NewPassManager(opts.Jobs)
 	if err := pm.Run(cx, ctx, BuildPipeline(opts)); err != nil {
@@ -354,7 +356,9 @@ func TestDynoStatsImprove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx.ApplyProfile(fd)
+	if err := ctx.ApplyProfile(context.Background(), fd); err != nil {
+		t.Fatal(err)
+	}
 	before := ctx.CollectDynoStats()
 	if err := core.RunPasses(context.Background(), ctx, BuildPipeline(ctx.Opts)); err != nil {
 		t.Fatal(err)
