@@ -6,28 +6,71 @@
 // Usage:
 //
 //	boltbench -experiment fig5 [-scale 0.25]
+//	boltbench -experiment speed -bench-out new.txt   # then: benchstat old.txt new.txt
 //	boltbench -experiment all
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"gobolt/internal/bench"
+	"gobolt/internal/benchfmt"
 	"gobolt/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "boltbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	exp := flag.String("experiment", "all",
-		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, inference, timing (comma separated or 'all')")
+		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, inference, timing, speed (comma separated or 'all')")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (iterations multiplier)")
 	jobs := flag.Int("jobs", 0, "worker threads for every gobolt run's parallel phases — loader, function passes, emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "run the 'timing' experiment (load/pass/emit wall time at jobs=1 vs -jobs) even when not listed")
 	heatOut := flag.String("heat-out", "", "write Figure 9 heat maps (CSV + text) with this path prefix")
+	benchOut := flag.String("bench-out", "", "write the 'speed' experiment's Go benchfmt output to this file (compare runs with benchstat)")
+	benchJSON := flag.String("bench-json", "", "write the 'speed' experiment's results as a BENCH_*.json gate-baseline skeleton to this file")
+	benchBaseline := flag.String("bench-baseline", "", "compare the 'speed' experiment against this committed BENCH_*.json baseline and fail on regression past its threshold")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "boltbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "boltbench: memprofile:", err)
+			}
+		}()
+	}
 
 	bench.SetBoltJobs(*jobs)
 	list := strings.Split(*exp, ",")
@@ -87,15 +130,63 @@ func main() {
 			_, report, err = bench.Inference(sc)
 		case "timing":
 			report, err = bench.PipelineScaling(sc, *jobs)
+		case "speed":
+			var results []benchfmt.Result
+			results, report, err = bench.Speed(sc, *jobs)
+			if err == nil {
+				err = handleSpeedOutputs(results, report, sc, *jobs, *benchOut, *benchJSON, *benchBaseline)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", e)
-			os.Exit(2)
+			return fmt.Errorf("unknown experiment %q", e)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e, err)
 		}
 		fmt.Println(report)
 		fmt.Printf("[%s done in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// handleSpeedOutputs post-processes a speed run: round-trips the report
+// through the benchfmt parser (the "output is valid benchfmt" check the
+// CI job relies on), writes the optional -bench-out/-bench-json files,
+// and enforces the -bench-baseline regression gate.
+func handleSpeedOutputs(results []benchfmt.Result, report string, sc bench.Scale, jobs int, outPath, jsonPath, baselinePath string) error {
+	parsed, _, err := benchfmt.Parse(strings.NewReader(report))
+	if err != nil {
+		return fmt.Errorf("speed output failed benchfmt parse: %w", err)
+	}
+	if len(parsed) != len(results) {
+		return fmt.Errorf("speed output round-trip lost results: %d written, %d parsed", len(results), len(parsed))
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(report), 0o644); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		bf := bench.NewBenchFile(sc, jobs, results, time.Now())
+		raw, err := bf.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	if baselinePath != "" {
+		bf, err := bench.LoadBenchFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		table, gateErr := bench.SpeedGate(bf, sc, jobs, results)
+		if table != "" {
+			fmt.Print(table)
+		}
+		if gateErr != nil {
+			return errors.New(gateErr.Error())
+		}
+	}
+	return nil
 }

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gobolt/bolt"
@@ -69,7 +71,35 @@ func run() error {
 	printCFG := flag.String("print-cfg", "", "print the CFG of the named function and exit")
 	printPipeline := flag.Bool("print-pipeline", false, "print the pass pipeline (Table 1) and exit")
 	updateDebug := flag.Bool("update-debug-sections", true, "rewrite .debug_line for moved code")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gobolt: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gobolt: memprofile:", err)
+			}
+		}()
+	}
 
 	opts := core.DefaultOptions()
 	opts.ReorderBlocks = layout.Algorithm(*reorderBlocks)

@@ -36,6 +36,7 @@ type item struct {
 	// kindReloc
 	relType uint32
 	sym     string
+	symID   uint64
 	addend  int64
 	// kindAlign
 	align int
@@ -49,12 +50,22 @@ type item struct {
 
 // Assembler accumulates instructions and produces machine code.
 type Assembler struct {
-	items  []item
-	labels []int // label -> item index (position *before* that item)
+	items     []item
+	labels    []int    // label -> item index (position *before* that item)
+	labelOffs []uint32 // Finish's reusable label-offset scratch
 }
 
 // New returns an empty assembler.
 func New() *Assembler { return &Assembler{} }
+
+// Reset clears the assembler for reuse, keeping its backing storage.
+// Hot callers (gobolt's emitter) hold one assembler per worker and Reset
+// it between functions, so steady-state assembly allocates only the
+// returned code and relocation slices.
+func (a *Assembler) Reset() {
+	a.items = a.items[:0]
+	a.labels = a.labels[:0]
+}
 
 // NewLabel allocates an unbound label.
 func (a *Assembler) NewLabel() Label {
@@ -84,6 +95,13 @@ func (a *Assembler) EmitReloc(i isa.Inst, relType uint32, sym string, addend int
 	a.items = append(a.items, item{kind: kindReloc, inst: i, relType: relType, sym: sym, addend: addend})
 }
 
+// EmitRelocID is EmitReloc with a packed numeric symbol instead of a
+// name (obj.Reloc.SymID); gobolt's emitter uses it to keep the hot
+// emission path free of per-relocation string building.
+func (a *Assembler) EmitRelocID(i isa.Inst, relType uint32, symID uint64, addend int64) {
+	a.items = append(a.items, item{kind: kindReloc, inst: i, relType: relType, symID: symID, addend: addend})
+}
+
 // Align pads with NOPs to the given power-of-two boundary.
 func (a *Assembler) Align(n int) {
 	a.items = append(a.items, item{kind: kindAlign, align: n})
@@ -94,7 +112,10 @@ func (a *Assembler) EmitBytes(b []byte) {
 	a.items = append(a.items, item{kind: kindBytes, raw: b})
 }
 
-// Result is the assembled function body.
+// Result is the assembled function body. Code and Relocs are freshly
+// allocated at their exact final size and safe to retain; LabelOffs
+// aliases assembler-owned scratch and is only valid until the next
+// Finish or Reset on the same assembler.
 type Result struct {
 	Code      []byte
 	LabelOffs []uint32 // label -> byte offset within Code
@@ -106,10 +127,14 @@ type Result struct {
 // branch whose displacement does not fit is widened to rel32 and layout is
 // recomputed, until a fixpoint (widening is monotone, so this terminates).
 func (a *Assembler) Finish(base uint64) (*Result, error) {
-	if len(a.items) == 0 {
-		return &Result{}, nil
+	if cap(a.labelOffs) < len(a.labels) {
+		a.labelOffs = make([]uint32, len(a.labels))
 	}
-	labelOffs := make([]uint32, len(a.labels))
+	labelOffs := a.labelOffs[:len(a.labels)]
+	clear(labelOffs)
+	if len(a.items) == 0 {
+		return &Result{LabelOffs: labelOffs}, nil
+	}
 
 	computeLayout := func() {
 		off := uint32(0)
@@ -179,9 +204,20 @@ func (a *Assembler) Finish(base uint64) (*Result, error) {
 		}
 	}
 
-	// Encode.
+	// Encode into exactly-sized buffers: total code length is fixed by
+	// the converged layout, and the relocation count by the item stream.
 	res := &Result{LabelOffs: labelOffs}
-	var code []byte
+	last := &a.items[len(a.items)-1]
+	code := make([]byte, 0, last.off+last.size)
+	nRel := 0
+	for idx := range a.items {
+		if a.items[idx].kind == kindReloc {
+			nRel++
+		}
+	}
+	if nRel > 0 {
+		res.Relocs = make([]obj.Reloc, 0, nRel)
+	}
 	for idx := range a.items {
 		it := &a.items[idx]
 		if uint32(len(code)) != it.off {
@@ -203,6 +239,7 @@ func (a *Assembler) Finish(base uint64) (*Result, error) {
 					Off:    uint32(len(code) - 4),
 					Type:   it.relType,
 					Sym:    it.sym,
+					SymID:  it.symID,
 					Addend: it.addend,
 				})
 			}

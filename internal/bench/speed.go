@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"gobolt/bolt"
+	"gobolt/internal/benchfmt"
+	"gobolt/internal/core"
+	"gobolt/internal/passes"
+	"gobolt/internal/perf"
+	"gobolt/internal/workload"
+)
+
+// Speed is the optimizer-performance experiment: where every other
+// experiment measures the *optimized binary*, this one measures the
+// *optimizer itself* (the paper's §6.1 processing-time claim). It builds
+// the clang workload, records a training profile, and then times the
+// pipeline's hot phases — the parallel loader (disassembly+CFG), the
+// emitter (code generation + layout + patching), and the full
+// load→passes→emit pipeline — reporting ns/op, B/op, and allocs/op per
+// phase in Go benchfmt, so two runs can be compared with benchstat (or
+// the built-in gate, see SpeedGate). The per-phase benches drive core
+// directly: isolating one phase is exactly what the staged public API
+// hides on purpose, and measurement is the one caller with a legitimate
+// need to bypass it.
+//
+// Results are deterministic per (scale, jobs) for jobs=1 — allocation
+// counts are exact mallocgc counters and the pipeline allocates
+// identically every iteration — which is what makes the CI allocs/op
+// regression gate possible.
+func Speed(scale Scale, jobs int) ([]benchfmt.Result, string, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	spec := scale.apply(workload.Clang())
+	mode := perf.DefaultMode()
+	f, _, err := Build(spec, CfgBaseline, mode)
+	if err != nil {
+		return nil, "", err
+	}
+	fd, _, err := perf.RecordFile(f, mode, 0)
+	if err != nil {
+		return nil, "", err
+	}
+	cx := context.Background()
+	opts := boltOptions()
+	opts.Jobs = jobs
+
+	var results []benchfmt.Result
+	bench := func(phase string, fn func() error) error {
+		r, err := measurePhase(fmt.Sprintf("BenchmarkSpeed/%s/%s/jobs=%d", phase, spec.Name, jobs), fn)
+		if err != nil {
+			return fmt.Errorf("speed: %s: %w", phase, err)
+		}
+		results = append(results, r)
+		return nil
+	}
+
+	// load: the front half of the pipeline — function discovery plus the
+	// parallel disassembly+CFG phase.
+	if err := bench("load", func() error {
+		_, err := core.NewContext(cx, f, opts)
+		return err
+	}); err != nil {
+		return nil, "", err
+	}
+
+	// emit: code generation + layout + patching on an already-optimized
+	// context. The context is prepared once; Rewrite is repeatable (the
+	// only CFG mutation it persists, JCC inversion, reaches a fixpoint on
+	// the first run, which the warmup iteration absorbs).
+	ectx, err := core.NewContext(cx, f, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := ectx.ApplyProfile(cx, fd); err != nil {
+		return nil, "", err
+	}
+	if err := core.NewPassManager(jobs).Run(cx, ectx, passes.BuildPipeline(opts)); err != nil {
+		return nil, "", err
+	}
+	if err := bench("emit", func() error {
+		_, err := ectx.Rewrite(cx)
+		return err
+	}); err != nil {
+		return nil, "", err
+	}
+
+	// pipeline: the end-to-end session (open → profile → optimize), the
+	// number a data-center deployment loop actually pays per binary.
+	if err := bench("pipeline", func() error {
+		sess, err := bolt.OpenELF(f, bolt.WithOptions(opts))
+		if err != nil {
+			return err
+		}
+		if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+			return err
+		}
+		_, err = sess.Optimize(cx)
+		return err
+	}); err != nil {
+		return nil, "", err
+	}
+
+	var sb strings.Builder
+	writeSpeedReport(&sb, results)
+	return results, sb.String(), nil
+}
+
+// writeSpeedReport renders header + benchmark lines as benchfmt text.
+func writeSpeedReport(sb *strings.Builder, results []benchfmt.Result) {
+	benchfmt.WriteHeader(sb, [][2]string{
+		{"goos", runtime.GOOS},
+		{"goarch", runtime.GOARCH},
+		{"pkg", "gobolt/internal/bench"},
+		{"cpu-count", fmt.Sprintf("%d", runtime.NumCPU())},
+	})
+	for _, r := range results {
+		benchfmt.WriteResult(sb, r)
+	}
+}
+
+// speedTargetTime bounds how long measurePhase spends per phase; the
+// iteration count adapts to it the way `go test -bench` adapts to
+// -benchtime.
+const speedTargetTime = 2 * time.Second
+
+// measurePhase runs fn once as warmup (absorbing lazy initialization and
+// one-time CFG fixups), picks an iteration count from the warmup
+// duration, and measures wall time and heap allocation deltas around the
+// timed iterations. Allocation counters come from runtime.MemStats —
+// exact mallocgc counts, not sampled — so B/op and allocs/op are stable
+// run to run.
+func measurePhase(name string, fn func() error) (benchfmt.Result, error) {
+	warmStart := time.Now()
+	if err := fn(); err != nil {
+		return benchfmt.Result{}, err
+	}
+	warm := time.Since(warmStart)
+
+	iters := int64(1)
+	if warm > 0 {
+		iters = int64(speedTargetTime / warm)
+	}
+	if iters < 2 {
+		iters = 2
+	}
+	if iters > 100 {
+		iters = 100
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := int64(0); i < iters; i++ {
+		if err := fn(); err != nil {
+			return benchfmt.Result{}, err
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return benchfmt.Result{
+		// The "-N" suffix is the GOMAXPROCS convention benchstat strips
+		// when matching names across files.
+		Name:  fmt.Sprintf("%s-%d", name, runtime.GOMAXPROCS(0)),
+		Iters: iters,
+		Metrics: map[string]float64{
+			"ns/op":     float64(wall.Nanoseconds()) / float64(iters),
+			"B/op":      float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+			"allocs/op": float64(after.Mallocs-before.Mallocs) / float64(iters),
+		},
+	}, nil
+}
+
+// BenchFile is the schema of the committed BENCH_*.json perf-trajectory
+// records. Gate carries the CI regression baseline: results recorded at
+// the exact (scale, jobs) the bench-smoke job runs, plus the benchmark
+// and threshold the gate enforces. Local carries full-scale numbers from
+// the documented multi-core protocol (informational). Comparison records
+// the old-vs-new deltas measured when the PR landed.
+type BenchFile struct {
+	Issue int    `json:"issue"`
+	Date  string `json:"date"`
+	Host  struct {
+		GOOS   string `json:"goos"`
+		GOARCH string `json:"goarch"`
+		CPUs   int    `json:"cpus"`
+	} `json:"host"`
+	Gate struct {
+		Experiment   string            `json:"experiment"`
+		Scale        float64           `json:"scale"`
+		Jobs         int               `json:"jobs"`
+		Benchmark    string            `json:"benchmark"`
+		Unit         string            `json:"unit"`
+		ThresholdPct float64           `json:"threshold_pct"`
+		Results      []benchfmt.Result `json:"results"`
+	} `json:"gate"`
+	Local      []benchfmt.Result `json:"local,omitempty"`
+	Comparison []benchfmt.Delta  `json:"comparison,omitempty"`
+	Notes      string            `json:"notes,omitempty"`
+}
+
+// NewBenchFile builds a gate-baseline skeleton from a fresh speed run:
+// the gate is pinned to the run's (scale, jobs) and to the emission
+// benchmark's allocs/op at a 10% threshold — the number that is exact
+// and reproducible at jobs=1 (see Speed). Edit Issue/Local/Comparison/
+// Notes by hand before committing.
+func NewBenchFile(scale Scale, jobs int, results []benchfmt.Result, now time.Time) *BenchFile {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	bf := &BenchFile{Date: now.UTC().Format("2006-01-02")}
+	bf.Host.GOOS = runtime.GOOS
+	bf.Host.GOARCH = runtime.GOARCH
+	bf.Host.CPUs = runtime.NumCPU()
+	bf.Gate.Experiment = "speed"
+	bf.Gate.Scale = float64(scale)
+	bf.Gate.Jobs = jobs
+	bf.Gate.Unit = "allocs/op"
+	bf.Gate.ThresholdPct = 10
+	bf.Gate.Results = results
+	for _, r := range results {
+		if strings.Contains(r.Name, "/emit/") {
+			bf.Gate.Benchmark = benchfmt.BaseName(r.Name)
+		}
+	}
+	return bf
+}
+
+// Marshal renders the record as indented JSON ready to commit.
+func (bf *BenchFile) Marshal() ([]byte, error) {
+	raw, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// LoadBenchFile reads a committed BENCH_*.json record.
+func LoadBenchFile(path string) (*BenchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// SpeedGate compares a fresh speed run against the baseline committed in
+// a BENCH_*.json file and fails if the gated benchmark's gated unit
+// regressed beyond the recorded threshold. The run must have been taken
+// at the baseline's (scale, jobs) — allocs/op scales with the workload,
+// so cross-scale comparisons are meaningless and rejected outright.
+func SpeedGate(bf *BenchFile, scale Scale, jobs int, results []benchfmt.Result) (string, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if float64(scale) != bf.Gate.Scale || jobs != bf.Gate.Jobs {
+		return "", fmt.Errorf("bench: speed gate baseline was recorded at scale=%g jobs=%d, this run used scale=%g jobs=%d; rerun with the baseline's parameters",
+			bf.Gate.Scale, bf.Gate.Jobs, float64(scale), jobs)
+	}
+	deltas := benchfmt.Compare(bf.Gate.Results, results, bf.Gate.Unit)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "speed gate (%s, threshold +%.0f%%) vs baseline:\n", bf.Gate.Unit, bf.Gate.ThresholdPct)
+	sb.WriteString(benchfmt.FormatDeltas(deltas))
+	var gated *benchfmt.Delta
+	for i := range deltas {
+		if deltas[i].Name == bf.Gate.Benchmark {
+			gated = &deltas[i]
+		}
+	}
+	if gated == nil {
+		return sb.String(), fmt.Errorf("bench: gated benchmark %q missing from this run", bf.Gate.Benchmark)
+	}
+	if gated.Pct > bf.Gate.ThresholdPct {
+		return sb.String(), fmt.Errorf("bench: %s %s regressed %.2f%% (%.0f -> %.0f), over the +%.0f%% gate",
+			gated.Name, gated.Unit, gated.Pct, gated.Old, gated.New, bf.Gate.ThresholdPct)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"gobolt/internal/benchfmt"
+)
+
+// speedScale shrinks the speed experiment's workload for CI; raise it
+// locally (go test -run Speed -speed-scale 0.25) for more realistic
+// phase times.
+var speedScale = flag.Float64("speed-scale", 0.02, "workload scale for TestSpeedExperiment")
+
+// TestSpeedExperiment exercises the optimizer-speed experiment end to
+// end at a tiny scale: all three phases measured, output parseable as Go
+// benchfmt, and the regression gate self-consistent (a run never fails
+// its own baseline).
+func TestSpeedExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speed experiment times full pipeline phases; skipped in -short")
+	}
+	scale := Scale(*speedScale)
+	results, report, err := Speed(scale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3 (load/emit/pipeline): %+v", len(results), results)
+	}
+	for _, phase := range []string{"/load/", "/emit/", "/pipeline/"} {
+		found := false
+		for _, r := range results {
+			if strings.Contains(r.Name, phase) {
+				found = true
+				for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+					if r.Metrics[unit] <= 0 {
+						t.Errorf("%s: non-positive %s: %v", r.Name, unit, r.Metrics[unit])
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no %s result in %q", phase, report)
+		}
+	}
+
+	// The report is the CI artifact: it must round-trip through the
+	// benchfmt parser with nothing lost.
+	parsed, cfg, err := benchfmt.Parse(strings.NewReader(report))
+	if err != nil {
+		t.Fatalf("report does not parse as benchfmt: %v\n%s", err, report)
+	}
+	if len(parsed) != len(results) {
+		t.Fatalf("parse round-trip lost results: %d -> %d", len(results), len(parsed))
+	}
+	if cfg["pkg"] != "gobolt/internal/bench" {
+		t.Errorf("report header lost config lines: %v", cfg)
+	}
+
+	// Gate self-consistency: a baseline built from this very run must
+	// pass, and must refuse a run at mismatched parameters.
+	bf := NewBenchFile(scale, 1, results, time.Unix(0, 0))
+	if bf.Gate.Benchmark == "" {
+		t.Fatal("NewBenchFile found no emission benchmark to gate on")
+	}
+	if _, err := SpeedGate(bf, scale, 1, results); err != nil {
+		t.Errorf("self-gate failed: %v", err)
+	}
+	if _, err := SpeedGate(bf, scale/2, 1, results); err == nil {
+		t.Error("gate accepted a run at the wrong scale")
+	}
+	if _, err := SpeedGate(bf, scale, 4, results); err == nil {
+		t.Error("gate accepted a run at the wrong jobs count")
+	}
+}

@@ -1,0 +1,196 @@
+// Package benchfmt reads and writes the Go benchmark text format
+// (https://golang.org/design/14313-benchmark-format), the interchange
+// format understood by benchstat and the rest of golang.org/x/perf.
+// The toolchain ships its own minimal implementation so the speed
+// experiment and its CI regression gate run without network access or
+// external dependencies; the emitted text is still byte-compatible with
+// `benchstat old.txt new.txt`.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: a name, an iteration count, and a set of
+// (value, unit) measurements such as "ns/op", "B/op", "allocs/op".
+type Result struct {
+	Name  string
+	Iters int64
+	// Metrics maps unit -> value in benchmark-line order. Units follow
+	// the testing package's spelling ("ns/op", "B/op", "allocs/op").
+	Metrics map[string]float64
+}
+
+// Metric returns the value for a unit.
+func (r Result) Metric(unit string) (float64, bool) {
+	v, ok := r.Metrics[unit]
+	return v, ok
+}
+
+// canonicalUnits orders the well-known units the way `go test -bench`
+// prints them; anything else sorts alphabetically after.
+var canonicalUnits = map[string]int{"ns/op": 0, "B/op": 1, "allocs/op": 2, "MB/s": 3}
+
+func unitLess(a, b string) bool {
+	ia, oka := canonicalUnits[a]
+	ib, okb := canonicalUnits[b]
+	switch {
+	case oka && okb:
+		return ia < ib
+	case oka:
+		return true
+	case okb:
+		return false
+	}
+	return a < b
+}
+
+// WriteHeader emits benchfmt configuration lines ("key: value"). Keys
+// must be lowercase per the format spec (e.g. "goos", "goarch", "pkg").
+func WriteHeader(w io.Writer, keys [][2]string) error {
+	for _, kv := range keys {
+		if _, err := fmt.Fprintf(w, "%s: %s\n", kv[0], kv[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteResult emits one benchmark line. The name must begin with
+// "Benchmark" for benchstat to pick it up; formatValue keeps the numeric
+// rendering close to the testing package's (integral values print without
+// a decimal point).
+func WriteResult(w io.Writer, r Result) error {
+	if !strings.HasPrefix(r.Name, "Benchmark") {
+		return fmt.Errorf("benchfmt: name %q does not start with Benchmark", r.Name)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\t%8d", r.Name, r.Iters)
+	units := make([]string, 0, len(r.Metrics))
+	for u := range r.Metrics {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return unitLess(units[i], units[j]) })
+	for _, u := range units {
+		fmt.Fprintf(&sb, "\t%s %s", formatValue(r.Metrics[u]), u)
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// Parse reads benchfmt text: configuration lines are collected into the
+// returned header map, benchmark lines into Results (in input order).
+// Unparseable benchmark lines are an error — the CI gate uses Parse as
+// the "output is valid benchfmt" check.
+func Parse(r io.Reader) ([]Result, map[string]string, error) {
+	var out []Result
+	header := map[string]string{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			// Configuration line: "key: value" with a lowercase key.
+			if i := strings.Index(line, ": "); i > 0 && line[:i] == strings.ToLower(line[:i]) && !strings.ContainsAny(line[:i], " \t") {
+				header[line[:i]] = strings.TrimSpace(line[i+2:])
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields)%2 != 0 {
+			return nil, nil, fmt.Errorf("benchfmt: malformed benchmark line %q", line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("benchfmt: bad iteration count in %q: %w", line, err)
+		}
+		res := Result{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("benchfmt: bad value in %q: %w", line, err)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return out, header, nil
+}
+
+// BaseName strips the trailing "-N" GOMAXPROCS suffix benchstat ignores
+// when matching benchmarks across files.
+func BaseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Delta is one old-vs-new comparison for a single benchmark and unit.
+type Delta struct {
+	Name     string
+	Unit     string
+	Old, New float64
+	// Pct is the relative change in percent: negative = improvement for
+	// lower-is-better units (all the units the gate uses).
+	Pct float64
+}
+
+// Compare matches benchmarks by base name (GOMAXPROCS suffix stripped)
+// and reports the relative change for the given unit, in old-file order.
+// Benchmarks present on only one side are skipped, like benchstat.
+func Compare(old, new []Result, unit string) []Delta {
+	newBy := make(map[string]Result, len(new))
+	for _, r := range new {
+		newBy[BaseName(r.Name)] = r
+	}
+	var out []Delta
+	for _, o := range old {
+		n, ok := newBy[BaseName(o.Name)]
+		if !ok {
+			continue
+		}
+		ov, ok1 := o.Metric(unit)
+		nv, ok2 := n.Metric(unit)
+		if !ok1 || !ok2 {
+			continue
+		}
+		d := Delta{Name: BaseName(o.Name), Unit: unit, Old: ov, New: nv}
+		if ov != 0 {
+			d.Pct = 100 * (nv - ov) / ov
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// FormatDeltas renders a compact benchstat-like table for a set of
+// comparisons.
+func FormatDeltas(deltas []Delta) string {
+	var sb strings.Builder
+	for _, d := range deltas {
+		fmt.Fprintf(&sb, "  %-40s %14s -> %14s  %+7.2f%%  (%s)\n",
+			d.Name, formatValue(d.Old), formatValue(d.New), d.Pct, d.Unit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteHeader(&sb, [][2]string{{"goos", "linux"}, {"goarch", "amd64"}, {"pkg", "gobolt/internal/bench"}}); err != nil {
+		t.Fatal(err)
+	}
+	in := []Result{
+		{Name: "BenchmarkSpeed/load/clang-8", Iters: 10,
+			Metrics: map[string]float64{"ns/op": 123456.5, "B/op": 4096, "allocs/op": 42}},
+		{Name: "BenchmarkSpeed/emit/clang-8", Iters: 25,
+			Metrics: map[string]float64{"ns/op": 999, "B/op": 17, "allocs/op": 3}},
+	}
+	for _, r := range in {
+		if err := WriteResult(&sb, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, header, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v\ninput:\n%s", err, sb.String())
+	}
+	if header["goos"] != "linux" || header["pkg"] != "gobolt/internal/bench" {
+		t.Errorf("header mismatch: %v", header)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d results, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i].Name != in[i].Name || got[i].Iters != in[i].Iters {
+			t.Errorf("result %d: got %+v want %+v", i, got[i], in[i])
+		}
+		for unit, v := range in[i].Metrics {
+			if gv, ok := got[i].Metric(unit); !ok || gv != v {
+				t.Errorf("result %d unit %s: got %v want %v", i, unit, gv, v)
+			}
+		}
+	}
+}
+
+func TestWriteResultRejectsBadName(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteResult(&sb, Result{Name: "Speed/x", Iters: 1}); err == nil {
+		t.Fatal("expected error for name without Benchmark prefix")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX\t10\t55", // odd value/unit pairing
+		"BenchmarkX\tnope\t55 ns/op",
+		"BenchmarkX\t10\tfast ns/op",
+	} {
+		if _, _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	for _, tc := range [][2]string{
+		{"BenchmarkSpeed/emit/clang-8", "BenchmarkSpeed/emit/clang"},
+		{"BenchmarkSpeed/emit/clang", "BenchmarkSpeed/emit/clang"},
+		{"BenchmarkA-b", "BenchmarkA-b"},
+	} {
+		if got := BaseName(tc[0]); got != tc[1] {
+			t.Errorf("BaseName(%q) = %q, want %q", tc[0], got, tc[1])
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := []Result{{Name: "BenchmarkSpeed/emit/clang-1", Iters: 1, Metrics: map[string]float64{"allocs/op": 100}}}
+	new := []Result{{Name: "BenchmarkSpeed/emit/clang-8", Iters: 1, Metrics: map[string]float64{"allocs/op": 60}}}
+	d := Compare(old, new, "allocs/op")
+	if len(d) != 1 || d[0].Pct != -40 || d[0].Name != "BenchmarkSpeed/emit/clang" {
+		t.Fatalf("unexpected deltas: %+v", d)
+	}
+	// Missing on one side -> skipped.
+	if d := Compare(old, nil, "allocs/op"); len(d) != 0 {
+		t.Fatalf("expected no deltas, got %+v", d)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// Microbenchmarks for the pipeline's hot phases, over the same linked
+// fixture the loader tests use. Run with -benchmem; compare runs with
+// benchstat. The end-to-end clang-workload numbers live in boltbench
+// (-experiment speed); these isolate the core phases for profiling
+// tight loops (go test -run=- -bench=. -cpuprofile/-memprofile).
+
+// BenchmarkLoad measures discovery + parallel disassembly + CFG
+// construction (NewContext end to end).
+func BenchmarkLoad(b *testing.B) {
+	f := buildLoaderFile(b, 64)
+	opts := DefaultOptions()
+	opts.Jobs = 1
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, err := NewContext(context.Background(), f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmitFunctions measures pure code generation: every simple
+// function assembled through one worker scratch, no layout or patching.
+func BenchmarkEmitFunctions(b *testing.B) {
+	ctx := loadSlabCtx(b, 1)
+	simple := ctx.SimpleFuncs()
+	var sc emitScratch
+	b.ReportAllocs()
+	for b.Loop() {
+		for _, fn := range simple {
+			if _, err := ctx.emitFunction(fn, &sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRewrite measures the back half of the pipeline: emission plus
+// layout, relocation patching, and metadata regeneration (Rewrite is
+// repeatable on a loaded context; its only CFG mutation, JCC inversion,
+// reaches a fixpoint on the first iteration).
+func BenchmarkRewrite(b *testing.B) {
+	ctx := loadSlabCtx(b, 1)
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, err := ctx.Rewrite(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

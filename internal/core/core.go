@@ -22,6 +22,7 @@ import (
 	"gobolt/internal/dbg"
 	"gobolt/internal/elfx"
 	"gobolt/internal/hfsort"
+	"gobolt/internal/intern"
 	"gobolt/internal/isa"
 	"gobolt/internal/layout"
 )
@@ -313,6 +314,12 @@ type BinaryFunction struct {
 	OutAddr, OutSize   uint64
 	ColdAddr, ColdSize uint64
 
+	// ordIdx is this function's index in BinaryContext.Funcs (assigned
+	// once after discovery sorts the list). Emission packs it into
+	// numeric relocation symbols and the rewriter uses it to index
+	// per-function side tables without map lookups.
+	ordIdx int
+
 	jtPending map[int]*pendingJT
 	instIndex map[uint64]instRef
 	// keyBuf is InternState's reusable key-encoding scratch. Safe because
@@ -329,9 +336,14 @@ type instRef struct {
 // CFG (block reordering, splitting, splicing).
 func (f *BinaryFunction) RebuildIndex() { f.buildInstIndex() }
 
-// buildInstIndex (re)builds the address -> instruction lookup table.
+// buildInstIndex (re)builds the address -> instruction lookup table,
+// sized up front so the map never rehashes while filling.
 func (f *BinaryFunction) buildInstIndex() {
-	f.instIndex = make(map[uint64]instRef)
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Insts)
+	}
+	f.instIndex = make(map[uint64]instRef, n)
 	for _, b := range f.Blocks {
 		for i := range b.Insts {
 			if b.Insts[i].Addr != 0 {
@@ -402,9 +414,15 @@ func appendStateKey(buf []byte, st cfi.State) []byte {
 }
 
 func cloneState(st cfi.State) cfi.State {
-	m := make(map[uint8]int32, len(st.Saved))
-	for k, v := range st.Saved {
-		m[k] = v
+	// A nil Saved map for the (common) no-saved-registers state: readers
+	// only range over or look up in it, and the replay state the clone
+	// detaches from is mutated through its own map, never this one.
+	var m map[uint8]int32
+	if len(st.Saved) > 0 {
+		m = make(map[uint8]int32, len(st.Saved))
+		for k, v := range st.Saved {
+			m[k] = v
+		}
 	}
 	return cfi.State{CfaReg: st.CfaReg, CfaOff: st.CfaOff, Saved: m}
 }
@@ -448,6 +466,12 @@ func (f *BinaryFunction) InstAt(addr uint64) (*BasicBlock, *Inst) {
 type BinaryContext struct {
 	File *elfx.File
 	Opts Options
+
+	// Strings interns the repeated strings the loader attaches to
+	// instructions (source files, call-target symbols) so each distinct
+	// value is stored once per context and comparisons can rely on
+	// identity. Safe for concurrent use by the parallel phases.
+	Strings intern.Table
 
 	Funcs  []*BinaryFunction
 	ByName map[string]*BinaryFunction

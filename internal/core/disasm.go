@@ -9,6 +9,7 @@ import (
 	"gobolt/internal/cfi"
 	"gobolt/internal/dbg"
 	"gobolt/internal/elfx"
+	"gobolt/internal/intern"
 	"gobolt/internal/isa"
 )
 
@@ -107,14 +108,20 @@ func NewContext(cx context.Context, f *elfx.File, opts Options) (*BinaryContext,
 			Addr:    sym.Value,
 			Size:    sym.Size,
 			Section: sec.Name,
-			Bytes:   append([]byte(nil), bytes...),
-			Simple:  true,
+			// Bytes aliases the mapped section data. Safe: disassembly
+			// only reads it, and rewriting emits into fresh output
+			// buffers — nothing writes a function body in place.
+			Bytes:  bytes,
+			Simple: true,
 		}
 		ctx.Funcs = append(ctx.Funcs, fn)
 		ctx.ByName[sym.Name] = fn
 		ctx.byAddr[sym.Value] = fn
 	}
 	sort.Slice(ctx.Funcs, func(i, j int) bool { return ctx.Funcs[i].Addr < ctx.Funcs[j].Addr })
+	for i, fn := range ctx.Funcs {
+		fn.ordIdx = i
+	}
 	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
 		Name: "load:discover", Wall: time.Since(discoverStart), Jobs: 1,
 	})
@@ -125,18 +132,15 @@ func NewContext(cx context.Context, f *elfx.File, opts Options) (*BinaryContext,
 	// was handed.
 	loadStart := time.Now()
 	jobs := effectiveJobs(opts.Jobs, len(ctx.Funcs))
-	shards := make([]map[string]int64, jobs)
-	for w := range shards {
-		shards[w] = map[string]int64{}
-	}
+	scratch := make([]loaderScratch, jobs)
 	if _, err := parallelFor(cx, len(ctx.Funcs), jobs, func(w, i int) error {
-		ctx.loadFunction(ctx.Funcs[i], shards[w])
+		ctx.loadFunction(ctx.Funcs[i], &scratch[w])
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	for _, s := range shards {
-		ctx.mergeStats(s)
+	for w := range scratch {
+		ctx.mergeStats(scratch[w].stats)
 	}
 	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
 		Name: "load:disasm+cfg", Wall: time.Since(loadStart),
@@ -146,26 +150,58 @@ func NewContext(cx context.Context, f *elfx.File, opts Options) (*BinaryContext,
 	return ctx, nil
 }
 
+// loaderScratch is one worker's reusable state for the parallel loader.
+// Everything in it is cleared — not reallocated — between functions, so
+// steady-state loading only allocates the per-function slabs that
+// survive in the context. A scratch is owned by exactly one worker.
+type loaderScratch struct {
+	raw     []rawInst
+	leaders map[uint64]bool
+	blockAt map[uint64]*BasicBlock
+	jtSeen  map[*BasicBlock]bool
+	lpSeen  map[blockPair]bool
+	edges   []edgeRef
+	succN   []int32
+	predN   []int32
+	stats   map[string]int64
+}
+
+// edgeRef is one CFG edge held in scratch while buildCFG counts edge
+// storage; blockPair keys the landing-pad dedup set.
+type edgeRef struct{ from, to *BasicBlock }
+type blockPair struct{ from, to int }
+
+func (sc *loaderScratch) init() {
+	if sc.stats == nil {
+		sc.stats = map[string]int64{}
+		sc.leaders = map[uint64]bool{}
+		sc.blockAt = map[uint64]*BasicBlock{}
+		sc.jtSeen = map[*BasicBlock]bool{}
+		sc.lpSeen = map[blockPair]bool{}
+	}
+}
+
 // loadFunction is the per-function half of the loader: linear
 // disassembly, CFG construction, and CFI/LSDA attachment. Failures mark
 // the function non-simple rather than fatal: precise disassembly is
 // undecidable in general (§3.3). It writes only fn-local state and the
-// caller's private stats shard.
-func (ctx *BinaryContext) loadFunction(fn *BinaryFunction, stats map[string]int64) {
-	if err := ctx.disassemble(fn); err != nil {
+// caller's private scratch.
+func (ctx *BinaryContext) loadFunction(fn *BinaryFunction, sc *loaderScratch) {
+	sc.init()
+	if err := ctx.disassemble(fn, sc); err != nil {
 		fn.Simple = false
 		fn.Reason = err.Error()
 	}
 	if fn.Simple {
-		ctx.buildCFG(fn)
+		ctx.buildCFG(fn, sc)
 		ctx.attachCFI(fn)
-		ctx.attachLSDA(fn)
+		ctx.attachLSDA(fn, sc)
 	}
 	if fn.Simple {
-		stats["load-simple"]++
-		stats["load-blocks"] += int64(len(fn.Blocks))
+		sc.stats["load-simple"]++
+		sc.stats["load-blocks"] += int64(len(fn.Blocks))
 	} else {
-		stats["load-non-simple"]++
+		sc.stats["load-non-simple"]++
 	}
 }
 
@@ -201,23 +237,30 @@ type rawInst struct {
 
 // disassemble linearly decodes the function and performs target analysis:
 // internal branch targets become leaders; indirect jumps must match a
-// jump-table pattern or the function is non-simple.
-func (ctx *BinaryContext) disassemble(fn *BinaryFunction) error {
-	var raw []rawInst
+// jump-table pattern or the function is non-simple. The decoded
+// instruction list and the leader set live in the worker's scratch;
+// block and instruction storage is slab-allocated exactly once from the
+// counts the scratch makes available.
+func (ctx *BinaryContext) disassemble(fn *BinaryFunction, sc *loaderScratch) error {
+	raw := sc.raw[:0]
 	off := uint64(0)
 	for off < fn.Size {
 		inst, n, err := isa.Decode(fn.Bytes[off:], fn.Addr+off)
 		if err != nil {
+			sc.raw = raw
 			return fmt.Errorf("undecodable at +%#x: %w", off, err)
 		}
 		raw = append(raw, rawInst{inst: inst, addr: fn.Addr + off, size: uint8(n)})
 		off += uint64(n)
 	}
+	sc.raw = raw
 
 	inside := func(a uint64) bool { return a >= fn.Addr && a < fn.Addr+fn.Size }
 
-	leaders := map[uint64]bool{fn.Addr: true}
-	jts := map[int]*pendingJT{} // raw index of indirect jump -> table
+	leaders := sc.leaders
+	clear(leaders)
+	leaders[fn.Addr] = true
+	var jts map[int]*pendingJT // raw index of indirect jump -> table (lazy: most functions have none)
 
 	for i := range raw {
 		in := &raw[i].inst
@@ -240,6 +283,9 @@ func (ctx *BinaryContext) disassemble(fn *BinaryFunction) error {
 			if err != nil {
 				return fmt.Errorf("indirect tail call or unbounded jump table at +%#x: %w",
 					raw[i].addr-fn.Addr, err)
+			}
+			if jts == nil {
+				jts = map[int]*pendingJT{}
 			}
 			jts[i] = jt
 			for _, taddr := range jt.rawTargets {
@@ -272,15 +318,44 @@ func (ctx *BinaryContext) disassemble(fn *BinaryFunction) error {
 	}
 
 	// Form blocks (dropping NOPs per the paper's I-cache policy, §4).
-	fn.Blocks = nil
+	// Block and instruction counts are known from the leader set, so both
+	// are slab-allocated exactly once: one backing array of BasicBlocks
+	// and one of Insts per function, instead of an incremental append per
+	// block and per instruction.
+	nBlocks, nInsts := 0, 0
+	for i := range raw {
+		if i == 0 || leaders[raw[i].addr] {
+			nBlocks++
+		}
+		if raw[i].inst.Op != isa.NOP {
+			nInsts++
+		}
+	}
+	blockSlab := make([]BasicBlock, nBlocks)
+	instSlab := make([]Inst, 0, nInsts)
+	fn.Blocks = make([]*BasicBlock, 0, nBlocks)
 	var cur *BasicBlock
+	curStart := 0
+	// seal fixes the finished block's window into the instruction slab.
+	// The three-index slice caps it at its own length: a pass appending
+	// to b.Insts reallocates onto a fresh array instead of clobbering
+	// the next block's slab storage.
+	seal := func() {
+		if cur != nil {
+			cur.Insts = instSlab[curStart:len(instSlab):len(instSlab)]
+		}
+	}
 	newBlock := func(addr uint64) *BasicBlock {
-		b := &BasicBlock{Index: len(fn.Blocks), Addr: addr, CFIIn: -1}
-		b.Label = fmt.Sprintf(".LBB%d", b.Index)
+		seal()
+		b := &blockSlab[len(fn.Blocks)]
+		b.Index = len(fn.Blocks)
+		b.Addr = addr
+		b.CFIIn = -1
+		b.Label = intern.Label(b.Index)
 		fn.Blocks = append(fn.Blocks, b)
+		curStart = len(instSlab)
 		return b
 	}
-	rawJTByAddr := map[uint64]*JumpTable{}
 	for i := range raw {
 		r := &raw[i]
 		if leaders[r.addr] || cur == nil {
@@ -292,12 +367,11 @@ func (ctx *BinaryContext) disassemble(fn *BinaryFunction) error {
 		ci := Inst{I: r.inst, Size: r.size, Addr: r.addr, CFIIdx: -1}
 		if ctx.LineTable != nil {
 			if file, line, ok := ctx.LineTable.Lookup(r.addr); ok {
-				ci.File, ci.Line = file, int32(line)
+				ci.File, ci.Line = ctx.Strings.Intern(file), int32(line)
 			}
 		}
 		if jt, ok := jts[i]; ok {
 			ci.JT = jt.JumpTable
-			rawJTByAddr[r.addr] = jt.JumpTable
 			fn.JTs = append(fn.JTs, jt.JumpTable)
 		}
 		// Resolve RIP memory operands via decode (absolute target).
@@ -307,11 +381,12 @@ func (ctx *BinaryContext) disassemble(fn *BinaryFunction) error {
 		// Symbolize external direct targets.
 		if r.inst.Op == isa.CALL || (r.inst.IsDirectBranch() && !inside(r.inst.TargetAddr)) {
 			if g := ctx.FuncContaining(r.inst.TargetAddr); g != nil && g.Addr == r.inst.TargetAddr {
-				ci.TargetSym = g.Name
+				ci.TargetSym = ctx.Strings.Intern(g.Name)
 			}
 		}
-		cur.Insts = append(cur.Insts, ci)
+		instSlab = append(instSlab, ci)
 	}
+	seal()
 	fn.jtPending = jts
 	return nil
 }
@@ -424,26 +499,28 @@ func (ctx *BinaryContext) matchJumpTable(fn *BinaryFunction, raw []rawInst, i in
 }
 
 // buildCFG wires successor/predecessor edges and jump-table targets.
-func (ctx *BinaryContext) buildCFG(fn *BinaryFunction) {
+// Edges are collected into the worker's scratch first so the per-block
+// Succs/Preds storage can be carved out of two exactly-sized slabs (one
+// edge array, one predecessor array per function) instead of growing
+// each block's slices by append.
+func (ctx *BinaryContext) buildCFG(fn *BinaryFunction, sc *loaderScratch) {
 	if len(fn.Blocks) == 0 {
 		fn.Simple = false
 		fn.Reason = "empty function"
 		return
 	}
 	fn.Blocks[0].IsEntry = true
-	byAddr := map[uint64]*BasicBlock{}
+	byAddr := sc.blockAt
+	clear(byAddr)
 	for _, b := range fn.Blocks {
 		byAddr[b.Addr] = b
 	}
-	// addEdge tolerates a nil target: the JCC case records a nil
-	// placeholder for conditional tail calls (present in gobolt's own
-	// SCTC output, which the continuous-profiling loop re-disassembles);
-	// placeholders are filtered below.
+	// A conditional tail call (present in gobolt's own SCTC output, which
+	// the continuous-profiling loop re-disassembles) has no block
+	// successor for its taken side; it simply contributes no edge.
+	edges := sc.edges[:0]
 	addEdge := func(from *BasicBlock, to *BasicBlock) {
-		from.Succs = append(from.Succs, Edge{To: to})
-		if to != nil {
-			to.Preds = append(to.Preds, from)
-		}
+		edges = append(edges, edgeRef{from: from, to: to})
 	}
 	for bi, b := range fn.Blocks {
 		var next *BasicBlock
@@ -466,17 +543,15 @@ func (ctx *BinaryContext) buildCFG(fn *BinaryFunction) {
 		case last.I.Op == isa.JCC:
 			if to := byAddr[last.I.TargetAddr]; to != nil {
 				addEdge(b, to) // Succs[0] = taken
-			} else {
-				// Conditional tail call: no block successor for taken.
-				addEdge(b, nil)
 			}
 			if next != nil {
-				addEdge(b, next) // Succs[1] = fall-through
+				addEdge(b, next) // fall-through (Succs[1], or [0] for a cond tail call)
 			}
 		case last.JT != nil:
 			// One edge per unique target; the table keeps one slot per
 			// entry (duplicates allowed).
-			seen := map[*BasicBlock]bool{}
+			seen := sc.jtSeen
+			clear(seen)
 			for _, taddr := range jtRawTargets(fn, last.JT) {
 				to := byAddr[taddr]
 				if to != nil && !seen[to] {
@@ -495,17 +570,46 @@ func (ctx *BinaryContext) buildCFG(fn *BinaryFunction) {
 			}
 		}
 	}
-	// Fix the nil placeholder edges (conditional tail calls).
+	sc.edges = edges
+
+	// Carve Succs/Preds out of two exact-size slabs. Three-index caps
+	// mean a pass appending an edge later reallocates that block's slice
+	// instead of overwriting a neighbour's slab storage.
+	sc.succN = resetCounts(sc.succN, len(fn.Blocks))
+	sc.predN = resetCounts(sc.predN, len(fn.Blocks))
+	for _, e := range edges {
+		sc.succN[e.from.Index]++
+		sc.predN[e.to.Index]++
+	}
+	edgeSlab := make([]Edge, len(edges))
+	predSlab := make([]*BasicBlock, len(edges))
+	so, po := 0, 0
 	for _, b := range fn.Blocks {
-		out := b.Succs[:0]
-		for _, e := range b.Succs {
-			if e.To != nil {
-				out = append(out, e)
-			}
+		if n := int(sc.succN[b.Index]); n > 0 {
+			b.Succs = edgeSlab[so : so : so+n]
+			so += n
 		}
-		b.Succs = out
+		if n := int(sc.predN[b.Index]); n > 0 {
+			b.Preds = predSlab[po : po : po+n]
+			po += n
+		}
+	}
+	for _, e := range edges {
+		e.from.Succs = append(e.from.Succs, Edge{To: e.to})
+		e.to.Preds = append(e.to.Preds, e.from)
 	}
 	fn.buildInstIndex()
+}
+
+// resetCounts returns a zeroed int32 slice of length n, reusing s's
+// backing array when it is big enough.
+func resetCounts(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // jtRawTargets retrieves the pending raw target addresses recorded at
@@ -575,7 +679,10 @@ func (ctx *BinaryContext) attachCFI(fn *BinaryFunction) {
 }
 
 // attachLSDA connects calls to their landing pads and marks LP blocks.
-func (ctx *BinaryContext) attachLSDA(fn *BinaryFunction) {
+// The per-block LPs lists are deduplicated through a scratch set keyed
+// by (block, landing pad) index pair — the old linear scan per insert
+// made attachment O(n²) for functions with many landing-pad preds.
+func (ctx *BinaryContext) attachLSDA(fn *BinaryFunction, sc *loaderScratch) {
 	if !fn.HasLSDA {
 		return
 	}
@@ -589,10 +696,13 @@ func (ctx *BinaryContext) attachLSDA(fn *BinaryFunction) {
 		fn.Reason = "bad LSDA"
 		return
 	}
-	byAddr := map[uint64]*BasicBlock{}
+	byAddr := sc.blockAt
+	clear(byAddr)
 	for _, b := range fn.Blocks {
 		byAddr[b.Addr] = b
 	}
+	lpSeen := sc.lpSeen
+	clear(lpSeen)
 	for _, b := range fn.Blocks {
 		for i := range b.Insts {
 			in := &b.Insts[i]
@@ -610,18 +720,12 @@ func (ctx *BinaryContext) attachLSDA(fn *BinaryFunction) {
 				in.LP = lpb
 				in.LPAction = action
 				lpb.IsLP = true
-				b.LPs = appendUniqueBlock(b.LPs, lpb)
+				if key := (blockPair{from: b.Index, to: lpb.Index}); !lpSeen[key] {
+					lpSeen[key] = true
+					b.LPs = append(b.LPs, lpb)
+				}
 				lpb.Preds = append(lpb.Preds, b)
 			}
 		}
 	}
-}
-
-func appendUniqueBlock(s []*BasicBlock, b *BasicBlock) []*BasicBlock {
-	for _, x := range s {
-		if x == b {
-			return s
-		}
-	}
-	return append(s, b)
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strconv"
 
 	"gobolt/internal/asmx"
 	"gobolt/internal/cfi"
@@ -11,14 +10,34 @@ import (
 )
 
 // Emission relocation symbol encoding. Emitted code references targets
-// symbolically until the whole-binary layout is fixed:
+// symbolically until the whole-binary layout is fixed. A symbol is a
+// packed uint64 — top 3 bits kind, low 61 bits payload:
 //
-//	F:<name>       — function entry (new address if moved)
-//	B:<name>:<idx> — basic block <idx> of function <name>
-//	A:<hexaddr>    — absolute address (data, PLT stubs, unmoved code)
-func symFunc(name string) string         { return "F:" + name }
-func symBlock(name string, i int) string { return "B:" + name + ":" + strconv.Itoa(i) }
-func symAbs(addr uint64) string          { return "A:" + strconv.FormatUint(addr, 16) }
+//	symKindFunc:  payload = function ordinal in ctx.Funcs
+//	              (entry address, following ICF folds)
+//	symKindBlock: payload = ordinal<<24 | block index
+//	symKindAbs:   payload = absolute address (data, PLT stubs, unmoved
+//	              code; x86-64 virtual addresses fit 61 bits)
+//
+// The IDs replace the old "F:<name>"/"B:<name>:<idx>"/"A:<hex>" string
+// symbols, which allocated a string per relocation at emission and
+// re-parsed it per relocation at patch time.
+const (
+	symKindShift         = 61
+	symKindFunc   uint64 = 1
+	symKindBlock  uint64 = 2
+	symKindAbs    uint64 = 3
+	symPayload    uint64 = 1<<symKindShift - 1
+	symBlockBits         = 24
+	symBlockIdx   uint64 = 1<<symBlockBits - 1
+	maxFuncBlocks        = 1 << symBlockBits
+)
+
+func symIDFunc(ord int) uint64 { return symKindFunc<<symKindShift | uint64(ord) }
+func symIDBlock(ord, idx int) uint64 {
+	return symKindBlock<<symKindShift | uint64(ord)<<symBlockBits | uint64(idx)
+}
+func symIDAbs(addr uint64) uint64 { return symKindAbs<<symKindShift | addr }
 
 // relImmAbs32 marks an emission relocation whose 4 patched bytes hold an
 // absolute 32-bit address (ICP immediates) rather than a PC32 value.
@@ -38,11 +57,16 @@ type batAnchor struct {
 	InAddr uint64
 }
 
+// noBlockOff marks "block not in this fragment" in emittedFrag.BlockOffs.
+const noBlockOff = ^uint32(0)
+
 // emittedFrag is one assembled function fragment (hot or cold).
 type emittedFrag struct {
-	Code      []byte
-	Relocs    []obj.Reloc
-	BlockOffs map[int]uint32
+	Code   []byte
+	Relocs []obj.Reloc
+	// BlockOffs maps block Index -> code offset within the fragment
+	// (noBlockOff for blocks of the other fragment).
+	BlockOffs []uint32
 	CFI       []cfi.PCInst
 	CallSites []fragCallSite
 	Lines     []obj.LineEntry
@@ -52,11 +76,67 @@ type emittedFrag struct {
 	Anchors []batAnchor
 }
 
+// blockOff returns the fragment-relative offset of block idx.
+func (frag *emittedFrag) blockOff(idx int) (uint32, bool) {
+	if idx < 0 || idx >= len(frag.BlockOffs) || frag.BlockOffs[idx] == noBlockOff {
+		return 0, false
+	}
+	return frag.BlockOffs[idx], true
+}
+
 // emitted bundles both fragments of a function.
 type emitted struct {
 	fn   *BinaryFunction
 	Hot  *emittedFrag
 	Cold *emittedFrag // nil when not split
+}
+
+// Emission mark records: positions noted during assembly and resolved to
+// offsets once Finish fixes the layout.
+type cfiMark struct {
+	label asmx.Label
+	inst  cfi.Inst
+}
+type csMark struct {
+	start, end asmx.Label
+	lp         *BasicBlock
+	action     int32
+}
+type lineMark struct {
+	label asmx.Label
+	file  string
+	line  int32
+}
+type anchorMark struct {
+	label  asmx.Label
+	inAddr uint64
+}
+
+// emitScratch is one emission worker's reusable state: the assembler
+// (items, labels, label-offset scratch), the block label table, and the
+// four mark lists. Everything is reset — not reallocated — between
+// functions, so steady-state emission allocates only what survives in
+// the emitted fragments. A scratch is owned by exactly one worker.
+type emitScratch struct {
+	asm         asmx.Assembler
+	labels      []asmx.Label // block Index -> label; asmx.None = not in fragment
+	cfiMarks    []cfiMark
+	csMarks     []csMark
+	lineMarks   []lineMark
+	anchorMarks []anchorMark
+}
+
+// resetLabels returns a label slice of length n filled with asmx.None,
+// reusing s's backing array when it is big enough.
+func resetLabels(s []asmx.Label, n int) []asmx.Label {
+	if cap(s) < n {
+		s = make([]asmx.Label, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = asmx.None
+	}
+	return s
 }
 
 // fragmentBlocks partitions the layout into hot and cold lists.
@@ -76,22 +156,26 @@ func fragmentBlocks(fn *BinaryFunction) (hot, cold []*BasicBlock) {
 // fixup-branches responsibility), CFI is spliced by state diffing, and
 // exception call sites are collected per fragment. Everything it reads
 // and writes (including the JCC inversion persisted into the CFG) is
-// local to fn, so Rewrite safely calls it concurrently — one worker per
-// function — with all cross-function address resolution deferred to the
-// serial layout step.
-func emitFunction(fn *BinaryFunction) (*emitted, error) {
+// local to fn or to the worker-owned scratch — shared context state is
+// only read (ByName, Funcs ordinals) — so Rewrite safely calls it
+// concurrently, one worker per function, with all cross-function address
+// resolution deferred to the serial layout step.
+func (ctx *BinaryContext) emitFunction(fn *BinaryFunction, sc *emitScratch) (*emitted, error) {
+	if len(fn.Blocks) > maxFuncBlocks {
+		return nil, fmt.Errorf("core: %s: %d blocks exceeds the %d sym-ID limit", fn.Name, len(fn.Blocks), maxFuncBlocks)
+	}
 	hot, cold := fragmentBlocks(fn)
 	if len(hot) == 0 || !hot[0].IsEntry {
 		return nil, fmt.Errorf("core: %s: entry block must lead the hot fragment", fn.Name)
 	}
 	out := &emitted{fn: fn}
 	var err error
-	out.Hot, err = emitFragment(fn, hot)
+	out.Hot, err = ctx.emitFragment(fn, hot, sc)
 	if err != nil {
 		return nil, err
 	}
 	if len(cold) > 0 {
-		out.Cold, err = emitFragment(fn, cold)
+		out.Cold, err = ctx.emitFragment(fn, cold, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -99,35 +183,37 @@ func emitFunction(fn *BinaryFunction) (*emitted, error) {
 	return out, nil
 }
 
-func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error) {
-	a := asmx.New()
-	labels := map[*BasicBlock]asmx.Label{}
+// funcSymID resolves a referenced function name to its packed symbol ID.
+// ByName is frozen after discovery, so concurrent reads are safe.
+func (ctx *BinaryContext) funcSymID(name string) (uint64, error) {
+	g := ctx.ByName[name]
+	if g == nil {
+		return 0, fmt.Errorf("core: unresolved function %q", name)
+	}
+	return symIDFunc(g.ordIdx), nil
+}
+
+func (ctx *BinaryContext) emitFragment(fn *BinaryFunction, blocks []*BasicBlock, sc *emitScratch) (*emittedFrag, error) {
+	a := &sc.asm
+	a.Reset()
+	ord := fn.ordIdx
+
+	maxIdx := 0
 	for _, b := range blocks {
-		labels[b] = a.NewLabel()
+		if b.Index > maxIdx {
+			maxIdx = b.Index
+		}
+	}
+	sc.labels = resetLabels(sc.labels, maxIdx+1)
+	labels := sc.labels
+	for _, b := range blocks {
+		labels[b.Index] = a.NewLabel()
 	}
 
-	type cfiMark struct {
-		label asmx.Label
-		inst  cfi.Inst
-	}
-	type csMark struct {
-		start, end asmx.Label
-		lp         *BasicBlock
-		action     int32
-	}
-	type lineMark struct {
-		label asmx.Label
-		file  string
-		line  int32
-	}
-	type anchorMark struct {
-		label  asmx.Label
-		inAddr uint64
-	}
-	var cfiMarks []cfiMark
-	var csMarks []csMark
-	var lineMarks []lineMark
-	var anchorMarks []anchorMark
+	sc.cfiMarks = sc.cfiMarks[:0]
+	sc.csMarks = sc.csMarks[:0]
+	sc.lineMarks = sc.lineMarks[:0]
+	sc.anchorMarks = sc.anchorMarks[:0]
 
 	// anchor marks the current position as the emission site of the
 	// original instruction at inAddr (0 = synthesized, no anchor).
@@ -137,7 +223,7 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 		}
 		l := a.NewLabel()
 		a.Bind(l)
-		anchorMarks = append(anchorMarks, anchorMark{label: l, inAddr: inAddr})
+		sc.anchorMarks = append(sc.anchorMarks, anchorMark{label: l, inAddr: inAddr})
 	}
 
 	running := cfi.InitialState()
@@ -154,29 +240,25 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 		l := a.NewLabel()
 		a.Bind(l)
 		for _, d := range diff {
-			cfiMarks = append(cfiMarks, cfiMark{label: l, inst: d})
+			sc.cfiMarks = append(sc.cfiMarks, cfiMark{label: l, inst: d})
 		}
-		running = *target
-		// Clone the map so later mutations don't alias.
-		saved := make(map[uint8]int32, len(target.Saved))
-		for k, v := range target.Saved {
-			saved[k] = v
-		}
-		running.Saved = saved
+		// Clone so later mutations of the interned state don't alias.
+		running = cloneState(*target)
 	}
 
 	// branchTo emits a direct branch instruction to a block, via label
 	// (same fragment, relaxable) or symbolic reloc (cross fragment).
 	branchTo := func(inst isa.Inst, to *BasicBlock) {
-		if _, same := labels[to]; same {
-			a.EmitBranch(inst, labels[to])
+		if to.Index < len(labels) && labels[to.Index] != asmx.None {
+			a.EmitBranch(inst, labels[to.Index])
 			return
 		}
-		a.EmitReloc(inst, obj.RelPC32, symBlock(fn.Name, to.Index), -4)
+		a.EmitRelocID(inst, obj.RelPC32, symIDBlock(ord, to.Index), -4)
 	}
 
+	var emitErr error
 	for bi, b := range blocks {
-		a.Bind(labels[b])
+		a.Bind(labels[b.Index])
 		var next *BasicBlock
 		if bi+1 < len(blocks) {
 			next = blocks[bi+1]
@@ -201,7 +283,7 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 			if in.File != lastFile || in.Line != lastLine {
 				l := a.NewLabel()
 				a.Bind(l)
-				lineMarks = append(lineMarks, lineMark{label: l, file: in.File, line: in.Line})
+				sc.lineMarks = append(sc.lineMarks, lineMark{label: l, file: in.File, line: in.Line})
 				lastFile, lastLine = in.File, in.Line
 			}
 			inst := in.I
@@ -217,24 +299,34 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 			case inst.Op == isa.NOP:
 				// dropped
 			case in.ImmSym != "":
-				a.EmitReloc(inst, relImmAbs32, symFunc(in.ImmSym), 0)
+				id, err := ctx.funcSymID(in.ImmSym)
+				if err != nil {
+					emitErr = err
+					return
+				}
+				a.EmitRelocID(inst, relImmAbs32, id, 0)
 			case inst.Op == isa.CALL:
 				switch {
 				case in.TargetSym != "":
-					a.EmitReloc(inst, obj.RelPC32, symFunc(in.TargetSym), -4)
+					id, err := ctx.funcSymID(in.TargetSym)
+					if err != nil {
+						emitErr = err
+						return
+					}
+					a.EmitRelocID(inst, obj.RelPC32, id, -4)
 				default:
-					a.EmitReloc(inst, obj.RelPC32, symAbs(inst.TargetAddr), -4)
+					a.EmitRelocID(inst, obj.RelPC32, symIDAbs(inst.TargetAddr), -4)
 				}
 			case inst.HasMem() && inst.M.RIP && in.MemTarget != 0:
 				m := inst
 				m.M.Disp = 0
-				a.EmitReloc(m, obj.RelPC32, symAbs(in.MemTarget), -4)
+				a.EmitRelocID(m, obj.RelPC32, symIDAbs(in.MemTarget), -4)
 			default:
 				a.Emit(inst)
 			}
 			if in.LP != nil {
 				a.Bind(end)
-				csMarks = append(csMarks, csMark{start: start, end: end, lp: in.LP, action: in.LPAction})
+				sc.csMarks = append(sc.csMarks, csMark{start: start, end: end, lp: in.LP, action: in.LPAction})
 			}
 		}
 
@@ -244,6 +336,9 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 		}
 		for i := 0; i < bodyEnd; i++ {
 			emitOne(&b.Insts[i])
+			if emitErr != nil {
+				return nil, emitErr
+			}
 		}
 
 		// Control-flow tail, materialized against the layout.
@@ -262,7 +357,11 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 		case inst.Op == isa.JCC && in.TargetSym != "":
 			// Conditional tail call (SCTC output).
 			anchor(in.Addr)
-			a.EmitReloc(inst, obj.RelPC32, symFunc(in.TargetSym), -4)
+			id, err := ctx.funcSymID(in.TargetSym)
+			if err != nil {
+				return nil, err
+			}
+			a.EmitRelocID(inst, obj.RelPC32, id, -4)
 			if len(b.Succs) == 1 && b.Succs[0].To != next {
 				branchTo(isa.NewInst(isa.JMP), b.Succs[0].To)
 			}
@@ -289,7 +388,11 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 		case inst.Op == isa.JMP && in.TargetSym != "":
 			// Tail call to another function.
 			anchor(in.Addr)
-			a.EmitReloc(inst, obj.RelPC32, symFunc(in.TargetSym), -4)
+			id, err := ctx.funcSymID(in.TargetSym)
+			if err != nil {
+				return nil, err
+			}
+			a.EmitRelocID(inst, obj.RelPC32, id, -4)
 		case inst.Op == isa.JMP:
 			if len(b.Succs) != 1 {
 				return nil, fmt.Errorf("core: %s block %d: jmp with %d successors", fn.Name, b.Index, len(b.Succs))
@@ -306,46 +409,67 @@ func emitFragment(fn *BinaryFunction, blocks []*BasicBlock) (*emittedFrag, error
 			// ret / repz ret / hlt / ud2
 			emitOne(in)
 		}
+		if emitErr != nil {
+			return nil, emitErr
+		}
 	}
 
 	res, err := a.Finish(0)
 	if err != nil {
 		return nil, fmt.Errorf("core: emitting %s: %w", fn.Name, err)
 	}
+	// Materialize the fragment from the marks, every slice at its exact
+	// final size. res.LabelOffs aliases assembler scratch — it must be
+	// fully consumed here, before the next Reset.
 	frag := &emittedFrag{
 		Code:      res.Code,
 		Relocs:    res.Relocs,
-		BlockOffs: map[int]uint32{},
+		BlockOffs: make([]uint32, maxIdx+1),
+	}
+	for i := range frag.BlockOffs {
+		frag.BlockOffs[i] = noBlockOff
 	}
 	for _, b := range blocks {
-		frag.BlockOffs[b.Index] = res.LabelOffs[labels[b]]
+		frag.BlockOffs[b.Index] = res.LabelOffs[labels[b.Index]]
 	}
-	for _, m := range cfiMarks {
-		frag.CFI = append(frag.CFI, cfi.PCInst{PC: res.LabelOffs[m.label], Inst: m.inst})
-	}
-	for _, m := range csMarks {
-		frag.CallSites = append(frag.CallSites, fragCallSite{
-			Start:  res.LabelOffs[m.start],
-			Len:    res.LabelOffs[m.end] - res.LabelOffs[m.start],
-			LP:     m.lp,
-			Action: m.action,
-		})
-	}
-	for _, m := range lineMarks {
-		if m.file == "" {
-			continue
+	if n := len(sc.cfiMarks); n > 0 {
+		frag.CFI = make([]cfi.PCInst, 0, n)
+		for _, m := range sc.cfiMarks {
+			frag.CFI = append(frag.CFI, cfi.PCInst{PC: res.LabelOffs[m.label], Inst: m.inst})
 		}
-		frag.Lines = append(frag.Lines, obj.LineEntry{Off: res.LabelOffs[m.label], File: m.file, Line: m.line})
+	}
+	if n := len(sc.csMarks); n > 0 {
+		frag.CallSites = make([]fragCallSite, 0, n)
+		for _, m := range sc.csMarks {
+			frag.CallSites = append(frag.CallSites, fragCallSite{
+				Start:  res.LabelOffs[m.start],
+				Len:    res.LabelOffs[m.end] - res.LabelOffs[m.start],
+				LP:     m.lp,
+				Action: m.action,
+			})
+		}
+	}
+	if n := len(sc.lineMarks); n > 0 {
+		frag.Lines = make([]obj.LineEntry, 0, n)
+		for _, m := range sc.lineMarks {
+			if m.file == "" {
+				continue
+			}
+			frag.Lines = append(frag.Lines, obj.LineEntry{Off: res.LabelOffs[m.label], File: m.file, Line: m.line})
+		}
 	}
 	// Anchors bind in emission order, which is layout order, so offsets
 	// are already ascending; keep the first anchor at any offset (a
 	// zero-size emission collapses onto its successor).
-	for _, m := range anchorMarks {
-		off := res.LabelOffs[m.label]
-		if n := len(frag.Anchors); n > 0 && frag.Anchors[n-1].Off == off {
-			continue
+	if n := len(sc.anchorMarks); n > 0 {
+		frag.Anchors = make([]batAnchor, 0, n)
+		for _, m := range sc.anchorMarks {
+			off := res.LabelOffs[m.label]
+			if n := len(frag.Anchors); n > 0 && frag.Anchors[n-1].Off == off {
+				continue
+			}
+			frag.Anchors = append(frag.Anchors, batAnchor{Off: off, InAddr: m.inAddr})
 		}
-		frag.Anchors = append(frag.Anchors, batAnchor{Off: off, InAddr: m.inAddr})
 	}
 	return frag, nil
 }

@@ -17,7 +17,7 @@ import (
 // jump-table switch, callers) to give the loader's parallel phase real
 // work: disassembly, CFG construction, CFI attachment, and call-target
 // symbolization all run per function.
-func buildLoaderFile(t *testing.T, workers int) *elfx.File {
+func buildLoaderFile(t testing.TB, workers int) *elfx.File {
 	t.Helper()
 	mod := &ir.Module{Name: "m"}
 

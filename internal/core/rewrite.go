@@ -4,8 +4,6 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
-	"strconv"
-	"strings"
 	"time"
 
 	"gobolt/internal/bat"
@@ -61,14 +59,16 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 
 	// Emit every hot/cold fragment concurrently into per-function
 	// buffers. Each emitFunction call reads and writes only its own
-	// function, and results land at a fixed slice index, so the layout
-	// below — and therefore the output bytes — are identical for any
-	// worker count.
+	// function plus its worker's scratch (assembler, label table, mark
+	// lists — reused across the worker's whole share of functions), and
+	// results land at a fixed slice index, so the layout below — and
+	// therefore the output bytes — are identical for any worker count.
 	emitStart := time.Now()
 	emits := make([]*emitted, len(moved))
 	jobs := effectiveJobs(ctx.Opts.Jobs, len(moved))
-	if _, err := parallelFor(cx, len(moved), jobs, func(_, i int) error {
-		e, err := emitFunction(moved[i])
+	escratch := make([]emitScratch, jobs)
+	if _, err := parallelFor(cx, len(moved), jobs, func(w, i int) error {
+		e, err := ctx.emitFunction(moved[i], &escratch[w])
 		if err != nil {
 			return err
 		}
@@ -123,22 +123,25 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 
 	// Symbol resolution for emitted relocations.
 	blockAddr := func(fn *BinaryFunction, idx int, e *emitted) (uint64, bool) {
-		if off, ok := e.Hot.BlockOffs[idx]; ok {
+		if off, ok := e.Hot.blockOff(idx); ok {
 			return fn.OutAddr + uint64(off), true
 		}
 		if e.Cold != nil {
-			if off, ok := e.Cold.BlockOffs[idx]; ok {
+			if off, ok := e.Cold.blockOff(idx); ok {
 				return fn.ColdAddr + uint64(off), true
 			}
 		}
 		return 0, false
 	}
-	emitOf := map[*BinaryFunction]*emitted{}
+	// emitOf is indexed by function ordinal (BinaryFunction.ordIdx); nil
+	// for functions that were not re-emitted.
+	emitOf := make([]*emitted, len(ctx.Funcs))
 	for _, e := range emits {
-		emitOf[e.fn] = e
+		emitOf[e.fn.ordIdx] = e
 	}
 	// finalFuncAddr resolves a function name to its final entry address,
-	// following ICF folds.
+	// following ICF folds. (Input relocations and the entry point carry
+	// names; emitted relocations carry packed IDs — see resolveID.)
 	finalFuncAddr := func(name string) (uint64, bool) {
 		fn := ctx.ByName[name]
 		if fn == nil {
@@ -147,39 +150,38 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		for fn.FoldedInto != nil {
 			fn = fn.FoldedInto
 		}
-		if _, ok := emitOf[fn]; ok {
+		if emitOf[fn.ordIdx] != nil {
 			return fn.OutAddr, true
 		}
 		return fn.Addr, true
 	}
-	resolveSym := func(sym string) (uint64, error) {
-		switch {
-		case strings.HasPrefix(sym, "F:"):
-			if v, ok := finalFuncAddr(sym[2:]); ok {
-				return v, nil
+	resolveID := func(sym uint64) (uint64, error) {
+		payload := sym & symPayload
+		switch sym >> symKindShift {
+		case symKindFunc:
+			fn := ctx.Funcs[payload]
+			for fn.FoldedInto != nil {
+				fn = fn.FoldedInto
 			}
-			return 0, fmt.Errorf("core: unresolved function %q", sym[2:])
-		case strings.HasPrefix(sym, "B:"):
-			rest := sym[2:]
-			i := strings.LastIndexByte(rest, ':')
-			name := rest[:i]
-			idx, _ := strconv.Atoi(rest[i+1:])
-			fn := ctx.ByName[name]
-			if fn == nil {
-				return 0, fmt.Errorf("core: unresolved block sym %q", sym)
+			if emitOf[fn.ordIdx] != nil {
+				return fn.OutAddr, nil
 			}
-			e := emitOf[fn]
+			return fn.Addr, nil
+		case symKindBlock:
+			fn := ctx.Funcs[payload>>symBlockBits]
+			idx := int(payload & symBlockIdx)
+			e := emitOf[fn.ordIdx]
 			if e == nil {
-				return 0, fmt.Errorf("core: block sym for unmoved function %q", name)
+				return 0, fmt.Errorf("core: block sym for unmoved function %q", fn.Name)
 			}
 			if v, ok := blockAddr(fn, idx, e); ok {
 				return v, nil
 			}
-			return 0, fmt.Errorf("core: block %d of %s not emitted", idx, name)
-		case strings.HasPrefix(sym, "A:"):
-			return strconv.ParseUint(sym[2:], 16, 64)
+			return 0, fmt.Errorf("core: block %d of %s not emitted", idx, fn.Name)
+		case symKindAbs:
+			return payload, nil
 		}
-		return 0, fmt.Errorf("core: bad emission sym %q", sym)
+		return 0, fmt.Errorf("core: bad emission sym %#x", sym)
 	}
 
 	// Patch emitted code.
@@ -188,7 +190,7 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 	}
 	patchFrag := func(frag *emittedFrag, base uint64) error {
 		for _, r := range frag.Relocs {
-			s, err := resolveSym(r.Sym)
+			s, err := resolveID(r.SymID)
 			if err != nil {
 				return err
 			}
@@ -222,7 +224,7 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		for fn.FoldedInto != nil {
 			fn = fn.FoldedInto
 		}
-		if _, ok := emitOf[fn]; ok {
+		if emitOf[fn.ordIdx] != nil {
 			return fn
 		}
 		return nil
@@ -242,7 +244,7 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 			old = canon.Addr + (old - fn.Addr)
 			fn = canon
 		}
-		e := emitOf[fn]
+		e := emitOf[fn.ordIdx]
 		if e == nil {
 			return old, true // unmoved
 		}
@@ -422,8 +424,10 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 	}
 
 	// Exception tables: regenerate the LSDA section and all FDEs.
+	// Upper bound on FDE count: one per emitted fragment plus every kept
+	// input FDE.
 	var lsdaData []byte
-	var fdes []cfi.FDE
+	fdes := make([]cfi.FDE, 0, len(emits)+res.SplitFuncs+len(ctx.fdes))
 	lsdaBase := align(coldEnd, 8)
 	encodeCallSites := func(frag *emittedFrag, e *emitted) (uint64, error) {
 		if len(frag.CallSites) == 0 {
@@ -464,7 +468,7 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 	// Keep FDEs (and LSDA records) of unmoved functions.
 	for _, fde := range ctx.fdes {
 		fn := ctx.FuncContaining(fde.Start)
-		if fn != nil && (emitOf[fn] != nil || fn.FoldedInto != nil) {
+		if fn != nil && (emitOf[fn.ordIdx] != nil || fn.FoldedInto != nil) {
 			continue
 		}
 		nf := fde
@@ -496,7 +500,7 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		if ctx.LineTable != nil {
 			for _, en := range ctx.LineTable.Entries {
 				fn := ctx.FuncContaining(en.Addr)
-				if fn != nil && (emitOf[fn] != nil || fn.FoldedInto != nil) {
+				if fn != nil && (emitOf[fn.ordIdx] != nil || fn.FoldedInto != nil) {
 					continue
 				}
 				if int(en.File) < len(ctx.LineTable.Files) {
@@ -521,7 +525,9 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		})
 	}
 
-	// Symbols.
+	// Symbols: every input symbol survives, plus one ".cold.0" marker per
+	// split function.
+	out.Symbols = make([]elfx.Symbol, 0, len(f.Symbols)+res.SplitFuncs)
 	for _, sym := range f.Symbols {
 		ns := sym
 		if sym.Type == elfx.STTFunc {
@@ -530,7 +536,7 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 				for canon.FoldedInto != nil {
 					canon = canon.FoldedInto
 				}
-				if e := emitOf[canon]; e != nil {
+				if e := emitOf[canon.ordIdx]; e != nil {
 					ns.Value = canon.OutAddr
 					ns.Size = canon.OutSize
 					ns.Section = ".text"

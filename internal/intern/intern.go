@@ -1,0 +1,55 @@
+// Package intern provides string interning for the loader's hot path.
+// The disassembler attaches the same handful of strings — source file
+// names, call-target symbols, block labels — to hundreds of thousands of
+// instructions; interning collapses them to one canonical copy each, so
+// repeated values cost a map lookup instead of an allocation and
+// downstream comparisons can rely on identity.
+package intern
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Table is a concurrent string interner. The zero value is ready to use.
+// Intern is identity-stable: every call with an equal string returns the
+// same canonical copy, no matter which goroutine got there first — the
+// property the parallel loader's workers depend on.
+type Table struct {
+	m sync.Map // string -> string (canonical)
+}
+
+// Intern returns the canonical copy of s.
+func (t *Table) Intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	if v, ok := t.m.Load(s); ok {
+		return v.(string)
+	}
+	v, _ := t.m.LoadOrStore(s, s)
+	return v.(string)
+}
+
+// nLabels bounds the precomputed block-label table; functions with more
+// basic blocks than this exist but are rare enough that falling back to
+// a fresh allocation does not show up in profiles.
+const nLabels = 1024
+
+var lbb = func() [nLabels]string {
+	var a [nLabels]string
+	for i := range a {
+		a[i] = ".LBB" + strconv.Itoa(i)
+	}
+	return a
+}()
+
+// Label returns the canonical ".LBB<i>" basic-block label. Labels repeat
+// across every function in a binary, so they are process-wide constants
+// rather than per-table entries.
+func Label(i int) string {
+	if i >= 0 && i < nLabels {
+		return lbb[i]
+	}
+	return ".LBB" + strconv.Itoa(i)
+}

@@ -14,11 +14,15 @@ const (
 	RelJT32  uint32 = 250 // S + A - JTBASE: PIC jump-table entry, resolved and *discarded* by the linker
 )
 
-// Reloc is a symbolic reference patched by the linker.
+// Reloc is a symbolic reference patched by the linker. References carry
+// either a symbol name (Sym, the compiler/linker path) or a packed
+// numeric symbol (SymID, gobolt's emission path — see internal/core's
+// sym ID encoding); producers set exactly one of the two.
 type Reloc struct {
 	Off    uint32 // byte offset of the patch site within Bytes/Data
 	Type   uint32
 	Sym    string
+	SymID  uint64
 	Addend int64
 }
 

@@ -106,14 +106,20 @@ func (p ICP) Run(ctx *core.BinaryContext) error {
 // general one from the dataflow framework).
 func flagsLiveOut(fn *core.BinaryFunction) []isa.RegSet {
 	n := len(fn.Blocks)
+	// The framework consumes each succs(i) result before the next call,
+	// so one reusable buffer serves the whole fixpoint (this closure is
+	// called O(blocks × iterations) times — a fresh slice per call
+	// dominated the pass's allocations).
+	var succBuf []int
 	succs := func(i int) []int {
-		var out []int
+		out := succBuf[:0]
 		for _, e := range fn.Blocks[i].Succs {
 			out = append(out, e.To.Index)
 		}
 		for _, lp := range fn.Blocks[i].LPs {
 			out = append(out, lp.Index)
 		}
+		succBuf = out
 		return out
 	}
 	use := func(i int) isa.RegSet {
