@@ -161,10 +161,19 @@ func TestPipelineDeterministicAcrossJobs(t *testing.T) {
 			t.Errorf("jobs=%d: no pass timings recorded", jobs)
 		}
 		// Loader and emitter phases must be instrumented and scheduled
-		// on the pool, as must the profile-inference stage.
+		// on the pool, as must the profile-application and -inference
+		// stages and the overlapped discovery scans.
+		assertParallelPhase(t, jobs, rep.LoadTimings, "load:discover")
 		assertParallelPhase(t, jobs, rep.LoadTimings, "load:disasm+cfg")
-		assertParallelPhase(t, jobs, rep.EmitTimings, "emit:functions")
+		assertParallelPhase(t, jobs, rep.LoadTimings, "profile:apply")
 		assertParallelPhase(t, jobs, rep.LoadTimings, "profile:infer")
+		assertParallelPhase(t, jobs, rep.EmitTimings, "emit:functions")
+		// The emitter's former serial back half is now three phases:
+		// address assignment stays a serial prefix scan, while patching
+		// and metadata rebuild fan out.
+		assertSerialPhase(t, jobs, rep.EmitTimings, "emit:layout")
+		assertParallelPhase(t, jobs, rep.EmitTimings, "emit:patch")
+		assertParallelPhase(t, jobs, rep.EmitTimings, "emit:metadata")
 		// ICF's hashing runs as a parallel function pass; only the fold
 		// remains a barrier.
 		assertParallelPhase(t, jobs, rep.PassTimings, "icf-1-hash")
@@ -204,6 +213,22 @@ func assertParallelPhase(t *testing.T, jobs int, timings []core.PassTiming, name
 		}
 		if !pt.Parallel || pt.Jobs < 2 {
 			t.Errorf("jobs=%d: phase %s not parallel: %+v", jobs, name, pt)
+		}
+		return
+	}
+	t.Errorf("jobs=%d: phase %s missing from timings", jobs, name)
+}
+
+// assertSerialPhase checks that the named phase was recorded and stayed
+// a serial barrier regardless of the worker count.
+func assertSerialPhase(t *testing.T, jobs int, timings []core.PassTiming, name string) {
+	t.Helper()
+	for _, pt := range timings {
+		if pt.Name != name {
+			continue
+		}
+		if pt.Parallel || pt.Jobs != 1 {
+			t.Errorf("jobs=%d: phase %s not serial: %+v", jobs, name, pt)
 		}
 		return
 	}

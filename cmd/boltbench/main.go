@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,14 +35,15 @@ func main() {
 
 func run() error {
 	exp := flag.String("experiment", "all",
-		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, inference, timing, speed (comma separated or 'all')")
+		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, inference, timing, speed, scaling (comma separated or 'all')")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (iterations multiplier)")
 	jobs := flag.Int("jobs", 0, "worker threads for every gobolt run's parallel phases — loader, function passes, emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "run the 'timing' experiment (load/pass/emit wall time at jobs=1 vs -jobs) even when not listed")
 	heatOut := flag.String("heat-out", "", "write Figure 9 heat maps (CSV + text) with this path prefix")
-	benchOut := flag.String("bench-out", "", "write the 'speed' experiment's Go benchfmt output to this file (compare runs with benchstat)")
-	benchJSON := flag.String("bench-json", "", "write the 'speed' experiment's results as a BENCH_*.json gate-baseline skeleton to this file")
-	benchBaseline := flag.String("bench-baseline", "", "compare the 'speed' experiment against this committed BENCH_*.json baseline and fail on regression past its threshold")
+	benchOut := flag.String("bench-out", "", "write the 'speed'/'scaling' experiment's Go benchfmt output to this file (compare runs with benchstat)")
+	benchJSON := flag.String("bench-json", "", "write the 'speed'/'scaling' experiment's results as a BENCH_*.json gate-baseline skeleton to this file")
+	benchBaseline := flag.String("bench-baseline", "", "compare the 'speed'/'scaling' experiment against this committed BENCH_*.json baseline and fail on regression past its threshold")
+	scalingJobs := flag.String("scaling-jobs", "", "comma-separated jobs values the 'scaling' experiment sweeps (default 1,2,4,8)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
@@ -136,6 +138,17 @@ func run() error {
 			if err == nil {
 				err = handleSpeedOutputs(results, report, sc, *jobs, *benchOut, *benchJSON, *benchBaseline)
 			}
+		case "scaling":
+			var jobsList []int
+			jobsList, err = parseJobsList(*scalingJobs)
+			if err != nil {
+				return err
+			}
+			var results []benchfmt.Result
+			results, report, err = bench.Scaling(sc, jobsList)
+			if err == nil {
+				err = handleScalingOutputs(results, report, sc, jobsList, *benchOut, *benchJSON, *benchBaseline)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
@@ -144,6 +157,65 @@ func run() error {
 		}
 		fmt.Println(report)
 		fmt.Printf("[%s done in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// parseJobsList parses the -scaling-jobs flag ("" = harness default).
+func parseJobsList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		j, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || j <= 0 {
+			return nil, fmt.Errorf("bad -scaling-jobs entry %q (want positive integers)", f)
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+// handleScalingOutputs post-processes a scaling sweep the same way
+// handleSpeedOutputs treats a speed run: benchfmt round-trip check,
+// optional -bench-out/-bench-json files, and the -bench-baseline
+// serial-fraction regression gate.
+func handleScalingOutputs(results []benchfmt.Result, report string, sc bench.Scale, jobsList []int, outPath, jsonPath, baselinePath string) error {
+	parsed, _, err := benchfmt.Parse(strings.NewReader(report))
+	if err != nil {
+		return fmt.Errorf("scaling output failed benchfmt parse: %w", err)
+	}
+	if len(parsed) != len(results) {
+		return fmt.Errorf("scaling output round-trip lost results: %d written, %d parsed", len(results), len(parsed))
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(report), 0o644); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		bf := bench.NewScalingBenchFile(sc, jobsList, results, time.Now())
+		raw, err := bf.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	if baselinePath != "" {
+		bf, err := bench.LoadBenchFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		table, gateErr := bench.ScalingGate(bf, sc, results)
+		if table != "" {
+			fmt.Print(table)
+		}
+		if gateErr != nil {
+			return errors.New(gateErr.Error())
+		}
 	}
 	return nil
 }

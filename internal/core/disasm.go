@@ -47,83 +47,108 @@ func NewContext(cx context.Context, f *elfx.File, opts Options) (*BinaryContext,
 		Stats:       map[string]int64{},
 	}
 
-	// Relocations (--emit-relocs) enable relocations mode.
-	for sectName, relas := range f.Relas {
-		sec := f.Section(sectName)
-		if sec == nil {
-			continue
-		}
-		if sec.Flags&elfx.SHFExecinstr != 0 {
-			for _, r := range relas {
-				ctx.textRelocs[sec.Addr+r.Off] = r
+	// Discovery runs as four independent scans overlapped on the worker
+	// pool — each writes a disjoint set of context fields (textRelocs;
+	// LineTable; fdes+LSDA; Funcs/ByName/byAddr/PLTStubs), the input file
+	// is read-only, and results don't depend on scan interleaving, so the
+	// context is identical for any worker count. Only the frame decode
+	// can fail, keeping error reporting schedule-independent.
+	discoverScans := []func() error{
+		func() error {
+			// Relocations (--emit-relocs) enable relocations mode.
+			for sectName, relas := range f.Relas {
+				sec := f.Section(sectName)
+				if sec == nil {
+					continue
+				}
+				if sec.Flags&elfx.SHFExecinstr != 0 {
+					for _, r := range relas {
+						ctx.textRelocs[sec.Addr+r.Off] = r
+					}
+				}
 			}
-		}
+			return nil
+		},
+		func() error {
+			// Debug info.
+			if ls := f.Section(dbg.SectionName); ls != nil {
+				if t, err := dbg.Decode(ls.Data); err == nil {
+					ctx.LineTable = t
+				}
+			}
+			return nil
+		},
+		func() error {
+			// Frame info.
+			if fs := f.Section(cfi.FrameSectionName); fs != nil {
+				fdes, err := cfi.DecodeFrames(fs.Data)
+				if err != nil {
+					return fmt.Errorf("core: %w", err)
+				}
+				ctx.fdes = fdes
+			}
+			if ls := f.Section(cfi.LSDASectionName); ls != nil {
+				ctx.lsdaData = ls.Data
+				ctx.lsdaBase = ls.Addr
+			}
+			return nil
+		},
+		func() error {
+			// Function discovery: symbol-table driven (paper §3.3). PLT
+			// stubs are recognized separately; alias symbols (ICF'd at
+			// link time) attach to the canonical function at the same
+			// address.
+			for _, sym := range f.FuncSymbols() {
+				sec := f.SectionFor(sym.Value)
+				if sec == nil || sym.Size == 0 {
+					continue
+				}
+				if sec.Name == ".plt" {
+					ctx.discoverPLTStub(sym)
+					continue
+				}
+				if existing := ctx.byAddr[sym.Value]; existing != nil {
+					existing.Aliases = append(existing.Aliases, sym.Name)
+					ctx.ByName[sym.Name] = existing
+					continue
+				}
+				bytes, err := f.ReadAt(sym.Value, int(sym.Size))
+				if err != nil {
+					continue
+				}
+				fn := &BinaryFunction{
+					Name:    sym.Name,
+					Addr:    sym.Value,
+					Size:    sym.Size,
+					Section: sec.Name,
+					// Bytes aliases the mapped section data. Safe:
+					// disassembly only reads it, and rewriting emits into
+					// fresh output buffers — nothing writes a function
+					// body in place.
+					Bytes:  bytes,
+					Simple: true,
+				}
+				ctx.Funcs = append(ctx.Funcs, fn)
+				ctx.ByName[sym.Name] = fn
+				ctx.byAddr[sym.Value] = fn
+			}
+			sort.Slice(ctx.Funcs, func(i, j int) bool { return ctx.Funcs[i].Addr < ctx.Funcs[j].Addr })
+			for i, fn := range ctx.Funcs {
+				fn.ordIdx = i
+			}
+			return nil
+		},
+	}
+	discoverJobs := effectiveJobs(opts.Jobs, len(discoverScans))
+	if _, err := parallelFor(cx, len(discoverScans), discoverJobs, func(_, i int) error {
+		return discoverScans[i]()
+	}); err != nil {
+		return nil, err
 	}
 	ctx.HasRelocs = len(f.Relas) > 0
-
-	// Debug info.
-	if ls := f.Section(dbg.SectionName); ls != nil {
-		if t, err := dbg.Decode(ls.Data); err == nil {
-			ctx.LineTable = t
-		}
-	}
-
-	// Frame info.
-	if fs := f.Section(cfi.FrameSectionName); fs != nil {
-		fdes, err := cfi.DecodeFrames(fs.Data)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		ctx.fdes = fdes
-	}
-	if ls := f.Section(cfi.LSDASectionName); ls != nil {
-		ctx.lsdaData = ls.Data
-		ctx.lsdaBase = ls.Addr
-	}
-
-	// Function discovery: symbol-table driven (paper §3.3). PLT stubs are
-	// recognized separately; alias symbols (ICF'd at link time) attach to
-	// the canonical function at the same address.
-	syms := f.FuncSymbols()
-	for _, sym := range syms {
-		sec := f.SectionFor(sym.Value)
-		if sec == nil || sym.Size == 0 {
-			continue
-		}
-		if sec.Name == ".plt" {
-			ctx.discoverPLTStub(sym)
-			continue
-		}
-		if existing := ctx.byAddr[sym.Value]; existing != nil {
-			existing.Aliases = append(existing.Aliases, sym.Name)
-			ctx.ByName[sym.Name] = existing
-			continue
-		}
-		bytes, err := f.ReadAt(sym.Value, int(sym.Size))
-		if err != nil {
-			continue
-		}
-		fn := &BinaryFunction{
-			Name:    sym.Name,
-			Addr:    sym.Value,
-			Size:    sym.Size,
-			Section: sec.Name,
-			// Bytes aliases the mapped section data. Safe: disassembly
-			// only reads it, and rewriting emits into fresh output
-			// buffers — nothing writes a function body in place.
-			Bytes:  bytes,
-			Simple: true,
-		}
-		ctx.Funcs = append(ctx.Funcs, fn)
-		ctx.ByName[sym.Name] = fn
-		ctx.byAddr[sym.Value] = fn
-	}
-	sort.Slice(ctx.Funcs, func(i, j int) bool { return ctx.Funcs[i].Addr < ctx.Funcs[j].Addr })
-	for i, fn := range ctx.Funcs {
-		fn.ordIdx = i
-	}
 	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
-		Name: "load:discover", Wall: time.Since(discoverStart), Jobs: 1,
+		Name: "load:discover", Wall: time.Since(discoverStart),
+		Parallel: discoverJobs > 1, Jobs: discoverJobs,
 	})
 
 	// Parallel per-function phase. The shared maps (byAddr, ByName,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"time"
@@ -180,6 +181,45 @@ func (pm *PassManager) runFunctionPass(cx context.Context, ctx *BinaryContext, f
 	return len(funcs), jobs, nil
 }
 
+// AmdahlSummary aggregates a timing list into the quantities Amdahl's
+// law cares about: how much of the pipeline wall ran on the worker pool
+// versus serially, and the speedup ceiling the serial share implies.
+type AmdahlSummary struct {
+	Total        time.Duration
+	ParallelWall time.Duration // phases scheduled on the worker pool
+	SerialWall   time.Duration // barriers and serial phases
+	// SerialFraction is SerialWall/Total (0 for an empty timing list).
+	SerialFraction float64
+	// MaxUsefulJobs is 1/SerialFraction — the asymptotic speedup bound,
+	// so also the job count beyond which adding workers cannot help.
+	// +Inf when no serial wall was measured.
+	MaxUsefulJobs float64
+}
+
+// Amdahl folds a timing list into its serial/parallel split. A phase
+// counts as parallel only if it actually ran on the pool (Jobs > 1), so
+// the summary reflects the measured schedule, not the theoretical one.
+func Amdahl(timings []PassTiming) AmdahlSummary {
+	var s AmdahlSummary
+	for _, t := range timings {
+		s.Total += t.Wall
+		if t.Parallel {
+			s.ParallelWall += t.Wall
+		} else {
+			s.SerialWall += t.Wall
+		}
+	}
+	if s.Total > 0 {
+		s.SerialFraction = float64(s.SerialWall) / float64(s.Total)
+	}
+	if s.SerialFraction > 0 {
+		s.MaxUsefulJobs = 1 / s.SerialFraction
+	} else {
+		s.MaxUsefulJobs = math.Inf(1)
+	}
+	return s
+}
+
 // statDelta returns after-before for every changed counter.
 func statDelta(before, after map[string]int64) map[string]int64 {
 	var out map[string]int64
@@ -234,4 +274,13 @@ func WriteTimings(w io.Writer, timings []PassTiming) {
 		}
 		fmt.Fprintln(w)
 	}
+	s := Amdahl(timings)
+	jobs := "unbounded"
+	if !math.IsInf(s.MaxUsefulJobs, 1) {
+		jobs = fmt.Sprintf("~%.0f", math.Ceil(s.MaxUsefulJobs))
+	}
+	fmt.Fprintf(w, "  Amdahl: total %v, parallel %v (%.1f%%), serial %v (%.1f%%), max useful jobs %s\n",
+		s.Total.Round(time.Microsecond),
+		s.ParallelWall.Round(time.Microsecond), 100*(1-s.SerialFraction),
+		s.SerialWall.Round(time.Microsecond), 100*s.SerialFraction, jobs)
 }

@@ -45,9 +45,12 @@ import (
 // stale-profile path that keeps week-old production profiles usable
 // across releases.
 //
-// The per-function inference stage fans out over Opts.Jobs workers and
-// is reported as "profile:infer" by -time-passes. Cancelling cx stops it
-// promptly; the only possible error is cx.Err().
+// Record matching/attachment fans out per-function over Opts.Jobs
+// workers (records are sharded by resolved function first; each
+// function's CFG mutations are function-local) and is reported as
+// "profile:apply" by -time-passes; the per-function inference stage is
+// likewise parallel and reported as "profile:infer". Cancelling cx stops
+// both promptly; the only possible error is cx.Err().
 func (ctx *BinaryContext) ApplyProfile(cx context.Context, fd *profile.Fdata) error {
 	ctx.ProfileLBR = fd.LBR
 	if ctx.CallEdges == nil {
@@ -57,10 +60,22 @@ func (ctx *BinaryContext) ApplyProfile(cx context.Context, fd *profile.Fdata) er
 	if ctx.Opts.StaleMatching && len(fd.Shapes) > 0 {
 		sm = &staleMatcher{ctx: ctx, shapes: fd.Shapes, cache: map[*BinaryFunction]*staleFunc{}}
 	}
+	start := time.Now()
+	before := ctx.statsSnapshot()
+	var nfuncs, jobs int
+	var err error
 	if fd.LBR {
-		ctx.applyLBR(fd, sm)
+		nfuncs, jobs, err = ctx.applyLBR(cx, fd, sm)
 	} else {
-		ctx.applySamples(fd, sm)
+		nfuncs, jobs, err = ctx.applySamples(cx, fd, sm)
+	}
+	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
+		Name: "profile:apply", Wall: time.Since(start),
+		Funcs: nfuncs, Parallel: jobs > 1, Jobs: jobs,
+		StatDelta: statDelta(before, ctx.statsSnapshot()),
+	})
+	if err != nil {
+		return err
 	}
 	return ctx.inferStage(cx, fd.LBR)
 }
@@ -157,7 +172,9 @@ type staleFunc struct {
 }
 
 // lookup returns the stale state for fn (nil = no shape carried, treat as
-// current).
+// current), computing and caching it on first use. Serial callers only:
+// the parallel apply stage uses compute into per-bucket slots and installs
+// them into the cache at the join.
 func (sm *staleMatcher) lookup(fn *BinaryFunction) *staleFunc {
 	if sm == nil {
 		return nil
@@ -165,14 +182,24 @@ func (sm *staleMatcher) lookup(fn *BinaryFunction) *staleFunc {
 	if sf, ok := sm.cache[fn]; ok {
 		return sf
 	}
+	sf := sm.compute(fn)
+	sm.cache[fn] = sf
+	if sf != nil {
+		sm.ctx.CountStat("profile-stale-funcs", 1)
+	}
+	return sf
+}
+
+// compute builds fn's stale state without touching the shared cache or
+// stats — read-only on shared state, so it is safe to call concurrently
+// for distinct functions.
+func (sm *staleMatcher) compute(fn *BinaryFunction) *staleFunc {
 	sh, ok := sm.shapes[fn.Name]
 	if !ok || !fn.Simple || len(fn.Blocks) == 0 {
-		sm.cache[fn] = nil
 		return nil
 	}
 	cur, _ := computeFuncShape(fn, nil)
 	if stale.ShapesEqual(sh, cur) {
-		sm.cache[fn] = nil
 		return nil
 	}
 	sf := &staleFunc{stale: true, old: sh, blockMap: map[int]*BasicBlock{}}
@@ -181,115 +208,221 @@ func (sm *staleMatcher) lookup(fn *BinaryFunction) *staleFunc {
 			sf.blockMap[oldIdx] = fn.Blocks[newIdx]
 		}
 	}
-	sm.cache[fn] = sf
-	sm.ctx.CountStat("profile-stale-funcs", 1)
 	return sf
 }
 
-func (ctx *BinaryContext) applyLBR(fd *profile.Fdata, sm *staleMatcher) {
-	count := func(key string, n uint64) { ctx.CountStat(key, int64(n)) }
+// funcRecs is one function's shard of profile records, applied by a
+// single worker: every CFG mutation it performs (edge counts, block
+// counts, fn.Sampled) is local to fn, so distinct buckets never race.
+// The stale state is computed into sf by the owning worker and installed
+// into the shared matcher cache at the serial join.
+type funcRecs struct {
+	fn   *BinaryFunction
+	brs  []profile.Branch
+	smps []profile.Sample
+	sf   *staleFunc
+}
+
+// applyCounts is one worker's shard of the count-weighted profile stats;
+// shards merge commutatively at the join, so totals match a serial apply
+// exactly.
+type applyCounts struct {
+	edge, sample, ignored, drop, stale, staleDrop uint64
+}
+
+func (c *applyCounts) add(o applyCounts) {
+	c.edge += o.edge
+	c.sample += o.sample
+	c.ignored += o.ignored
+	c.drop += o.drop
+	c.stale += o.stale
+	c.staleDrop += o.staleDrop
+}
+
+// bucketFor returns the funcRecs shard for fn, creating it on first use.
+func bucketFor(fn *BinaryFunction, buckets *[]*funcRecs, idx map[*BinaryFunction]int) *funcRecs {
+	k, ok := idx[fn]
+	if !ok {
+		k = len(*buckets)
+		idx[fn] = k
+		*buckets = append(*buckets, &funcRecs{fn: fn})
+	}
+	return (*buckets)[k]
+}
+
+// installStale moves per-bucket stale results into the shared matcher
+// cache at the serial join, counting each stale function once (the same
+// accounting serial lookup performs on first touch).
+func installStale(ctx *BinaryContext, sm *staleMatcher, buckets []*funcRecs) {
+	if sm == nil {
+		return
+	}
+	for _, b := range buckets {
+		sm.cache[b.fn] = b.sf
+		if b.sf != nil {
+			ctx.CountStat("profile-stale-funcs", 1)
+		}
+	}
+}
+
+// applyLBR attaches branch records in three phases: a serial classify
+// pass resolves symbols and shards intra-function records per function,
+// a parallel phase applies each function's records (stale matching,
+// instruction lookup, edge attach — the expensive part), and a serial
+// tail handles inter-function call records, which mutate shared state
+// (ExecCount of arbitrary callees, CallEdges, CallTargets). Every update
+// is commutative (+= or an idempotent flag), so the final CFG state and
+// stats are identical to a record-order serial apply.
+func (ctx *BinaryContext) applyLBR(cx context.Context, fd *profile.Fdata, sm *staleMatcher) (int, int, error) {
+	type callRec struct {
+		fromFn, toFn *BinaryFunction
+		br           profile.Branch
+	}
+	var total, drop, ignored uint64
+	var buckets []*funcRecs
+	idx := map[*BinaryFunction]int{}
+	var calls []callRec
 	for _, br := range fd.Branches {
-		count("profile-total-count", br.Count)
+		total += br.Count
 		fromFn := ctx.ByName[br.From.Sym]
 		toFn := ctx.ByName[br.To.Sym]
 		if fromFn == nil || toFn == nil {
-			count("profile-drop-count", br.Count)
+			drop += br.Count
 			continue
 		}
-		fromAddr := fromFn.Addr + br.From.Off
-		toAddr := toFn.Addr + br.To.Off
-
 		// Same-function records inside a non-simple function carry no
 		// recoverable CFG information — and a loop back-edge to offset 0
 		// must not be miscounted as a recursive call (it would inflate
 		// ExecCount and invent a self CallEdges entry).
 		if fromFn == toFn && !fromFn.Simple {
 			fromFn.Sampled = true
-			count("profile-ignored-count", br.Count)
+			ignored += br.Count
 			continue
 		}
-
-		if fromFn == toFn && fromFn.Simple {
-			fn := fromFn
-			// Shape mismatch: this binary is a different build than the
-			// profiled one; route every intra-function record through the
-			// block matcher (raw offsets would at best miss, at worst hit
-			// an unrelated instruction).
-			if sf := sm.lookup(fn); sf != nil && sf.stale {
-				switch applyStaleBranch(fn, sf, br) {
-				case staleApplied:
-					count("profile-stale-count", br.Count)
-				case staleIgnored:
-					// Same classification the fresh path would give the
-					// record (returns, non-branch sources): no CFG info,
-					// but nothing recoverable was lost either.
-					count("profile-ignored-count", br.Count)
-				case staleDropped:
-					count("profile-stale-drop-count", br.Count)
-				}
-				continue
-			}
-			fb, fi := fn.InstAt(fromAddr)
-			if fb == nil {
-				count("profile-drop-count", br.Count)
-				continue
-			}
-			fn.Sampled = true
-			// Return-to-self or call-to-self noise: only branch sources
-			// contribute to edges.
-			if !fi.I.IsBranch() {
-				count("profile-ignored-count", br.Count)
-				continue
-			}
-			tb := fn.BlockAt(toAddr)
-			if tb == nil {
-				count("profile-drop-count", br.Count)
-				continue
-			}
-			applied := false
-			for k := range fb.Succs {
-				if fb.Succs[k].To == tb {
-					fb.Succs[k].Count += br.Count
-					fb.Succs[k].Mispreds += br.Mispreds
-					applied = true
-					break
-				}
-			}
-			if applied {
-				count("profile-edge-count", br.Count)
-			} else {
-				count("profile-drop-count", br.Count)
-			}
+		if fromFn == toFn {
+			b := bucketFor(fromFn, &buckets, idx)
+			b.brs = append(b.brs, br)
 			continue
 		}
+		calls = append(calls, callRec{fromFn, toFn, br})
+	}
 
-		// Inter-function records.
-		if br.To.Off == 0 {
-			// Call, tail call, or conditional tail call into toFn's entry.
-			toFn.ExecCount += br.Count
-			toFn.Sampled = true
-			ctx.CallEdges[[2]string{fromFn.Name, toFn.Name}] += br.Count
-			count("profile-call-count", br.Count)
-			if fromFn.Simple {
-				fromFn.Sampled = true
-				if sf := sm.lookup(fromFn); sf == nil || !sf.stale {
-					if _, fi := fromFn.InstAt(fromAddr); fi != nil {
-						if fi.I.Op == isa.CALLr || fi.I.Op == isa.CALLm {
-							m := ctx.CallTargets[fromAddr]
-							if m == nil {
-								m = map[string]uint64{}
-								ctx.CallTargets[fromAddr] = m
-							}
-							m[toFn.Name] += br.Count
+	jobs := effectiveJobs(ctx.Opts.Jobs, len(buckets))
+	shards := make([]applyCounts, jobs)
+	if _, err := parallelFor(cx, len(buckets), jobs, func(w, i int) error {
+		b := buckets[i]
+		if sm != nil {
+			b.sf = sm.compute(b.fn)
+		}
+		c := &shards[w]
+		for _, br := range b.brs {
+			applyIntraBranch(b.fn, b.sf, br, c)
+		}
+		return nil
+	}); err != nil {
+		return len(buckets), jobs, err
+	}
+	installStale(ctx, sm, buckets)
+
+	var c applyCounts
+	for i := range shards {
+		c.add(shards[i])
+	}
+	var callCount uint64
+	for _, cr := range calls {
+		br := cr.br
+		if br.To.Off != 0 {
+			// Returns land mid-function; they carry no CFG information.
+			ignored += br.Count
+			continue
+		}
+		// Call, tail call, or conditional tail call into toFn's entry.
+		cr.toFn.ExecCount += br.Count
+		cr.toFn.Sampled = true
+		ctx.CallEdges[[2]string{cr.fromFn.Name, cr.toFn.Name}] += br.Count
+		callCount += br.Count
+		if cr.fromFn.Simple {
+			cr.fromFn.Sampled = true
+			if sf := sm.lookup(cr.fromFn); sf == nil || !sf.stale {
+				fromAddr := cr.fromFn.Addr + br.From.Off
+				if _, fi := cr.fromFn.InstAt(fromAddr); fi != nil {
+					if fi.I.Op == isa.CALLr || fi.I.Op == isa.CALLm {
+						m := ctx.CallTargets[fromAddr]
+						if m == nil {
+							m = map[string]uint64{}
+							ctx.CallTargets[fromAddr] = m
 						}
+						m[cr.toFn.Name] += br.Count
 					}
 				}
 			}
-			continue
 		}
-		// Returns land mid-function; they carry no CFG information here.
-		count("profile-ignored-count", br.Count)
 	}
+
+	count := func(key string, n uint64) {
+		if n > 0 {
+			ctx.CountStat(key, int64(n))
+		}
+	}
+	count("profile-total-count", total)
+	count("profile-edge-count", c.edge)
+	count("profile-call-count", callCount)
+	count("profile-ignored-count", ignored+c.ignored)
+	count("profile-drop-count", drop+c.drop)
+	count("profile-stale-count", c.stale)
+	count("profile-stale-drop-count", c.staleDrop)
+	return len(buckets), jobs, nil
+}
+
+// applyIntraBranch applies one same-function branch record. All state it
+// mutates belongs to fn; counts accumulate into the worker's shard.
+func applyIntraBranch(fn *BinaryFunction, sf *staleFunc, br profile.Branch, c *applyCounts) {
+	// Shape mismatch: this binary is a different build than the profiled
+	// one; route every intra-function record through the block matcher
+	// (raw offsets would at best miss, at worst hit an unrelated
+	// instruction).
+	if sf != nil && sf.stale {
+		switch applyStaleBranch(fn, sf, br) {
+		case staleApplied:
+			c.stale += br.Count
+		case staleIgnored:
+			// Same classification the fresh path would give the record
+			// (returns, non-branch sources): no CFG info, but nothing
+			// recoverable was lost either.
+			c.ignored += br.Count
+		case staleDropped:
+			c.staleDrop += br.Count
+		}
+		return
+	}
+	fromAddr := fn.Addr + br.From.Off
+	toAddr := fn.Addr + br.To.Off
+	fb, fi := fn.InstAt(fromAddr)
+	if fb == nil {
+		c.drop += br.Count
+		return
+	}
+	fn.Sampled = true
+	// Return-to-self or call-to-self noise: only branch sources
+	// contribute to edges.
+	if !fi.I.IsBranch() {
+		c.ignored += br.Count
+		return
+	}
+	tb := fn.BlockAt(toAddr)
+	if tb == nil {
+		c.drop += br.Count
+		return
+	}
+	for k := range fb.Succs {
+		if fb.Succs[k].To == tb {
+			fb.Succs[k].Count += br.Count
+			fb.Succs[k].Mispreds += br.Mispreds
+			c.edge += br.Count
+			return
+		}
+	}
+	c.drop += br.Count
 }
 
 // staleOutcome classifies one stale record's fate, mirroring the fresh
@@ -338,37 +471,83 @@ func applyStaleBranch(fn *BinaryFunction, sf *staleFunc, br profile.Branch) stal
 	return staleDropped
 }
 
-func (ctx *BinaryContext) applySamples(fd *profile.Fdata, sm *staleMatcher) {
+// applySamples attaches PC samples with the same classify → parallel
+// per-function apply → join structure as applyLBR; samples only ever
+// touch their own function's blocks, so there is no serial tail beyond
+// stat folding.
+func (ctx *BinaryContext) applySamples(cx context.Context, fd *profile.Fdata, sm *staleMatcher) (int, int, error) {
+	var total, drop uint64
+	var buckets []*funcRecs
+	idx := map[*BinaryFunction]int{}
 	for _, s := range fd.Samples {
-		ctx.CountStat("profile-total-count", int64(s.Count))
+		total += s.Count
 		fn := ctx.ByName[s.At.Sym]
 		if fn == nil || !fn.Simple {
-			ctx.CountStat("profile-drop-count", int64(s.Count))
+			drop += s.Count
 			continue
 		}
-		if sf := sm.lookup(fn); sf != nil && sf.stale {
-			oldIdx := stale.BlockAtOff(sf.old.Blocks, s.At.Off)
-			if b := sf.blockMap[oldIdx]; oldIdx >= 0 && b != nil {
-				b.ExecCount += s.Count
-				fn.Sampled = true
-				ctx.CountStat("profile-stale-count", int64(s.Count))
-			} else {
-				ctx.CountStat("profile-stale-drop-count", int64(s.Count))
-			}
-			continue
-		}
-		b := fn.BlockContaining(fn.Addr + s.At.Off)
-		if b == nil {
-			ctx.CountStat("profile-drop-count", int64(s.Count))
-			continue
-		}
-		b.ExecCount += s.Count
-		fn.Sampled = true
-		ctx.CountStat("profile-sample-count", int64(s.Count))
+		b := bucketFor(fn, &buckets, idx)
+		b.smps = append(b.smps, s)
 	}
+
+	jobs := effectiveJobs(ctx.Opts.Jobs, len(buckets))
+	shards := make([]applyCounts, jobs)
+	if _, err := parallelFor(cx, len(buckets), jobs, func(w, i int) error {
+		b := buckets[i]
+		if sm != nil {
+			b.sf = sm.compute(b.fn)
+		}
+		c := &shards[w]
+		for _, s := range b.smps {
+			applySample(b.fn, b.sf, s, c)
+		}
+		return nil
+	}); err != nil {
+		return len(buckets), jobs, err
+	}
+	installStale(ctx, sm, buckets)
+
+	var c applyCounts
+	for i := range shards {
+		c.add(shards[i])
+	}
+	count := func(key string, n uint64) {
+		if n > 0 {
+			ctx.CountStat(key, int64(n))
+		}
+	}
+	count("profile-total-count", total)
+	count("profile-sample-count", c.sample)
+	count("profile-drop-count", drop+c.drop)
+	count("profile-stale-count", c.stale)
+	count("profile-stale-drop-count", c.staleDrop)
 	// Function exec counts are derived after inference (inferStage): the
 	// entry block's own sample count understates hot functions whose
 	// entry is short and rarely sampled, so the entry *in-flow* decides.
+	return len(buckets), jobs, nil
+}
+
+// applySample applies one PC sample to fn's blocks (fn-local state only).
+func applySample(fn *BinaryFunction, sf *staleFunc, s profile.Sample, c *applyCounts) {
+	if sf != nil && sf.stale {
+		oldIdx := stale.BlockAtOff(sf.old.Blocks, s.At.Off)
+		if b := sf.blockMap[oldIdx]; oldIdx >= 0 && b != nil {
+			b.ExecCount += s.Count
+			fn.Sampled = true
+			c.stale += s.Count
+		} else {
+			c.staleDrop += s.Count
+		}
+		return
+	}
+	b := fn.BlockContaining(fn.Addr + s.At.Off)
+	if b == nil {
+		c.drop += s.Count
+		return
+	}
+	b.ExecCount += s.Count
+	fn.Sampled = true
+	c.sample += s.Count
 }
 
 // isCondTerm reports whether block b ends in a conditional branch with a

@@ -81,6 +81,11 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		Name: "emit:functions", Wall: time.Since(emitStart),
 		Funcs: len(moved), Parallel: jobs > 1, Jobs: jobs,
 	})
+	// ---- emit:layout ----
+	// Serial address assignment: a prefix-sum over the emitted fragment
+	// sizes. Inherently sequential (each function's address depends on
+	// every predecessor's aligned size) but linear and branch-free, so it
+	// is a sliver of the former monolithic layout+patch region.
 	layoutStart := time.Now()
 
 	// New section layout after the last alloc section.
@@ -120,6 +125,16 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 	res.MovedFuncs = len(emits)
 	res.HotTextSize = hotEnd - hotBase
 	res.ColdTextSize = coldEnd - coldBase
+	// emitOf is indexed by function ordinal (BinaryFunction.ordIdx); nil
+	// for functions that were not re-emitted.
+	emitOf := make([]*emitted, len(ctx.Funcs))
+	for _, e := range emits {
+		emitOf[e.fn.ordIdx] = e
+	}
+	ctx.EmitTimings = append(ctx.EmitTimings, PassTiming{
+		Name: "emit:layout", Wall: time.Since(layoutStart),
+		Funcs: len(emits), Jobs: 1,
+	})
 
 	// Symbol resolution for emitted relocations.
 	blockAddr := func(fn *BinaryFunction, idx int, e *emitted) (uint64, bool) {
@@ -132,12 +147,6 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 			}
 		}
 		return 0, false
-	}
-	// emitOf is indexed by function ordinal (BinaryFunction.ordIdx); nil
-	// for functions that were not re-emitted.
-	emitOf := make([]*emitted, len(ctx.Funcs))
-	for _, e := range emits {
-		emitOf[e.fn.ordIdx] = e
 	}
 	// finalFuncAddr resolves a function name to its final entry address,
 	// following ICF folds. (Input relocations and the entry point carry
@@ -184,7 +193,14 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		return 0, fmt.Errorf("core: bad emission sym %#x", sym)
 	}
 
-	// Patch emitted code.
+	// ---- emit:patch ----
+	// Patch emitted code and place it into the new text sections. Each
+	// function's relocations target only its own fragment buffers, and
+	// the layout assigns every fragment a disjoint range of the output
+	// sections, so both the patching and the section copy fan out over
+	// the worker pool; only the input-section rela patching and jump
+	// table rewrite (shared section data) stay serial.
+	patchStart := time.Now()
 	patch32 := func(code []byte, off uint32, v uint32) {
 		binary.LittleEndian.PutUint32(code[off:], v)
 	}
@@ -203,15 +219,26 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		}
 		return nil
 	}
-	for _, e := range emits {
+	hotData := make([]byte, hotEnd-hotBase)
+	var coldData []byte
+	if coldEnd > coldBase {
+		coldData = make([]byte, coldEnd-coldBase)
+	}
+	if _, err := parallelFor(cx, len(emits), jobs, func(_, i int) error {
+		e := emits[i]
 		if err := patchFrag(e.Hot, e.fn.OutAddr); err != nil {
-			return nil, err
+			return err
 		}
+		copy(hotData[e.fn.OutAddr-hotBase:], e.Hot.Code)
 		if e.Cold != nil {
 			if err := patchFrag(e.Cold, e.fn.ColdAddr); err != nil {
-				return nil, err
+				return err
 			}
+			copy(coldData[e.fn.ColdAddr-coldBase:], e.Cold.Code)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Build the output file: copy sections (patched below).
@@ -362,29 +389,32 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		}
 	}
 
-	// Assemble new text sections.
-	hotData := make([]byte, hotEnd-hotBase)
-	for _, e := range emits {
-		copy(hotData[e.fn.OutAddr-hotBase:], e.Hot.Code)
-	}
+	// Register the new text sections (data filled by the parallel
+	// patch+copy stage above).
 	out.AddSection(&elfx.Section{
 		Name: ".text", Type: elfx.SHTProgbits,
 		Flags: elfx.SHFAlloc | elfx.SHFExecinstr,
 		Addr:  hotBase, Data: hotData, Addralign: 16,
 	})
 	if coldEnd > coldBase {
-		coldData := make([]byte, coldEnd-coldBase)
-		for _, e := range emits {
-			if e.Cold != nil {
-				copy(coldData[e.fn.ColdAddr-coldBase:], e.Cold.Code)
-			}
-		}
 		out.AddSection(&elfx.Section{
 			Name: ".text.cold", Type: elfx.SHTProgbits,
 			Flags: elfx.SHFAlloc | elfx.SHFExecinstr,
 			Addr:  coldBase, Data: coldData, Addralign: 16,
 		})
 	}
+	ctx.EmitTimings = append(ctx.EmitTimings, PassTiming{
+		Name: "emit:patch", Wall: time.Since(patchStart),
+		Funcs: len(emits), Parallel: jobs > 1, Jobs: jobs,
+	})
+
+	// ---- emit:metadata ----
+	// BAT, exception tables, line table, and symbols. Per-function blobs
+	// (LSDA call-site tables, FDE skeletons, line entries) are built in
+	// parallel into index-addressed slots; the serial tail only
+	// concatenates them in layout order, so section bytes match a fully
+	// serial rebuild.
+	metaStart := time.Now()
 
 	// BOLT Address Translation table (§7.3 continuous profiling): one
 	// range per emitted fragment, anchoring every surviving instruction's
@@ -423,46 +453,85 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		})
 	}
 
-	// Exception tables: regenerate the LSDA section and all FDEs.
-	// Upper bound on FDE count: one per emitted fragment plus every kept
-	// input FDE.
-	var lsdaData []byte
-	fdes := make([]cfi.FDE, 0, len(emits)+res.SplitFuncs+len(ctx.fdes))
+	// Exception tables: regenerate the LSDA section and all FDEs. Each
+	// fragment's call-site table is encoded into a private blob by the
+	// worker pool (cfi.EncodeLSDA is a pure append, so blobs concatenate
+	// byte-identically to sequential encoding); the serial join assigns
+	// the blob base offsets in layout order. Line entries for moved code
+	// are offset per fragment in the same parallel pass.
 	lsdaBase := align(coldEnd, 8)
-	encodeCallSites := func(frag *emittedFrag, e *emitted) (uint64, error) {
+	type lineEntry struct {
+		addr uint64
+		file string
+		line uint32
+	}
+	type emitMeta struct {
+		hotLSDA, coldLSDA []byte
+		hotFDE, coldFDE   cfi.FDE
+		lines             []lineEntry
+	}
+	metas := make([]emitMeta, len(emits))
+	buildLSDA := func(frag *emittedFrag, e *emitted) ([]byte, error) {
 		if len(frag.CallSites) == 0 {
-			return 0, nil
+			return nil, nil
 		}
-		l := &cfi.LSDA{}
+		l := &cfi.LSDA{CallSites: make([]cfi.CallSite, 0, len(frag.CallSites))}
 		for _, cs := range frag.CallSites {
 			lp, ok := blockAddr(e.fn, cs.LP.Index, e)
 			if !ok {
-				return 0, fmt.Errorf("core: landing pad block %d of %s not emitted", cs.LP.Index, e.fn.Name)
+				return nil, fmt.Errorf("core: landing pad block %d of %s not emitted", cs.LP.Index, e.fn.Name)
 			}
 			l.CallSites = append(l.CallSites, cfi.CallSite{
 				Start: cs.Start, Len: cs.Len, LandingPad: lp, Action: cs.Action,
 			})
 		}
-		var off uint32
-		lsdaData, off = cfi.EncodeLSDA(lsdaData, l)
-		return lsdaBase + uint64(off), nil
+		blob, _ := cfi.EncodeLSDA(nil, l)
+		return blob, nil
 	}
-	for _, e := range emits {
-		lsda, err := encodeCallSites(e.Hot, e)
-		if err != nil {
-			return nil, err
+	if _, err := parallelFor(cx, len(emits), jobs, func(_, i int) error {
+		e, m := emits[i], &metas[i]
+		var err error
+		if m.hotLSDA, err = buildLSDA(e.Hot, e); err != nil {
+			return err
 		}
-		fdes = append(fdes, cfi.FDE{
-			Start: e.fn.OutAddr, Len: uint32(len(e.Hot.Code)), LSDA: lsda, Insts: e.Hot.CFI,
-		})
-		if e.Cold != nil {
-			lsdaC, err := encodeCallSites(e.Cold, e)
-			if err != nil {
-				return nil, err
+		m.hotFDE = cfi.FDE{Start: e.fn.OutAddr, Len: uint32(len(e.Hot.Code)), Insts: e.Hot.CFI}
+		if ctx.Opts.UpdateDebugSections {
+			for _, ln := range e.Hot.Lines {
+				m.lines = append(m.lines, lineEntry{e.fn.OutAddr + uint64(ln.Off), ln.File, uint32(ln.Line)})
 			}
-			fdes = append(fdes, cfi.FDE{
-				Start: e.fn.ColdAddr, Len: uint32(len(e.Cold.Code)), LSDA: lsdaC, Insts: e.Cold.CFI,
-			})
+		}
+		if e.Cold != nil {
+			if m.coldLSDA, err = buildLSDA(e.Cold, e); err != nil {
+				return err
+			}
+			m.coldFDE = cfi.FDE{Start: e.fn.ColdAddr, Len: uint32(len(e.Cold.Code)), Insts: e.Cold.CFI}
+			if ctx.Opts.UpdateDebugSections {
+				for _, ln := range e.Cold.Lines {
+					m.lines = append(m.lines, lineEntry{e.fn.ColdAddr + uint64(ln.Off), ln.File, uint32(ln.Line)})
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Serial concat: upper bound on FDE count is one per emitted fragment
+	// plus every kept input FDE.
+	var lsdaData []byte
+	fdes := make([]cfi.FDE, 0, len(emits)+res.SplitFuncs+len(ctx.fdes))
+	for i, e := range emits {
+		m := &metas[i]
+		if m.hotLSDA != nil {
+			m.hotFDE.LSDA = lsdaBase + uint64(len(lsdaData))
+			lsdaData = append(lsdaData, m.hotLSDA...)
+		}
+		fdes = append(fdes, m.hotFDE)
+		if e.Cold != nil {
+			if m.coldLSDA != nil {
+				m.coldFDE.LSDA = lsdaBase + uint64(len(lsdaData))
+				lsdaData = append(lsdaData, m.coldLSDA...)
+			}
+			fdes = append(fdes, m.coldFDE)
 		}
 	}
 	// Keep FDEs (and LSDA records) of unmoved functions.
@@ -508,14 +577,12 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 				}
 			}
 		}
-		for _, e := range emits {
-			for _, ln := range e.Hot.Lines {
-				nt.Add(e.fn.OutAddr+uint64(ln.Off), ln.File, uint32(ln.Line))
-			}
-			if e.Cold != nil {
-				for _, ln := range e.Cold.Lines {
-					nt.Add(e.fn.ColdAddr+uint64(ln.Off), ln.File, uint32(ln.Line))
-				}
+		// Moved-code entries were offset per fragment by the parallel
+		// metadata pass; Add them in layout order so file interning and
+		// the (order-sensitive) sort+dedup match a serial rebuild.
+		for i := range metas {
+			for _, ln := range metas[i].lines {
+				nt.Add(ln.addr, ln.file, ln.line)
 			}
 		}
 		nt.Sort()
@@ -566,7 +633,8 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		out.Entry = v
 	}
 	ctx.EmitTimings = append(ctx.EmitTimings, PassTiming{
-		Name: "emit:layout+patch", Wall: time.Since(layoutStart), Jobs: 1,
+		Name: "emit:metadata", Wall: time.Since(metaStart),
+		Funcs: len(emits), Parallel: jobs > 1, Jobs: jobs,
 	})
 	res.File = out
 	return res, nil

@@ -9,11 +9,18 @@ package profile
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"gobolt/internal/par"
 )
 
 // Loc is a symbolized code location.
@@ -22,7 +29,16 @@ type Loc struct {
 	Off uint64
 }
 
-func (l Loc) String() string { return fmt.Sprintf("%s+%#x", l.Sym, l.Off) }
+func (l Loc) String() string {
+	// Manual append formatting: String sits on the profile ingest and
+	// diagnostics hot paths, where fmt.Sprintf dominated the allocation
+	// profile.
+	b := make([]byte, 0, len(l.Sym)+19)
+	b = append(b, l.Sym...)
+	b = append(b, '+', '0', 'x')
+	b = strconv.AppendUint(b, l.Off, 16)
+	return string(b)
+}
 
 // Branch is one aggregated taken-branch record (LBR mode).
 type Branch struct {
@@ -151,6 +167,10 @@ func (f *Fdata) TotalBranchCount() uint64 {
 // Write serializes the profile in fdata-like text form. Profiles without
 // shapes use the v1 header; profiles carrying shapes use v2, which v1
 // readers reject cleanly (the version field is checked before records).
+//
+// Record lines are built with manual append formatting into one reused
+// buffer — Write runs inside merge/round-trip loops where per-line
+// fmt.Fprintf was a measurable share of ingest wall time.
 func (f *Fdata) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	mode := "lbr"
@@ -161,7 +181,15 @@ func (f *Fdata) Write(w io.Writer) error {
 	if len(f.Shapes) > 0 {
 		version = "v2"
 	}
-	fmt.Fprintf(bw, "boltprofile %s %s event=%s\n", version, mode, f.Event)
+	buf := make([]byte, 0, 256)
+	buf = append(buf, "boltprofile "...)
+	buf = append(buf, version...)
+	buf = append(buf, ' ')
+	buf = append(buf, mode...)
+	buf = append(buf, " event="...)
+	buf = append(buf, f.Event...)
+	buf = append(buf, '\n')
+	bw.Write(buf)
 	if len(f.Shapes) > 0 {
 		names := make([]string, 0, len(f.Shapes))
 		for name := range f.Shapes {
@@ -172,34 +200,91 @@ func (f *Fdata) Write(w io.Writer) error {
 			sh := f.Shapes[name]
 			// Format: s <func> <nblocks> then one `b <off> <hash> <succs>`
 			// line per block (succs comma separated, "-" when none).
-			fmt.Fprintf(bw, "s %s %d\n", escape(name), len(sh.Blocks))
+			buf = append(buf[:0], 's', ' ')
+			buf = appendEscaped(buf, name)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(len(sh.Blocks)), 10)
+			buf = append(buf, '\n')
+			bw.Write(buf)
 			for _, b := range sh.Blocks {
-				fmt.Fprintf(bw, "b %x %x %s\n", b.Off, b.Hash, succsString(b.Succs))
+				buf = append(buf[:0], 'b', ' ')
+				buf = strconv.AppendUint(buf, b.Off, 16)
+				buf = append(buf, ' ')
+				buf = strconv.AppendUint(buf, b.Hash, 16)
+				buf = append(buf, ' ')
+				buf = appendSuccs(buf, b.Succs)
+				buf = append(buf, '\n')
+				bw.Write(buf)
 			}
 		}
 	}
 	for _, b := range f.Branches {
 		// Format: 1 <from-sym> <from-off> 1 <to-sym> <to-off> <mispreds> <count>
-		fmt.Fprintf(bw, "1 %s %x 1 %s %x %d %d\n",
-			escape(b.From.Sym), b.From.Off, escape(b.To.Sym), b.To.Off, b.Mispreds, b.Count)
+		buf = append(buf[:0], '1', ' ')
+		buf = appendEscaped(buf, b.From.Sym)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, b.From.Off, 16)
+		buf = append(buf, ' ', '1', ' ')
+		buf = appendEscaped(buf, b.To.Sym)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, b.To.Off, 16)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, b.Mispreds, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, b.Count, 10)
+		buf = append(buf, '\n')
+		bw.Write(buf)
 	}
 	for _, s := range f.Samples {
-		fmt.Fprintf(bw, "2 %s %x %d\n", escape(s.At.Sym), s.At.Off, s.Count)
+		buf = append(buf[:0], '2', ' ')
+		buf = appendEscaped(buf, s.At.Sym)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, s.At.Off, 16)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, s.Count, 10)
+		buf = append(buf, '\n')
+		bw.Write(buf)
 	}
 	return bw.Flush()
 }
 
-// Parse reads a profile written by Write.
+// Parse reads a profile written by Write. The input is slurped and
+// handed to ParseData, which parses large profiles in parallel chunks.
 func Parse(r io.Reader) (*Fdata, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	if !sc.Scan() {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseData(data, 0)
+}
+
+// parallelParseMin is the body size below which auto-sized parsing stays
+// serial: chunk bookkeeping costs more than it saves on tiny inputs.
+const parallelParseMin = 1 << 16
+
+// ParseData parses an fdata profile from memory, splitting the body into
+// line-aligned chunks parsed concurrently by up to jobs workers (jobs <=
+// 0 selects GOMAXPROCS, dropping to one worker for small inputs). The
+// result is byte-identical on Write to a serial parse for any chunk
+// count: chunk results are concatenated in input order, and chunk
+// boundaries never split a multi-line `s`/`b` shape group. Errors carry
+// absolute line numbers regardless of chunking, and the reported error is
+// always the one serial parsing would hit first (chunks cover disjoint
+// line ranges in order, and the pool returns the lowest-chunk error).
+func ParseData(data []byte, jobs int) (*Fdata, error) {
+	if len(data) == 0 {
 		return nil, fmt.Errorf("profile: empty input")
 	}
-	header := strings.Fields(sc.Text())
+	headerLine := data
+	var body []byte
+	if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+		headerLine, body = data[:nl], data[nl+1:]
+	}
+	headerLine = bytes.TrimSuffix(headerLine, []byte{'\r'})
+	header := strings.Fields(string(headerLine))
 	if len(header) < 3 || header[0] != "boltprofile" ||
 		(header[1] != "v1" && header[1] != "v2") {
-		return nil, fmt.Errorf("profile: bad header %q", sc.Text())
+		return nil, fmt.Errorf("profile: bad header %q", string(headerLine))
 	}
 	f := &Fdata{LBR: header[2] == "lbr"}
 	for _, h := range header[3:] {
@@ -207,123 +292,297 @@ func Parse(r io.Reader) (*Fdata, error) {
 			f.Event = v
 		}
 	}
-	lineNo := 1
-	var curShape *FuncShape // open `s` record collecting `b` lines
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+		if len(body) < parallelParseMin {
+			jobs = 1
+		}
+	}
+	chunks := splitChunks(body, jobs)
+	if len(chunks) == 0 {
+		return f, nil
+	}
+	// Absolute starting line number of each chunk: line 1 is the header,
+	// the body starts on line 2. Chunk i+1's start line doubles as the
+	// line a shape left open at the end of chunk i is reported on.
+	starts := make([]int, len(chunks)+1)
+	starts[0] = 2
+	for i, c := range chunks {
+		n := bytes.Count(c, []byte{'\n'})
+		if len(c) > 0 && c[len(c)-1] != '\n' {
+			n++ // final line without trailing newline
+		}
+		starts[i+1] = starts[i] + n
+	}
+	results := make([]chunkData, len(chunks))
+	_, err := par.For(context.Background(), len(chunks), jobs, func(_, i int) error {
+		return parseChunk(chunks[i], starts[i], starts[i+1], i == len(chunks)-1, &results[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	var nb, ns int
+	for i := range results {
+		nb += len(results[i].branches)
+		ns += len(results[i].samples)
+	}
+	// Leave record slices nil when empty: parse results are compared
+	// with reflect.DeepEqual in round-trip tests and a serial parse of
+	// an empty body yields nil, not a zero-length allocation.
+	if nb > 0 {
+		f.Branches = make([]Branch, 0, nb)
+	}
+	if ns > 0 {
+		f.Samples = make([]Sample, 0, ns)
+	}
+	for i := range results {
+		f.Branches = append(f.Branches, results[i].branches...)
+		f.Samples = append(f.Samples, results[i].samples...)
+		for _, sh := range results[i].shapes {
+			if f.Shapes == nil {
+				f.Shapes = map[string]FuncShape{}
+			}
+			f.Shapes[sh.name] = sh.sh // last wins, as in serial order
+		}
+	}
+	return f, nil
+}
+
+// splitChunks cuts body into at most n line-aligned pieces of roughly
+// equal byte size. A cut never lands inside a shape group: after
+// advancing to the next line boundary the cut keeps advancing past
+// continuation lines (blank lines — legal inside shape groups — and `b`
+// block records), so every chunk starts at a line that serial parsing
+// treats as a fresh top-level record.
+func splitChunks(body []byte, n int) [][]byte {
+	if len(body) == 0 {
+		return nil
+	}
+	if n <= 1 || len(body) < 2*n {
+		return [][]byte{body}
+	}
+	chunks := make([][]byte, 0, n)
+	target := len(body) / n
+	start := 0
+	for len(chunks) < n-1 {
+		cut := start + target
+		if cut >= len(body) {
+			break
+		}
+		j := bytes.IndexByte(body[cut:], '\n')
+		if j < 0 {
+			break
+		}
+		cut += j + 1
+		for cut < len(body) {
+			adv := len(body) - cut
+			line := body[cut:]
+			if end := bytes.IndexByte(line, '\n'); end >= 0 {
+				line, adv = line[:end], end+1
+			}
+			if !isContinuationLine(line) {
+				break
+			}
+			cut += adv
+		}
+		if cut >= len(body) {
+			break
+		}
+		chunks = append(chunks, body[start:cut])
+		start = cut
+	}
+	return append(chunks, body[start:])
+}
+
+// isContinuationLine reports whether a line cannot begin a chunk: blank
+// lines may sit inside shape groups and `b` records extend the shape
+// opened by a preceding `s` line. Field splitting matches the parser's
+// (Unicode whitespace), so the boundary scan and the parser agree on
+// what "blank" means.
+func isContinuationLine(line []byte) bool {
+	fields := strings.Fields(string(line))
+	return len(fields) == 0 || fields[0] == "b"
+}
+
+// chunkData is one chunk's private parse result, concatenated in chunk
+// order by ParseData. Records stay in input order (no aggregation) so the
+// merged Fdata writes back byte-identically to a serial parse.
+type chunkData struct {
+	branches []Branch
+	samples  []Sample
+	shapes   []namedShape
+}
+
+type namedShape struct {
+	name string
+	sh   FuncShape
+}
+
+// parseChunk parses the record lines of one chunk. baseLine is the
+// absolute line number of the chunk's first line; boundaryLine is the
+// absolute line number of the next chunk's first line, where a shape
+// left open at the chunk end would be diagnosed by a serial parse (the
+// next chunk is guaranteed to start with a non-blank, non-`b` line).
+func parseChunk(body []byte, baseLine, boundaryLine int, last bool, out *chunkData) error {
+	lineNo := baseLine - 1
+	var fields [][]byte // reused across lines
+	var curShape *FuncShape
 	var curName string
 	var curBlocks int
-	for sc.Scan() {
+	for off := 0; off < len(body); {
 		lineNo++
-		fields := strings.Fields(sc.Text())
+		line := body[off:]
+		if end := bytes.IndexByte(line, '\n'); end >= 0 {
+			line, off = line[:end], off+end+1
+		} else {
+			off = len(body)
+		}
+		fields = splitFieldsBytes(line, fields)
 		if len(fields) == 0 {
 			continue
 		}
-		if fields[0] != "b" && curShape != nil && len(curShape.Blocks) != curBlocks {
-			return nil, fmt.Errorf("profile: line %d: shape has %d blocks, declared %d",
+		rec := byte(0)
+		if len(fields[0]) == 1 {
+			rec = fields[0][0]
+		}
+		if rec != 'b' && curShape != nil && len(curShape.Blocks) != curBlocks {
+			return fmt.Errorf("profile: line %d: shape has %d blocks, declared %d",
 				lineNo, len(curShape.Blocks), curBlocks)
 		}
-		switch fields[0] {
-		case "s":
+		switch rec {
+		case 's':
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("profile: line %d: want 3 fields, got %d", lineNo, len(fields))
+				return fmt.Errorf("profile: line %d: want 3 fields, got %d", lineNo, len(fields))
 			}
-			name := unescape(fields[1])
-			n := 0
-			if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			name := unescape(string(fields[1]))
+			n64, err := strconv.ParseUint(string(fields[2]), 10, 32)
+			if err != nil {
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
-			if n < 0 || n > 1<<20 {
-				return nil, fmt.Errorf("profile: line %d: implausible block count %d", lineNo, n)
-			}
-			if f.Shapes == nil {
-				f.Shapes = map[string]FuncShape{}
+			n := int(n64)
+			if n > 1<<20 {
+				return fmt.Errorf("profile: line %d: implausible block count %d", lineNo, n)
 			}
 			sh := FuncShape{Blocks: make([]BlockShape, 0, n)}
 			curShape, curName, curBlocks = &sh, name, n
 			if n == 0 {
-				f.Shapes[curName] = sh
+				out.shapes = append(out.shapes, namedShape{curName, sh})
 				curShape = nil
 			}
-		case "b":
+		case 'b':
 			if curShape == nil {
-				return nil, fmt.Errorf("profile: line %d: block shape outside function shape", lineNo)
+				return fmt.Errorf("profile: line %d: block shape outside function shape", lineNo)
 			}
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("profile: line %d: want 4 fields, got %d", lineNo, len(fields))
+				return fmt.Errorf("profile: line %d: want 4 fields, got %d", lineNo, len(fields))
 			}
 			var b BlockShape
-			if _, err := fmt.Sscanf(fields[1], "%x", &b.Off); err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			var err error
+			if b.Off, err = strconv.ParseUint(string(fields[1]), 16, 64); err != nil {
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
-			if _, err := fmt.Sscanf(fields[2], "%x", &b.Hash); err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			if b.Hash, err = strconv.ParseUint(string(fields[2]), 16, 64); err != nil {
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
-			succs, err := parseSuccs(fields[3])
+			succs, err := parseSuccs(string(fields[3]))
 			if err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
 			b.Succs = succs
 			curShape.Blocks = append(curShape.Blocks, b)
 			if len(curShape.Blocks) == curBlocks {
-				f.Shapes[curName] = *curShape
+				out.shapes = append(out.shapes, namedShape{curName, *curShape})
 				curShape = nil
 			}
-		case "1":
+		case '1':
 			if len(fields) != 8 {
-				return nil, fmt.Errorf("profile: line %d: want 8 fields, got %d", lineNo, len(fields))
+				return fmt.Errorf("profile: line %d: want 8 fields, got %d", lineNo, len(fields))
 			}
 			var b Branch
-			b.From.Sym = unescape(fields[1])
-			b.To.Sym = unescape(fields[4])
-			if _, err := fmt.Sscanf(fields[2], "%x", &b.From.Off); err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			var err error
+			b.From.Sym = unescape(string(fields[1]))
+			b.To.Sym = unescape(string(fields[4]))
+			if b.From.Off, err = strconv.ParseUint(string(fields[2]), 16, 64); err != nil {
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
-			if _, err := fmt.Sscanf(fields[5], "%x", &b.To.Off); err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			if b.To.Off, err = strconv.ParseUint(string(fields[5]), 16, 64); err != nil {
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
-			if _, err := fmt.Sscanf(fields[6], "%d", &b.Mispreds); err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			if b.Mispreds, err = strconv.ParseUint(string(fields[6]), 10, 64); err != nil {
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
-			if _, err := fmt.Sscanf(fields[7], "%d", &b.Count); err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			if b.Count, err = strconv.ParseUint(string(fields[7]), 10, 64); err != nil {
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
-			f.Branches = append(f.Branches, b)
-		case "2":
+			out.branches = append(out.branches, b)
+		case '2':
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("profile: line %d: want 4 fields, got %d", lineNo, len(fields))
+				return fmt.Errorf("profile: line %d: want 4 fields, got %d", lineNo, len(fields))
 			}
 			var s Sample
-			s.At.Sym = unescape(fields[1])
-			if _, err := fmt.Sscanf(fields[2], "%x", &s.At.Off); err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			var err error
+			s.At.Sym = unescape(string(fields[1]))
+			if s.At.Off, err = strconv.ParseUint(string(fields[2]), 16, 64); err != nil {
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
-			if _, err := fmt.Sscanf(fields[3], "%d", &s.Count); err != nil {
-				return nil, fmt.Errorf("profile: line %d: %w", lineNo, err)
+			if s.Count, err = strconv.ParseUint(string(fields[3]), 10, 64); err != nil {
+				return fmt.Errorf("profile: line %d: %w", lineNo, err)
 			}
-			f.Samples = append(f.Samples, s)
+			out.samples = append(out.samples, s)
 		default:
-			return nil, fmt.Errorf("profile: line %d: unknown record %q", lineNo, fields[0])
+			return fmt.Errorf("profile: line %d: unknown record %q", lineNo, string(fields[0]))
 		}
 	}
 	if curShape != nil {
-		return nil, fmt.Errorf("profile: truncated shape for %q (%d of %d blocks)",
-			curName, len(curShape.Blocks), curBlocks)
+		if last {
+			return fmt.Errorf("profile: truncated shape for %q (%d of %d blocks)",
+				curName, len(curShape.Blocks), curBlocks)
+		}
+		// The next chunk starts with a top-level line, which serial
+		// parsing would flag against this under-filled shape.
+		return fmt.Errorf("profile: line %d: shape has %d blocks, declared %d",
+			boundaryLine, len(curShape.Blocks), curBlocks)
 	}
-	return f, sc.Err()
+	return nil
 }
 
-// succsString renders successor indices as "0,2,5" ("-" when none).
-func succsString(succs []int) string {
-	if len(succs) == 0 {
-		return "-"
+// splitFieldsBytes splits a line on Unicode whitespace into dst
+// (reused), mirroring strings.Fields without the per-line string
+// conversion.
+func splitFieldsBytes(line []byte, dst [][]byte) [][]byte {
+	dst = dst[:0]
+	i := 0
+	for i < len(line) {
+		r, size := utf8.DecodeRune(line[i:])
+		if unicode.IsSpace(r) {
+			i += size
+			continue
+		}
+		start := i
+		for i < len(line) {
+			r, size := utf8.DecodeRune(line[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+		dst = append(dst, line[start:i])
 	}
-	var sb strings.Builder
+	return dst
+}
+
+// appendSuccs renders successor indices as "0,2,5" ("-" when none).
+func appendSuccs(dst []byte, succs []int) []byte {
+	if len(succs) == 0 {
+		return append(dst, '-')
+	}
 	for i, s := range succs {
 		if i > 0 {
-			sb.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		fmt.Fprintf(&sb, "%d", s)
+		dst = strconv.AppendInt(dst, int64(s), 10)
 	}
-	return sb.String()
+	return dst
 }
 
 func parseSuccs(s string) ([]int, error) {
@@ -342,41 +601,44 @@ func parseSuccs(s string) ([]int, error) {
 	return out, nil
 }
 
-// escape makes a symbol safe for the whitespace-separated fdata format.
-// Empty names become the __empty__ sentinel; the escape character itself,
-// control/whitespace bytes, all non-ASCII bytes (Parse splits on Unicode
-// whitespace, so multi-byte spaces like U+00A0 must not pass through
-// raw), and a symbol *literally* named __empty__ are hex-escaped so
-// every name survives a Write→Parse round trip (the old space-only
-// scheme corrupted symbols containing a literal `\x20` or the sentinel).
-func escape(s string) string {
+// appendEscaped appends a symbol made safe for the whitespace-separated
+// fdata format. Empty names become the __empty__ sentinel; the escape
+// character itself, control/whitespace bytes, all non-ASCII bytes (Parse
+// splits on Unicode whitespace, so multi-byte spaces like U+00A0 must
+// not pass through raw), and a symbol *literally* named __empty__ are
+// hex-escaped so every name survives a Write→Parse round trip (the old
+// space-only scheme corrupted symbols containing a literal `\x20` or the
+// sentinel).
+func appendEscaped(dst []byte, s string) []byte {
 	if s == "" {
-		return "__empty__"
+		return append(dst, "__empty__"...)
 	}
 	if s == "__empty__" {
-		return `\x5f_empty__`
+		return append(dst, `\x5f_empty__`...)
 	}
-	needsEsc := func(c byte) bool { return c <= ' ' || c >= 0x7F || c == '\\' }
 	needs := false
 	for i := 0; i < len(s); i++ {
-		if needsEsc(s[i]) {
+		if escNeeded(s[i]) {
 			needs = true
 			break
 		}
 	}
 	if !needs {
-		return s
+		return append(dst, s...)
 	}
-	var sb strings.Builder
+	const hexdig = "0123456789abcdef"
 	for i := 0; i < len(s); i++ {
-		if needsEsc(s[i]) {
-			fmt.Fprintf(&sb, `\x%02x`, s[i])
+		c := s[i]
+		if escNeeded(c) {
+			dst = append(dst, '\\', 'x', hexdig[c>>4], hexdig[c&0xf])
 		} else {
-			sb.WriteByte(s[i])
+			dst = append(dst, c)
 		}
 	}
-	return sb.String()
+	return dst
 }
+
+func escNeeded(c byte) bool { return c <= ' ' || c >= 0x7F || c == '\\' }
 
 // unescape decodes escape's output: the sentinel and \xNN sequences.
 // Malformed sequences pass through verbatim (garbage in, garbage out, but
