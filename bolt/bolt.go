@@ -42,8 +42,11 @@ package bolt
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"time"
 
 	"gobolt/internal/core"
 	"gobolt/internal/elfx"
@@ -55,9 +58,11 @@ import (
 // safe for concurrent use; the parallelism knob is Options.Jobs, not
 // concurrent sessions over the same Session value.
 type Session struct {
-	input string // path or descriptive name, for reports
-	file  *elfx.File
-	opts  core.Options
+	input     string // path or descriptive name, for reports
+	inputSHA  string // sha256 of the serialized input image
+	inputSize int
+	file      *elfx.File
+	opts      core.Options
 
 	fd          *profile.Fdata
 	profileDesc string
@@ -115,7 +120,15 @@ func newSession(input string, f *elfx.File, opts []Option) *Session {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return &Session{input: input, file: f, opts: o.Normalized()}
+	s := &Session{input: input, file: f, opts: o.Normalized()}
+	// Fingerprint the input image now, before any stage mutates the
+	// file in place; Report.InputSHA256 identifies the exact binary a
+	// run report describes.
+	if data, err := f.Bytes(); err == nil {
+		sum := sha256.Sum256(data)
+		s.inputSHA, s.inputSize = hex.EncodeToString(sum[:]), len(data)
+	}
+	return s
 }
 
 // Input returns the ELF image the session was opened on.
@@ -143,10 +156,15 @@ func (s *Session) LoadProfile(cx context.Context, sources ...ProfileSource) erro
 	if len(sources) > 1 {
 		src = MergeShards(sources...)
 	}
+	loadStart := time.Now()
 	fd, err := src.Load(cx)
 	if err != nil {
 		return fmt.Errorf("bolt: load profile (%s): %w", src.Describe(), err)
 	}
+	// Trace-only phase span: profile parsing happens before the binary
+	// context exists, so it has no PassTiming row, but it still shows up
+	// on the trace timeline.
+	s.opts.Trace.Phase("profile:load", loadStart, time.Since(loadStart), 1)
 	s.fd, s.profileDesc, s.profiled = fd, src.Describe(), true
 	return nil
 }
@@ -377,6 +395,9 @@ func PipelineNames(opts ...Option) []string {
 func (s *Session) buildReport(dynoBefore, dynoAfter core.DynoStats) *Report {
 	rep := &Report{
 		Input:        s.input,
+		InputSHA256:  s.inputSHA,
+		InputSize:    s.inputSize,
+		Options:      s.opts,
 		MovedFuncs:   s.res.MovedFuncs,
 		SkippedFuncs: s.res.SkippedFuncs,
 		FoldedFuncs:  s.res.FoldedFuncs,
@@ -405,5 +426,9 @@ func (s *Session) buildReport(dynoBefore, dynoAfter core.DynoStats) *Report {
 		rep.FlowAccAfter = s.bctx.FlowAccAfter
 		rep.InferredFuncs = s.bctx.InferredFuncs
 	}
+	if reg := s.bctx.Metrics; reg != nil {
+		rep.Metrics = reg.Snapshot()
+	}
+	rep.trace = s.opts.Trace
 	return rep
 }

@@ -1,0 +1,190 @@
+package bolt_test
+
+import (
+	"bytes"
+	"reflect"
+	"slices"
+	"sort"
+	"strings"
+	"testing"
+
+	"gobolt/bolt"
+	"gobolt/internal/obsv"
+)
+
+// traceShape reduces a span set to its deterministic structure: the
+// phase-name sequence in execution order, and per phase the sorted
+// multiset of task names. Which worker ran which task and how the batch
+// intervals split are scheduling-dependent and deliberately excluded.
+type traceShape struct {
+	phases    []string
+	taskNames map[string][]string
+}
+
+func shapeOf(spans []obsv.Span) traceShape {
+	sh := traceShape{taskNames: map[string][]string{}}
+	for _, s := range spans {
+		switch s.Kind {
+		case obsv.KindPhase:
+			sh.phases = append(sh.phases, s.Name)
+		case obsv.KindTask:
+			sh.taskNames[s.Phase] = append(sh.taskNames[s.Phase], s.Name)
+		}
+	}
+	for _, names := range sh.taskNames {
+		sort.Strings(names)
+	}
+	return sh
+}
+
+// TestTraceDeterministicAcrossJobs is the tracing counterpart of the
+// byte-identical-output contract: the recorded span timeline has the
+// same structure for every worker count — identical phase-name order,
+// identical per-phase task-name multisets — while worker assignment and
+// batch splits are free. The export must also validate as Chrome
+// trace-event JSON and carry at least one span per pipeline stage.
+func TestTraceDeterministicAcrossJobs(t *testing.T) {
+	f := buildTiny(t)
+	fd := record(t, f)
+
+	shapes := map[int]traceShape{}
+	for _, jobs := range []int{1, 2, 4} {
+		tr := obsv.New()
+		optimizeViaSession(t, f, fd, jobs, bolt.WithTracer(tr))
+		spans := tr.Spans()
+		shapes[jobs] = shapeOf(spans)
+
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("jobs=%d: write trace: %v", jobs, err)
+		}
+		if err := obsv.ValidateChromeTrace(buf.Bytes()); err != nil {
+			t.Errorf("jobs=%d: exported trace invalid: %v", jobs, err)
+		}
+	}
+
+	base := shapes[1]
+	for _, stage := range []string{"load:", "profile:apply", "reorder", "emit:"} {
+		if !slices.ContainsFunc(base.phases, func(name string) bool {
+			return strings.Contains(name, stage)
+		}) {
+			t.Errorf("no phase span matching %q in %v", stage, base.phases)
+		}
+	}
+	for _, jobs := range []int{2, 4} {
+		sh := shapes[jobs]
+		if !slices.Equal(base.phases, sh.phases) {
+			t.Errorf("jobs=%d: phase sequence diverged from jobs=1:\n  %v\nvs\n  %v",
+				jobs, base.phases, sh.phases)
+		}
+		if !reflect.DeepEqual(base.taskNames, sh.taskNames) {
+			for phase, names := range base.taskNames {
+				if !slices.Equal(names, sh.taskNames[phase]) {
+					t.Errorf("jobs=%d: phase %q task multiset diverged (%d vs %d tasks)",
+						jobs, phase, len(names), len(sh.taskNames[phase]))
+				}
+			}
+		}
+	}
+}
+
+// TestOccupancyConsistentWithTimings pins the derived occupancy stats to
+// the -time-passes instrumentation they sit next to: a pooled phase's
+// occupancy wall is exactly the wall the PassTiming rows recorded (the
+// phase span and the timing row are fed from the same measurement), and
+// busy time never exceeds wall × jobs.
+func TestOccupancyConsistentWithTimings(t *testing.T) {
+	f := buildTiny(t)
+	fd := record(t, f)
+	tr := obsv.New()
+	_, rep, _ := optimizeViaSession(t, f, fd, 2, bolt.WithTracer(tr))
+
+	occ := rep.OccupancyStats()
+	if len(occ) == 0 {
+		t.Fatal("traced run derived no occupancy stats")
+	}
+
+	// Occupancy folds repeated phase names (icf, peepholes run twice), so
+	// compare against the summed timing walls per name.
+	wallByName := map[string]int64{}
+	for _, pt := range rep.Timings() {
+		wallByName[pt.Name] += pt.Wall.Nanoseconds()
+	}
+	matched := 0
+	for _, ps := range occ {
+		if ps.Tasks == 0 {
+			t.Errorf("occupancy row %q has no tasks", ps.Phase)
+		}
+		if ps.BusyNS > ps.WallNS*int64(ps.Jobs) {
+			t.Errorf("occupancy row %q: busy %dns exceeds wall %dns x %d jobs",
+				ps.Phase, ps.BusyNS, ps.WallNS, ps.Jobs)
+		}
+		if ps.Utilization < 0 || ps.Utilization > 1+1e-9 {
+			t.Errorf("occupancy row %q: utilization %v out of [0,1]", ps.Phase, ps.Utilization)
+		}
+		want, ok := wallByName[ps.Phase]
+		if !ok {
+			continue // trace-only phases (profile:load) have no timing row
+		}
+		matched++
+		if ps.WallNS != want {
+			t.Errorf("occupancy row %q wall %dns != -time-passes wall %dns",
+				ps.Phase, ps.WallNS, want)
+		}
+	}
+	if matched < 3 {
+		t.Errorf("only %d occupancy rows matched a timing row; instrumentation drifted", matched)
+	}
+}
+
+// TestRunReportRoundTrip feeds Report.WriteJSON back through the strict
+// decoder: the document must parse with unknown fields disallowed,
+// validate, and reproduce the in-memory RunReport exactly. It also pins
+// the strictness properties themselves (unknown field, trailing data,
+// and version mismatch all fail).
+func TestRunReportRoundTrip(t *testing.T) {
+	f := buildTiny(t)
+	fd := record(t, f)
+	_, rep, _ := optimizeViaSession(t, f, fd, 2, bolt.WithTracer(obsv.New()), bolt.WithDynoStats(true))
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := bolt.ValidateRunReport(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateRunReport: %v", err)
+	}
+	got, err := bolt.ParseRunReport(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseRunReport: %v", err)
+	}
+	if want := rep.RunReport(); !reflect.DeepEqual(got, want) {
+		t.Errorf("run report did not round-trip:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.Profile == nil || got.Profile.TotalCount == 0 {
+		t.Error("round-tripped report lost the profile provenance")
+	}
+	if got.Metrics == nil || len(got.Metrics.Counters) == 0 {
+		t.Error("round-tripped report lost the metrics snapshot")
+	}
+	if got.Dyno == nil {
+		t.Error("round-tripped report lost the dyno stats")
+	}
+	if len(got.Occupancy) == 0 {
+		t.Error("round-tripped report lost the occupancy stats")
+	}
+
+	// Strictness: unknown fields, trailing data, version drift.
+	unknown := bytes.Replace(buf.Bytes(), []byte(`"schema_version"`), []byte(`"bogus_field": 1, "schema_version"`), 1)
+	if _, err := bolt.ParseRunReport(unknown); err == nil {
+		t.Error("ParseRunReport accepted an unknown field")
+	}
+	trailing := append(append([]byte{}, buf.Bytes()...), []byte("{}")...)
+	if _, err := bolt.ParseRunReport(trailing); err == nil {
+		t.Error("ParseRunReport accepted trailing data")
+	}
+	wrongVer := bytes.Replace(buf.Bytes(), []byte(`"schema_version": 1`), []byte(`"schema_version": 999`), 1)
+	if _, err := bolt.ParseRunReport(wrongVer); err == nil {
+		t.Error("ParseRunReport accepted a mismatched schema version")
+	}
+}

@@ -2,6 +2,7 @@ package bolt
 
 import (
 	"gobolt/internal/core"
+	"gobolt/internal/obsv"
 )
 
 // Option configures a Session at open time. The base configuration is
@@ -56,6 +57,16 @@ func WithStaleMatching(on bool) Option {
 // proportional estimator.
 func WithInferFlow(mode core.InferMode) Option {
 	return func(o *core.Options) { o.InferFlow = mode }
+}
+
+// WithTracer attaches an obsv span tracer to the session: every
+// pipeline phase and worker-pool task records a span into tr, the
+// per-phase occupancy stats land in Report.Occupancy, and
+// tr.WriteChromeTrace exports the Perfetto-loadable timeline
+// (gobolt -trace-out). nil (the default) disables tracing at zero
+// hot-path cost.
+func WithTracer(tr *obsv.Tracer) Option {
+	return func(o *core.Options) { o.Trace = tr }
 }
 
 // WithSplitFunctions sets the hot/cold splitting level (0 = off).

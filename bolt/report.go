@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"gobolt/internal/core"
+	"gobolt/internal/obsv"
 )
 
 // Report is the structured result of Session.Optimize — everything the
@@ -14,6 +15,15 @@ import (
 type Report struct {
 	// Input is the path (or "<memory>"/"<reader>") the session opened.
 	Input string
+
+	// InputSHA256/InputSize fingerprint the exact input image the run
+	// describes (sha256 of the serialized ELF, hex-encoded).
+	InputSHA256 string
+	InputSize   int
+
+	// Options is the resolved option set the session ran with (defaults
+	// plus open-time Option values).
+	Options core.Options
 
 	// Function accounting from the rewrite: moved into the new layout,
 	// skipped as non-simple, folded by ICF, split hot/cold. SimpleFuncs
@@ -52,6 +62,31 @@ type Report struct {
 	// minimum-cost-flow solver (0 when inference did not run).
 	FlowAccBefore, FlowAccAfter float64
 	InferredFuncs               int
+
+	// Metrics is the typed registry snapshot behind Stats: the same
+	// counters plus gauges and the per-function quality histograms
+	// (flow accuracy, stale-match quality).
+	Metrics *obsv.Snapshot
+
+	// Occupancy holds the derived per-phase worker-pool statistics
+	// (utilization, task-duration quantiles, stragglers). Present only
+	// when the session ran WithTracer, and derived lazily — read it
+	// through OccupancyStats; deriving statistics from tens of
+	// thousands of spans is report-rendering work that must not count
+	// against the pipeline's wall clock.
+	Occupancy []obsv.PhaseStats
+
+	// trace is the session's tracer, kept for the lazy derivation.
+	trace *obsv.Tracer
+}
+
+// OccupancyStats derives (once) and returns the per-phase worker-pool
+// statistics from the session's span trace; nil for untraced runs.
+func (r *Report) OccupancyStats() []obsv.PhaseStats {
+	if r.Occupancy == nil && r.trace != nil {
+		r.Occupancy = obsv.Occupancy(r.trace.Spans())
+	}
+	return r.Occupancy
 }
 
 // Timings returns all three instrumentation groups concatenated in
@@ -66,9 +101,11 @@ func (r *Report) Timings() []core.PassTiming {
 
 // WriteTimings renders the -time-passes report: per-phase wall time,
 // pipeline share, scheduling mode, and stat deltas for the whole
-// pipeline in one table.
+// pipeline in one table, followed by the pool-occupancy table when the
+// session traced (WithTracer).
 func (r *Report) WriteTimings(w io.Writer) {
 	core.WriteTimings(w, r.Timings())
+	obsv.WriteOccupancy(w, r.OccupancyStats())
 }
 
 // WriteDynoStats renders the before/after dyno-stats comparison (paper

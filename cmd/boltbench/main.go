@@ -21,8 +21,10 @@ import (
 	"strings"
 	"time"
 
+	"gobolt/bolt"
 	"gobolt/internal/bench"
 	"gobolt/internal/benchfmt"
+	"gobolt/internal/obsv"
 	"gobolt/internal/workload"
 )
 
@@ -35,7 +37,7 @@ func main() {
 
 func run() error {
 	exp := flag.String("experiment", "all",
-		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, inference, timing, speed, scaling (comma separated or 'all')")
+		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, inference, timing, speed, scaling, obsv (comma separated or 'all')")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (iterations multiplier)")
 	jobs := flag.Int("jobs", 0, "worker threads for every gobolt run's parallel phases — loader, function passes, emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "run the 'timing' experiment (load/pass/emit wall time at jobs=1 vs -jobs) even when not listed")
@@ -44,6 +46,8 @@ func run() error {
 	benchJSON := flag.String("bench-json", "", "write the 'speed'/'scaling' experiment's results as a BENCH_*.json gate-baseline skeleton to this file")
 	benchBaseline := flag.String("bench-baseline", "", "compare the 'speed'/'scaling' experiment against this committed BENCH_*.json baseline and fail on regression past its threshold")
 	scalingJobs := flag.String("scaling-jobs", "", "comma-separated jobs values the 'scaling' experiment sweeps (default 1,2,4,8)")
+	validateTrace := flag.String("validate-trace", "", "validate a Chrome trace-event JSON file (gobolt -trace-out) and exit")
+	validateReport := flag.String("validate-report", "", "validate a machine-readable run report (gobolt -report-json) and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
@@ -72,6 +76,32 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "boltbench: memprofile:", err)
 			}
 		}()
+	}
+
+	// Standalone validation mode: check artifacts from a gobolt run
+	// against the obsv schemas and exit without running experiments.
+	if *validateTrace != "" || *validateReport != "" {
+		if *validateTrace != "" {
+			data, err := os.ReadFile(*validateTrace)
+			if err != nil {
+				return err
+			}
+			if err := obsv.ValidateChromeTrace(data); err != nil {
+				return fmt.Errorf("%s: %w", *validateTrace, err)
+			}
+			fmt.Printf("boltbench: %s: valid Chrome trace\n", *validateTrace)
+		}
+		if *validateReport != "" {
+			data, err := os.ReadFile(*validateReport)
+			if err != nil {
+				return err
+			}
+			if err := bolt.ValidateRunReport(data); err != nil {
+				return fmt.Errorf("%s: %w", *validateReport, err)
+			}
+			fmt.Printf("boltbench: %s: valid run report (schema v%d)\n", *validateReport, bolt.ReportSchemaVersion)
+		}
+		return nil
 	}
 
 	bench.SetBoltJobs(*jobs)
@@ -132,6 +162,8 @@ func run() error {
 			_, report, err = bench.Inference(sc)
 		case "timing":
 			report, err = bench.PipelineScaling(sc, *jobs)
+		case "obsv":
+			report, err = bench.Obsv(sc)
 		case "speed":
 			var results []benchfmt.Result
 			results, report, err = bench.Speed(sc, *jobs)

@@ -27,6 +27,7 @@ import (
 	"gobolt/internal/core"
 	"gobolt/internal/hfsort"
 	"gobolt/internal/layout"
+	"gobolt/internal/obsv"
 )
 
 // errUsage marks a bad invocation; main exits 2 (the flag-package
@@ -66,6 +67,8 @@ func run() error {
 	lite := flag.Bool("lite", false, "only process functions with profile samples")
 	jobs := flag.Int("jobs", 0, "worker threads for the parallel phases — loader disasm+CFG, function passes, code emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "print per-pass wall time and stat deltas")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run (load in Perfetto or chrome://tracing)")
+	reportJSON := flag.String("report-json", "", "write the machine-readable run report (versioned JSON) to this path; \"-\" writes to stdout")
 	dynoStats := flag.Bool("dyno-stats", false, "print dyno stats before/after")
 	badLayout := flag.Bool("report-bad-layout", false, "report cold blocks between hot blocks and exit")
 	printCFG := flag.String("print-cfg", "", "print the CFG of the named function and exit")
@@ -128,6 +131,11 @@ func run() error {
 	opts.TimePasses = *timePasses
 	opts.DynoStats = *dynoStats
 	opts.UpdateDebugSections = *updateDebug
+	var tracer *obsv.Tracer
+	if *traceOut != "" {
+		tracer = obsv.New()
+		opts.Trace = tracer
+	}
 
 	if *printPipeline {
 		for i, name := range bolt.PipelineNames(bolt.WithOptions(opts)) {
@@ -179,11 +187,13 @@ func run() error {
 		// alongside a swallowed error.
 		return err
 	}
+	// Diagnostics go to stderr: stdout is reserved for requested data
+	// output (`-report-json -`, -print-cfg, ...), so piping stays clean.
 	if *timePasses {
-		rep.WriteTimings(os.Stdout)
+		rep.WriteTimings(os.Stderr)
 	}
 	if *dynoStats {
-		rep.WriteDynoStats(os.Stdout)
+		rep.WriteDynoStats(os.Stderr)
 	}
 	outPath := *out
 	if outPath == "" {
@@ -192,9 +202,50 @@ func run() error {
 	if err := sess.WriteFile(outPath); err != nil {
 		return err
 	}
-	fmt.Printf("gobolt: %s -> %s\n", input, outPath)
-	fmt.Println(indent(rep.Summary()))
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			return err
+		}
+	}
+	if *reportJSON != "" {
+		if err := writeReportJSON(*reportJSON, rep); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gobolt: %s -> %s\n", input, outPath)
+	fmt.Fprintln(os.Stderr, indent(rep.Summary()))
 	return nil
+}
+
+// writeTrace exports the recorded span timeline as Chrome trace-event
+// JSON (Perfetto-loadable).
+func writeTrace(path string, tr *obsv.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// writeReportJSON writes the machine-readable run report to path, or to
+// stdout for "-".
+func writeReportJSON(path string, rep *bolt.Report) error {
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write report %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // indent prefixes every line with two spaces (the CLI's result style).

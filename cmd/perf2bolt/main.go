@@ -94,12 +94,12 @@ func run() error {
 	}
 	r := src.Result
 	if r.Translated {
-		fmt.Printf("perf2bolt: %s: translated via BAT (%d funcs, %d ranges): %d branch records, %d samples kept; counts: %d translated, %d passthrough, %d dropped -> %s\n",
+		fmt.Fprintf(os.Stderr, "perf2bolt: %s: translated via BAT (%d funcs, %d ranges): %d branch records, %d samples kept; counts: %d translated, %d passthrough, %d dropped -> %s\n",
 			binary, r.BATFuncs, r.BATRanges, r.Branches, r.Samples,
 			r.Stats.TranslatedBranches+r.Stats.TranslatedSamples,
 			r.Stats.PassthroughCount, r.Stats.DroppedCount, outPath(*in, *out))
 	} else {
-		fmt.Printf("perf2bolt: %d branch records, %d samples kept (%d dropped) -> %s\n",
+		fmt.Fprintf(os.Stderr, "perf2bolt: %d branch records, %d samples kept (%d dropped) -> %s\n",
 			r.Branches, r.Samples, r.Dropped, outPath(*in, *out))
 	}
 	if *inferFlow {
@@ -116,7 +116,7 @@ func reportFlowAccuracy(cx context.Context, binary string, fd *profile.Fdata, tr
 	if translated {
 		// The profile is now in input-binary coordinates; this binary is
 		// the optimized one, so its CFGs no longer match the records.
-		fmt.Println("perf2bolt: -infer-flow: profile was BAT-translated to input-binary coordinates; run gobolt -infer-flow=always on the input binary instead")
+		fmt.Fprintln(os.Stderr, "perf2bolt: -infer-flow: profile was BAT-translated to input-binary coordinates; run gobolt -infer-flow=always on the input binary instead")
 		return nil
 	}
 	sess, err := bolt.Open(binary, bolt.WithInferFlow(core.InferAlways))
@@ -133,7 +133,7 @@ func reportFlowAccuracy(cx context.Context, binary string, fd *profile.Fdata, tr
 	if err != nil {
 		return err
 	}
-	fmt.Printf("perf2bolt: flow accuracy %.4f -> %.4f after min-cost-flow inference\n", before, after)
+	fmt.Fprintf(os.Stderr, "perf2bolt: flow accuracy %.4f -> %.4f after min-cost-flow inference\n", before, after)
 	return nil
 }
 
@@ -153,7 +153,7 @@ func runMerge(cx context.Context, paths []string, out string, jobs int) error {
 	if err := bolt.SaveProfile(merged, out); err != nil {
 		return err
 	}
-	fmt.Printf("perf2bolt: merged %d shards: %d branch records (%d total count), %d samples -> %s\n",
+	fmt.Fprintf(os.Stderr, "perf2bolt: merged %d shards: %d branch records (%d total count), %d samples -> %s\n",
 		len(paths), len(merged.Branches), merged.TotalBranchCount(), len(merged.Samples), out)
 	return nil
 }

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"gobolt/bolt"
+	"gobolt/internal/obsv"
+	"gobolt/internal/par"
+	"gobolt/internal/perf"
+	"gobolt/internal/workload"
+)
+
+// ObsvOverheadLimitPct is the tracing-overhead budget the obsv
+// experiment enforces: recording spans for a fully traced end-to-end
+// session may cost at most this much extra over the untraced session's
+// wall time.
+const ObsvOverheadLimitPct = 3.0
+
+// obsvPairs is how many interleaved off/on session pairs the experiment
+// runs (for the informational end-to-end delta and the validated
+// artifacts); obsvCalibrationRounds is how many best-of rounds the
+// per-task calibration loop takes.
+const (
+	obsvPairs             = 3
+	obsvCalibrationRounds = 7
+	obsvCalibrationItems  = 200000
+)
+
+// Obsv is the observability smoke experiment behind the CI obsv-smoke
+// job. It runs the full session (open → profile → optimize) on the
+// clang workload with tracing off and on, and
+//
+//   - gates the recording overhead at ObsvOverheadLimitPct of the
+//     untraced pipeline wall,
+//   - validates the recorded span timeline as Chrome trace-event JSON
+//     (obsv.ValidateChromeTrace) and checks every pipeline stage —
+//     profile load, loader, profile matching, passes, emission — left
+//     at least one phase span,
+//   - validates the machine-readable run report round-trip
+//     (Report.WriteJSON → bolt.ValidateRunReport).
+//
+// The gated number is *calibrated*, not a raw A/B wall delta: a tight
+// interleaved loop over par.ForTraced measures the per-task recording
+// cost (best-of-N traced minus untraced), which is multiplied by the
+// real session's task-span count and divided by the untraced session
+// wall. Shared CI hosts show run-to-run wall noise far above 3% — an
+// uncalibrated A/B gate at this threshold would flake on noise, while
+// the calibrated product is stable and measures exactly what tracing
+// adds to the pipeline (span derivation is lazy and happens outside the
+// optimize window, see Report.OccupancyStats). The raw end-to-end delta
+// is still printed for eyeballing.
+func Obsv(scale Scale) (string, error) {
+	spec := scale.apply(workload.Clang())
+	mode := perf.DefaultMode()
+	f, _, err := Build(spec, CfgBaseline, mode)
+	if err != nil {
+		return "", err
+	}
+	fd, _, err := perf.RecordFile(f, mode, 0)
+	if err != nil {
+		return "", err
+	}
+	cx := context.Background()
+
+	runOnce := func(tr *obsv.Tracer) (time.Duration, *bolt.Report, error) {
+		opts := boltOptions()
+		opts.Trace = tr
+		start := time.Now()
+		sess, err := bolt.OpenELF(f, bolt.WithOptions(opts))
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := sess.LoadProfile(cx, bolt.Fdata(fd)); err != nil {
+			return 0, nil, err
+		}
+		rep, err := sess.Optimize(cx)
+		if err != nil {
+			return 0, nil, err
+		}
+		return time.Since(start), rep, nil
+	}
+
+	// Warmup run (untraced) absorbs lazy initialization.
+	if _, _, err := runOnce(nil); err != nil {
+		return "", err
+	}
+
+	var bestOff, bestOn time.Duration
+	var lastTracer *obsv.Tracer
+	var lastRep *bolt.Report
+	for i := 0; i < obsvPairs; i++ {
+		off, _, err := runOnce(nil)
+		if err != nil {
+			return "", err
+		}
+		tr := obsv.New()
+		on, rep, err := runOnce(tr)
+		if err != nil {
+			return "", err
+		}
+		if bestOff == 0 || off < bestOff {
+			bestOff = off
+		}
+		if bestOn == 0 || on < bestOn {
+			bestOn = on
+		}
+		lastTracer, lastRep = tr, rep
+	}
+
+	// Structural checks on the last traced run.
+	spans := lastTracer.Spans()
+	stages := map[string]string{
+		"profile load":    "profile:load",
+		"loader":          "load:",
+		"profile matcher": "profile:apply",
+		"passes":          "reorder", // any pipeline pass name would do
+		"emission":        "emit:",
+	}
+	phaseSeen := make(map[string]bool)
+	var phases, tasks int
+	for _, s := range spans {
+		switch s.Kind {
+		case obsv.KindPhase:
+			phases++
+			for stage, prefix := range stages {
+				if strings.Contains(s.Name, prefix) {
+					phaseSeen[stage] = true
+				}
+			}
+		case obsv.KindTask:
+			tasks++
+		}
+	}
+	for stage := range stages {
+		if !phaseSeen[stage] {
+			return "", fmt.Errorf("bench: obsv: no phase span for the %s stage in the trace (%d phase spans total)", stage, phases)
+		}
+	}
+	if tasks == 0 {
+		return "", fmt.Errorf("bench: obsv: trace has no per-worker task spans")
+	}
+
+	var traceBuf bytes.Buffer
+	if err := lastTracer.WriteChromeTrace(&traceBuf); err != nil {
+		return "", fmt.Errorf("bench: obsv: write trace: %w", err)
+	}
+	if err := obsv.ValidateChromeTrace(traceBuf.Bytes()); err != nil {
+		return "", fmt.Errorf("bench: obsv: emitted trace invalid: %w", err)
+	}
+	var repBuf bytes.Buffer
+	if err := lastRep.WriteJSON(&repBuf); err != nil {
+		return "", fmt.Errorf("bench: obsv: write report: %w", err)
+	}
+	if err := bolt.ValidateRunReport(repBuf.Bytes()); err != nil {
+		return "", fmt.Errorf("bench: obsv: emitted run report invalid: %w", err)
+	}
+
+	perTask := recordingCostPerTask(cx)
+	recording := perTask * time.Duration(tasks)
+	overheadPct := 100 * float64(recording) / float64(bestOff)
+	rawPct := 100 * (float64(bestOn) - float64(bestOff)) / float64(bestOff)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Observability smoke on %s\n", spec.Name)
+	fmt.Fprintf(&sb, "  untraced pipeline   %12v  (best of %d interleaved pairs)\n", bestOff.Round(time.Microsecond), obsvPairs)
+	fmt.Fprintf(&sb, "  traced pipeline     %12v  (raw delta %+.2f%%, informational)\n", bestOn.Round(time.Microsecond), rawPct)
+	fmt.Fprintf(&sb, "  recording cost      %12v  (%d task spans x %v/task, calibrated = %+.2f%% of wall, budget +%.0f%%)\n",
+		recording.Round(time.Microsecond), tasks, perTask, overheadPct, ObsvOverheadLimitPct)
+	fmt.Fprintf(&sb, "  trace: %d phase spans, %d task spans, %d workers, %d bytes Chrome JSON (valid)\n",
+		phases, tasks, lastTracer.Workers(), traceBuf.Len())
+	fmt.Fprintf(&sb, "  run report: %d bytes, schema v%d (valid)\n", repBuf.Len(), bolt.ReportSchemaVersion)
+	sb.WriteString(obsv.Summarize(lastRep.OccupancyStats()))
+	if overheadPct > ObsvOverheadLimitPct {
+		return sb.String(), fmt.Errorf("bench: obsv: calibrated tracing overhead %.2f%% exceeds the %.0f%% budget (%v/task x %d tasks over %v wall)",
+			overheadPct, ObsvOverheadLimitPct, perTask, tasks, bestOff.Round(time.Microsecond))
+	}
+	return sb.String(), nil
+}
+
+// recordingCostPerTask measures what one task span costs to record: a
+// tight par.ForTraced loop over trivial items, traced minus untraced,
+// interleaved best-of-N. The loop's working set is tiny, so the delta
+// is stable where end-to-end session walls are not.
+func recordingCostPerTask(cx context.Context) time.Duration {
+	name := func(int) string { return "calibrate" }
+	work := func(worker, item int) error { return nil }
+	sweep := func(tr *obsv.Tracer) time.Duration {
+		start := time.Now()
+		par.ForTraced(cx, tr, "calibrate", name, obsvCalibrationItems, 1, work)
+		return time.Since(start)
+	}
+	var bestOff, bestOn time.Duration
+	for i := 0; i < obsvCalibrationRounds; i++ {
+		if d := sweep(nil); bestOff == 0 || d < bestOff {
+			bestOff = d
+		}
+		if d := sweep(obsv.New()); bestOn == 0 || d < bestOn {
+			bestOn = d
+		}
+	}
+	if bestOn <= bestOff {
+		return 0
+	}
+	return (bestOn - bestOff) / obsvCalibrationItems
+}

@@ -14,6 +14,7 @@ import (
 	"gobolt/bolt"
 	"gobolt/internal/benchfmt"
 	"gobolt/internal/core"
+	"gobolt/internal/obsv"
 	"gobolt/internal/perf"
 	"gobolt/internal/workload"
 )
@@ -67,6 +68,10 @@ func Scaling(scale Scale, jobsList []int) ([]benchfmt.Result, string, error) {
 	for _, j := range jobsList {
 		opts := boltOptions()
 		opts.Jobs = j
+		// Each point gets its own tracer so a divergence error can show
+		// the worker-pool schedule of the failing run next to the
+		// baseline's (Report.Occupancy rides along either way).
+		opts.Trace = obsv.New()
 		cx := context.Background()
 		start := time.Now()
 		sess, err := bolt.OpenELF(f, bolt.WithOptions(opts))
@@ -89,12 +94,14 @@ func Scaling(scale Scale, jobsList []int) ([]benchfmt.Result, string, error) {
 			firstRaw = raw
 		} else {
 			if !bytes.Equal(firstRaw, raw) {
-				return nil, "", fmt.Errorf("bench: emitted binaries diverge across worker counts (jobs=%d vs jobs=%d: %d vs %d bytes)",
-					jobsList[0], j, len(firstRaw), len(raw))
+				return nil, "", fmt.Errorf("bench: emitted binaries diverge across worker counts (jobs=%d vs jobs=%d: %d vs %d bytes)\n%s",
+					jobsList[0], j, len(firstRaw), len(raw),
+					divergenceOccupancy(jobsList[0], points[0].Report, j, rep))
 			}
 			if !reflect.DeepEqual(points[0].Report.Stats, rep.Stats) {
-				return nil, "", fmt.Errorf("bench: stats diverge across worker counts (jobs=%d vs jobs=%d)",
-					jobsList[0], j)
+				return nil, "", fmt.Errorf("bench: stats diverge across worker counts (jobs=%d vs jobs=%d)\n%s",
+					jobsList[0], j,
+					divergenceOccupancy(jobsList[0], points[0].Report, j, rep))
 			}
 		}
 		points = append(points, ScalingPoint{
@@ -141,6 +148,15 @@ func Scaling(scale Scale, jobsList []int) ([]benchfmt.Result, string, error) {
 	sb.WriteByte('\n')
 	writeSpeedReport(&sb, results)
 	return results, sb.String(), nil
+}
+
+// divergenceOccupancy renders the baseline and failing runs' per-phase
+// occupancy summaries side by side, so a cross-jobs divergence error
+// carries the worker-pool schedule that produced it.
+func divergenceOccupancy(baseJobs int, base *bolt.Report, failJobs int, fail *bolt.Report) string {
+	return fmt.Sprintf("baseline jobs=%d occupancy:\n%sfailing jobs=%d occupancy:\n%s",
+		baseJobs, obsv.Summarize(base.OccupancyStats()),
+		failJobs, obsv.Summarize(fail.OccupancyStats()))
 }
 
 // scalingResult builds one benchfmt line of the sweep. Iters is 1 —

@@ -25,6 +25,7 @@ import (
 	"gobolt/internal/intern"
 	"gobolt/internal/isa"
 	"gobolt/internal/layout"
+	"gobolt/internal/obsv"
 )
 
 // Options mirrors the llvm-bolt command line used in the paper (§6.2.1):
@@ -83,6 +84,12 @@ type Options struct {
 	// after the pipeline (the bolt package exposes it as
 	// Report.WriteTimings; the timings themselves are always collected).
 	TimePasses bool
+	// Trace, when non-nil, records a span for every pipeline phase and
+	// every worker-pool task into the obsv tracer (exported as Chrome
+	// trace-event JSON by `gobolt -trace-out`). nil disables tracing;
+	// every recording site nil-checks first, so the hot paths stay
+	// allocation-free when tracing is off.
+	Trace *obsv.Tracer `json:"-"`
 }
 
 // InferMode selects how ApplyProfile reconstructs consistent counts
@@ -137,16 +144,17 @@ func ParseInferMode(s string) (InferMode, error) {
 // paper's defaults".
 //
 // "Unconfigured" ignores the operational knobs that do not select
-// passes — Jobs, TimePasses, DynoStats — so `Options{Jobs: n}` means
-// "defaults at n workers" for every n, not "all passes off unless n is
-// 0". Turning every optimization off deliberately still works: start
-// from DefaultOptions() and clear fields, or set any pass-selection
-// field.
+// passes — Jobs, TimePasses, DynoStats, Trace — so `Options{Jobs: n}`
+// means "defaults at n workers" for every n, not "all passes off unless
+// n is 0". Turning every optimization off deliberately still works:
+// start from DefaultOptions() and clear fields, or set any
+// pass-selection field.
 func (o Options) Normalized() Options {
 	probe := o
 	probe.Jobs = 0
 	probe.TimePasses = false
 	probe.DynoStats = false
+	probe.Trace = nil
 	if probe != (Options{}) {
 		return o
 	}
@@ -154,6 +162,7 @@ func (o Options) Normalized() Options {
 	d.Jobs = o.Jobs
 	d.TimePasses = o.TimePasses
 	d.DynoStats = o.DynoStats
+	d.Trace = o.Trace
 	return d
 }
 
@@ -507,12 +516,20 @@ type BinaryContext struct {
 	// FuncOrder is the new function layout (set by reorder-functions).
 	FuncOrder []string
 
-	// Stats accumulates per-pass counters for reporting. During parallel
-	// function passes workers count into private FuncCtx shards; direct
-	// CountStat calls are additionally guarded by statsMu, so the map is
-	// safe however it is reached. Read it only between passes.
-	Stats   map[string]int64
-	statsMu sync.Mutex
+	// Metrics is the typed registry behind the pipeline's statistics:
+	// declared counters (see StatDefs), gauges, and the per-function
+	// flow-accuracy / stale-match-quality histograms. It is the source
+	// of truth for counts; Stats below aliases its live counter map.
+	Metrics *obsv.Registry
+
+	// Stats is the compatibility view of Metrics' counters — the same
+	// live map the registry mutates, kept so existing readers and the
+	// worker-shard merge protocol keep working unchanged. During
+	// parallel function passes workers count into private FuncCtx
+	// shards merged at the barrier; direct CountStat calls go through
+	// the registry's lock. Read it only between passes.
+	Stats       map[string]int64
+	metricsOnce sync.Once
 
 	// PassTimings is the instrumentation record of the last PassManager
 	// run (one entry per pass, pipeline order).
@@ -555,41 +572,37 @@ func (ctx *BinaryContext) FuncContaining(addr uint64) *BinaryFunction {
 	return nil
 }
 
-// CountStat bumps a named statistic. Safe for concurrent use; inside a
-// FunctionPass prefer the FuncCtx shard, which is contention-free.
-func (ctx *BinaryContext) CountStat(name string, delta int64) {
-	ctx.statsMu.Lock()
-	defer ctx.statsMu.Unlock()
-	if ctx.Stats == nil {
-		ctx.Stats = map[string]int64{}
-	}
-	ctx.Stats[name] += delta
+// metrics returns the registry, creating it (and the aliased Stats
+// view) on first use so contexts built without NewContext keep working.
+func (ctx *BinaryContext) metrics() *obsv.Registry {
+	ctx.metricsOnce.Do(func() {
+		if ctx.Metrics == nil {
+			ctx.Metrics = obsv.NewRegistry(StatDefs())
+			ctx.Stats = ctx.Metrics.Counters()
+		}
+	})
+	return ctx.Metrics
 }
 
-// mergeStats folds a worker shard into the shared Stats map.
+// CountStat bumps a named statistic through the metrics registry. Safe
+// for concurrent use; inside a FunctionPass prefer the FuncCtx shard,
+// which is contention-free.
+func (ctx *BinaryContext) CountStat(name string, delta int64) {
+	ctx.metrics().Add(name, delta)
+}
+
+// mergeStats folds a worker shard into the registry's counters (and
+// therefore the aliased Stats map).
 func (ctx *BinaryContext) mergeStats(shard map[string]int64) {
 	if len(shard) == 0 {
 		return
 	}
-	ctx.statsMu.Lock()
-	defer ctx.statsMu.Unlock()
-	if ctx.Stats == nil {
-		ctx.Stats = map[string]int64{}
-	}
-	for k, v := range shard {
-		ctx.Stats[k] += v
-	}
+	ctx.metrics().Merge(shard)
 }
 
 // statsSnapshot copies the current counters (for per-pass deltas).
 func (ctx *BinaryContext) statsSnapshot() map[string]int64 {
-	ctx.statsMu.Lock()
-	defer ctx.statsMu.Unlock()
-	out := make(map[string]int64, len(ctx.Stats))
-	for k, v := range ctx.Stats {
-		out[k] = v
-	}
-	return out
+	return ctx.metrics().SnapshotCounters()
 }
 
 // SimpleFuncs returns the rewritable functions.

@@ -11,6 +11,7 @@ import (
 	"gobolt/internal/elfx"
 	"gobolt/internal/intern"
 	"gobolt/internal/isa"
+	"gobolt/internal/obsv"
 )
 
 // NewContext discovers functions, disassembles them, and builds CFGs —
@@ -44,8 +45,11 @@ func NewContext(cx context.Context, f *elfx.File, opts Options) (*BinaryContext,
 		PLTStubs:    map[uint64]uint64{},
 		textRelocs:  map[uint64]elfx.Rela{},
 		CallTargets: map[uint64]map[string]uint64{},
-		Stats:       map[string]int64{},
+		Metrics:     obsv.NewRegistry(StatDefs()),
 	}
+	// ctx.Stats aliases the registry's live counter map: the registry is
+	// the source of truth, the map is the compatibility view.
+	ctx.Stats = ctx.Metrics.Counters()
 
 	// Discovery runs as four independent scans overlapped on the worker
 	// pool — each writes a disjoint set of context fields (textRelocs;
@@ -139,15 +143,20 @@ func NewContext(cx context.Context, f *elfx.File, opts Options) (*BinaryContext,
 			return nil
 		},
 	}
+	discoverScanNames := []string{"relocs", "linetable", "cfi", "symbols"}
 	discoverJobs := effectiveJobs(opts.Jobs, len(discoverScans))
-	if _, err := parallelFor(cx, len(discoverScans), discoverJobs, func(_, i int) error {
-		return discoverScans[i]()
-	}); err != nil {
+	if _, err := ctx.forPhase(cx, "load:discover",
+		func(i int) string { return discoverScanNames[i] },
+		len(discoverScans), discoverJobs, func(_, i int) error {
+			return discoverScans[i]()
+		}); err != nil {
 		return nil, err
 	}
 	ctx.HasRelocs = len(f.Relas) > 0
+	discoverWall := time.Since(discoverStart)
+	ctx.Opts.Trace.Phase("load:discover", discoverStart, discoverWall, discoverJobs)
 	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
-		Name: "load:discover", Wall: time.Since(discoverStart),
+		Name: "load:discover", Wall: discoverWall,
 		Parallel: discoverJobs > 1, Jobs: discoverJobs,
 	})
 
@@ -158,17 +167,21 @@ func NewContext(cx context.Context, f *elfx.File, opts Options) (*BinaryContext,
 	loadStart := time.Now()
 	jobs := effectiveJobs(opts.Jobs, len(ctx.Funcs))
 	scratch := make([]loaderScratch, jobs)
-	if _, err := parallelFor(cx, len(ctx.Funcs), jobs, func(w, i int) error {
-		ctx.loadFunction(ctx.Funcs[i], &scratch[w])
-		return nil
-	}); err != nil {
+	if _, err := ctx.forPhase(cx, "load:disasm+cfg",
+		func(i int) string { return ctx.Funcs[i].Name },
+		len(ctx.Funcs), jobs, func(w, i int) error {
+			ctx.loadFunction(ctx.Funcs[i], &scratch[w])
+			return nil
+		}); err != nil {
 		return nil, err
 	}
 	for w := range scratch {
 		ctx.mergeStats(scratch[w].stats)
 	}
+	loadWall := time.Since(loadStart)
+	ctx.Opts.Trace.Phase("load:disasm+cfg", loadStart, loadWall, jobs)
 	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
-		Name: "load:disasm+cfg", Wall: time.Since(loadStart),
+		Name: "load:disasm+cfg", Wall: loadWall,
 		Funcs: len(ctx.Funcs), Parallel: jobs > 1, Jobs: jobs,
 		StatDelta: statDelta(nil, ctx.statsSnapshot()),
 	})

@@ -21,3 +21,11 @@ func effectiveJobs(jobs, n int) int { return par.Jobs(jobs, n) }
 func parallelFor(cx context.Context, n, jobs int, work func(worker, item int) error) (int, error) {
 	return par.For(cx, n, jobs, work)
 }
+
+// forPhase is parallelFor with span tracing: when the context carries a
+// tracer (Opts.Trace) each worker records a batch span named after the
+// phase plus one task span per item, named by taskName (typically the
+// function being processed). With tracing off it is exactly parallelFor.
+func (ctx *BinaryContext) forPhase(cx context.Context, phase string, taskName func(item int) string, n, jobs int, work func(worker, item int) error) (int, error) {
+	return par.ForTraced(cx, ctx.Opts.Trace, phase, taskName, n, jobs, work)
+}

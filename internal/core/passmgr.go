@@ -122,16 +122,14 @@ func (pm *PassManager) Run(cx context.Context, ctx *BinaryContext, passes []Pass
 		start := time.Now()
 		timing := PassTiming{Name: p.Name(), Jobs: 1}
 		var err error
-		if a, ok := p.(funcPassAdapter); ok && pm.Jobs > 1 {
+		if a, ok := p.(funcPassAdapter); ok {
 			timing.Funcs, timing.Jobs, err = pm.runFunctionPass(cx, ctx, a.fp)
 			timing.Parallel = timing.Jobs > 1
 		} else {
-			if _, ok := p.(funcPassAdapter); ok {
-				timing.Funcs = len(ctx.SimpleFuncs())
-			}
 			err = p.Run(ctx)
 		}
 		timing.Wall = time.Since(start)
+		ctx.Opts.Trace.Phase(p.Name(), start, timing.Wall, timing.Jobs)
 		timing.StatDelta = statDelta(before, ctx.statsSnapshot())
 		pm.Timings = append(pm.Timings, timing)
 		ctx.PassTimings = pm.Timings
@@ -148,26 +146,28 @@ func (pm *PassManager) Run(cx context.Context, ctx *BinaryContext, passes []Pass
 }
 
 // runFunctionPass fans one FunctionPass out over the worker pool via
-// parallelFor; each worker owns a private stats shard, merged after the
-// join. On error the failure attributed to the lowest function index is
-// reported, keeping messages stable across schedules.
+// the traced fan-out; each worker owns a private stats shard, merged
+// after the join. jobs <= 1 runs the same schedule inline. On error the
+// failure attributed to the lowest function index is reported, keeping
+// messages stable across schedules.
 func (pm *PassManager) runFunctionPass(cx context.Context, ctx *BinaryContext, fp FunctionPass) (int, int, error) {
 	funcs := ctx.SimpleFuncs()
 	jobs := pm.Jobs
 	if jobs > len(funcs) {
 		jobs = len(funcs)
 	}
-	if jobs <= 1 {
-		return len(funcs), 1, runSerialFunctionPass(ctx, fp, funcs)
+	if jobs < 1 {
+		jobs = 1
 	}
-
 	workers := make([]*FuncCtx, jobs)
 	for w := range workers {
 		workers[w] = newFuncCtx(ctx)
 	}
-	errIdx, err := parallelFor(cx, len(funcs), jobs, func(w, i int) error {
-		return fp.RunOnFunction(workers[w], funcs[i])
-	})
+	errIdx, err := ctx.forPhase(cx, fp.Name(),
+		func(i int) string { return funcs[i].Name },
+		len(funcs), jobs, func(w, i int) error {
+			return fp.RunOnFunction(workers[w], funcs[i])
+		})
 	for _, fc := range workers {
 		ctx.mergeStats(fc.stats)
 	}

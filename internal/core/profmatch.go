@@ -9,24 +9,11 @@ import (
 	"gobolt/internal/stale"
 )
 
-// Profile-application statistics (ctx.Stats keys). Counts are weighted by
-// record count, so they sum to the profile's total:
-//
-//	profile-total-count     every branch or sample record seen
-//	profile-edge-count      applied to an intra-function CFG edge
-//	profile-call-count      applied as a call/entry record (ExecCount)
-//	profile-sample-count    applied as a PC sample to a block (non-LBR)
-//	profile-ignored-count   carries no CFG info here (returns, non-branch
-//	                        sources, mid-function landings, records inside
-//	                        non-simple functions)
-//	profile-drop-count      (function, offset) failed to resolve
-//	profile-stale-count     recovered by stale shape matching
-//	profile-stale-drop-count  stale and unrecoverable
-//
-// plus profile-stale-funcs, the number of functions whose shapes
-// mismatched and were routed through the matcher, and
-// profile-inferred-funcs, the functions rebalanced by the minimum-cost
-// flow solver (neither is count-weighted).
+// Profile-application statistics (the profile-* keys of ctx.Stats) are
+// declared in StatDefs (metrics.go) — the single source of truth behind
+// the README's stat-key table and the sum-to-total invariant test. The
+// count-weighted keys sum exactly to profile-total-count; see the defs
+// for each key's meaning.
 
 // ApplyProfile attaches an fdata profile to the CFGs: branch records
 // become edge counts, call records become function execution counts and
@@ -69,8 +56,10 @@ func (ctx *BinaryContext) ApplyProfile(cx context.Context, fd *profile.Fdata) er
 	} else {
 		nfuncs, jobs, err = ctx.applySamples(cx, fd, sm)
 	}
+	applyWall := time.Since(start)
+	ctx.Opts.Trace.Phase("profile:apply", start, applyWall, jobs)
 	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
-		Name: "profile:apply", Wall: time.Since(start),
+		Name: "profile:apply", Wall: applyWall,
 		Funcs: nfuncs, Parallel: jobs > 1, Jobs: jobs,
 		StatDelta: statDelta(before, ctx.statsSnapshot()),
 	})
@@ -106,51 +95,62 @@ func (ctx *BinaryContext) inferStage(cx context.Context, lbr bool) error {
 		violAfter, totalAfter   uint64
 	}
 	terms := make([]accTerm, len(funcs))
-	if _, err := parallelFor(cx, len(funcs), jobs, func(_, i int) error {
-		fn := funcs[i]
-		terms[i].violBefore, terms[i].totalBefore = flowViolation(fn)
-		if lbr {
-			repairFlow(fn)
-			if useMCF {
-				inferFlowMCF(fn, true)
-			}
-		} else {
-			entrySamples := fn.Blocks[0].ExecCount
-			if useMCF {
-				inferFlowMCF(fn, false)
+	if _, err := ctx.forPhase(cx, "profile:infer",
+		func(i int) string { return funcs[i].Name },
+		len(funcs), jobs, func(_, i int) error {
+			fn := funcs[i]
+			terms[i].violBefore, terms[i].totalBefore = flowViolation(fn)
+			if lbr {
+				repairFlow(fn)
+				if useMCF {
+					inferFlowMCF(fn, true)
+				}
 			} else {
-				inferEdgesFromBlockCounts(fn)
+				entrySamples := fn.Blocks[0].ExecCount
+				if useMCF {
+					inferFlowMCF(fn, false)
+				} else {
+					inferEdgesFromBlockCounts(fn)
+				}
+				// A function's execution count is its entry in-flow, not the
+				// entry block's own sample count: a hot function with a
+				// short, rarely-sampled entry block must not look cold.
+				var entryOut uint64
+				for _, e := range fn.Blocks[0].Succs {
+					entryOut += e.Count
+				}
+				fn.ExecCount = max(entrySamples, fn.Blocks[0].ExecCount, entryOut)
 			}
-			// A function's execution count is its entry in-flow, not the
-			// entry block's own sample count: a hot function with a
-			// short, rarely-sampled entry block must not look cold.
-			var entryOut uint64
-			for _, e := range fn.Blocks[0].Succs {
-				entryOut += e.Count
-			}
-			fn.ExecCount = max(entrySamples, fn.Blocks[0].ExecCount, entryOut)
-		}
-		fn.ProfileAcc = flowAccuracy(fn)
-		terms[i].violAfter, terms[i].totalAfter = flowViolation(fn)
-		return nil
-	}); err != nil {
+			fn.ProfileAcc = flowAccuracy(fn)
+			terms[i].violAfter, terms[i].totalAfter = flowViolation(fn)
+			return nil
+		}); err != nil {
 		return err
 	}
+	// Serial fold: aggregate floats and the per-function flow-accuracy
+	// histogram are observed in function order, so both are identical
+	// for every worker count.
 	var vb, tb, va, ta uint64
-	for _, t := range terms {
+	reg := ctx.metrics()
+	for i, t := range terms {
 		vb += t.violBefore
 		tb += t.totalBefore
 		va += t.violAfter
 		ta += t.totalAfter
+		reg.Observe(MetricFlowAccuracy, funcs[i].Name, funcs[i].ProfileAcc)
 	}
 	ctx.FlowAccBefore = accFromViolation(vb, tb)
 	ctx.FlowAccAfter = accFromViolation(va, ta)
+	reg.SetGauge(MetricFlowAccBefore, ctx.FlowAccBefore)
+	reg.SetGauge(MetricFlowAccAfter, ctx.FlowAccAfter)
 	if useMCF {
 		ctx.InferredFuncs = len(funcs)
 		ctx.CountStat("profile-inferred-funcs", int64(len(funcs)))
 	}
+	inferWall := time.Since(start)
+	ctx.Opts.Trace.Phase("profile:infer", start, inferWall, jobs)
 	ctx.LoadTimings = append(ctx.LoadTimings, PassTiming{
-		Name: "profile:infer", Wall: time.Since(start),
+		Name: "profile:infer", Wall: inferWall,
 		Funcs: len(funcs), Parallel: jobs > 1, Jobs: jobs,
 	})
 	return nil
@@ -186,8 +186,21 @@ func (sm *staleMatcher) lookup(fn *BinaryFunction) *staleFunc {
 	sm.cache[fn] = sf
 	if sf != nil {
 		sm.ctx.CountStat("profile-stale-funcs", 1)
+		observeStaleQuality(sm.ctx, fn, sf)
 	}
 	return sf
+}
+
+// observeStaleQuality records the fraction of a stale function's old
+// block shapes that matched the current CFG — the per-function match
+// quality a profile gate can threshold. Serial callers only (lookup and
+// installStale), so the histogram is deterministic across worker counts.
+func observeStaleQuality(ctx *BinaryContext, fn *BinaryFunction, sf *staleFunc) {
+	if len(sf.old.Blocks) == 0 {
+		return
+	}
+	q := float64(len(sf.blockMap)) / float64(len(sf.old.Blocks))
+	ctx.metrics().Observe(MetricStaleMatchQuality, fn.Name, q)
 }
 
 // compute builds fn's stale state without touching the shared cache or
@@ -261,6 +274,7 @@ func installStale(ctx *BinaryContext, sm *staleMatcher, buckets []*funcRecs) {
 		sm.cache[b.fn] = b.sf
 		if b.sf != nil {
 			ctx.CountStat("profile-stale-funcs", 1)
+			observeStaleQuality(ctx, b.fn, b.sf)
 		}
 	}
 }
@@ -309,17 +323,19 @@ func (ctx *BinaryContext) applyLBR(cx context.Context, fd *profile.Fdata, sm *st
 
 	jobs := effectiveJobs(ctx.Opts.Jobs, len(buckets))
 	shards := make([]applyCounts, jobs)
-	if _, err := parallelFor(cx, len(buckets), jobs, func(w, i int) error {
-		b := buckets[i]
-		if sm != nil {
-			b.sf = sm.compute(b.fn)
-		}
-		c := &shards[w]
-		for _, br := range b.brs {
-			applyIntraBranch(b.fn, b.sf, br, c)
-		}
-		return nil
-	}); err != nil {
+	if _, err := ctx.forPhase(cx, "profile:apply",
+		func(i int) string { return buckets[i].fn.Name },
+		len(buckets), jobs, func(w, i int) error {
+			b := buckets[i]
+			if sm != nil {
+				b.sf = sm.compute(b.fn)
+			}
+			c := &shards[w]
+			for _, br := range b.brs {
+				applyIntraBranch(b.fn, b.sf, br, c)
+			}
+			return nil
+		}); err != nil {
 		return len(buckets), jobs, err
 	}
 	installStale(ctx, sm, buckets)
@@ -492,17 +508,19 @@ func (ctx *BinaryContext) applySamples(cx context.Context, fd *profile.Fdata, sm
 
 	jobs := effectiveJobs(ctx.Opts.Jobs, len(buckets))
 	shards := make([]applyCounts, jobs)
-	if _, err := parallelFor(cx, len(buckets), jobs, func(w, i int) error {
-		b := buckets[i]
-		if sm != nil {
-			b.sf = sm.compute(b.fn)
-		}
-		c := &shards[w]
-		for _, s := range b.smps {
-			applySample(b.fn, b.sf, s, c)
-		}
-		return nil
-	}); err != nil {
+	if _, err := ctx.forPhase(cx, "profile:apply",
+		func(i int) string { return buckets[i].fn.Name },
+		len(buckets), jobs, func(w, i int) error {
+			b := buckets[i]
+			if sm != nil {
+				b.sf = sm.compute(b.fn)
+			}
+			c := &shards[w]
+			for _, s := range b.smps {
+				applySample(b.fn, b.sf, s, c)
+			}
+			return nil
+		}); err != nil {
 		return len(buckets), jobs, err
 	}
 	installStale(ctx, sm, buckets)

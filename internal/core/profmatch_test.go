@@ -258,20 +258,20 @@ func lbrRecords(fn *BinaryFunction, scale uint64) []profile.Branch {
 	return out
 }
 
-// statSum asserts the documented invariant: the per-outcome stat keys
-// partition profile-total-count exactly.
+// statSum asserts the documented invariant straight from the registry
+// definitions: every counter declared with SumTo partitions its parent
+// exactly (for the profile keys, profile-total-count). The key list
+// lives in StatDefs, so a new outcome key added without declaring it
+// fails here — not by drifting out of a hand-written sum.
 func statSum(t *testing.T, ctx *BinaryContext, label string) {
 	t.Helper()
-	st := ctx.Stats
-	sum := st["profile-edge-count"] + st["profile-call-count"] +
-		st["profile-sample-count"] + st["profile-ignored-count"] +
-		st["profile-drop-count"] + st["profile-stale-count"] +
-		st["profile-stale-drop-count"]
-	if total := st["profile-total-count"]; sum != total {
-		t.Errorf("%s: outcome stats sum to %d, want profile-total-count %d (stats: %v)",
-			label, sum, total, st)
+	if err := ctx.Metrics.CheckSums(); err != nil {
+		t.Errorf("%s: %v (stats: %v)", label, err, ctx.Stats)
 	}
-	if st["profile-total-count"] == 0 {
+	if und := ctx.Metrics.Undeclared(); len(und) > 0 {
+		t.Errorf("%s: undeclared stat keys recorded: %v", label, und)
+	}
+	if ctx.Stats["profile-total-count"] == 0 {
 		t.Errorf("%s: no records counted", label)
 	}
 }

@@ -67,18 +67,22 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 	emits := make([]*emitted, len(moved))
 	jobs := effectiveJobs(ctx.Opts.Jobs, len(moved))
 	escratch := make([]emitScratch, jobs)
-	if _, err := parallelFor(cx, len(moved), jobs, func(w, i int) error {
-		e, err := ctx.emitFunction(moved[i], &escratch[w])
-		if err != nil {
-			return err
-		}
-		emits[i] = e
-		return nil
-	}); err != nil {
+	if _, err := ctx.forPhase(cx, "emit:functions",
+		func(i int) string { return moved[i].Name },
+		len(moved), jobs, func(w, i int) error {
+			e, err := ctx.emitFunction(moved[i], &escratch[w])
+			if err != nil {
+				return err
+			}
+			emits[i] = e
+			return nil
+		}); err != nil {
 		return nil, err
 	}
+	emitWall := time.Since(emitStart)
+	ctx.Opts.Trace.Phase("emit:functions", emitStart, emitWall, jobs)
 	ctx.EmitTimings = append(ctx.EmitTimings, PassTiming{
-		Name: "emit:functions", Wall: time.Since(emitStart),
+		Name: "emit:functions", Wall: emitWall,
 		Funcs: len(moved), Parallel: jobs > 1, Jobs: jobs,
 	})
 	// ---- emit:layout ----
@@ -131,8 +135,10 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 	for _, e := range emits {
 		emitOf[e.fn.ordIdx] = e
 	}
+	layoutWall := time.Since(layoutStart)
+	ctx.Opts.Trace.Phase("emit:layout", layoutStart, layoutWall, 1)
 	ctx.EmitTimings = append(ctx.EmitTimings, PassTiming{
-		Name: "emit:layout", Wall: time.Since(layoutStart),
+		Name: "emit:layout", Wall: layoutWall,
 		Funcs: len(emits), Jobs: 1,
 	})
 
@@ -224,20 +230,22 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 	if coldEnd > coldBase {
 		coldData = make([]byte, coldEnd-coldBase)
 	}
-	if _, err := parallelFor(cx, len(emits), jobs, func(_, i int) error {
-		e := emits[i]
-		if err := patchFrag(e.Hot, e.fn.OutAddr); err != nil {
-			return err
-		}
-		copy(hotData[e.fn.OutAddr-hotBase:], e.Hot.Code)
-		if e.Cold != nil {
-			if err := patchFrag(e.Cold, e.fn.ColdAddr); err != nil {
+	if _, err := ctx.forPhase(cx, "emit:patch",
+		func(i int) string { return emits[i].fn.Name },
+		len(emits), jobs, func(_, i int) error {
+			e := emits[i]
+			if err := patchFrag(e.Hot, e.fn.OutAddr); err != nil {
 				return err
 			}
-			copy(coldData[e.fn.ColdAddr-coldBase:], e.Cold.Code)
-		}
-		return nil
-	}); err != nil {
+			copy(hotData[e.fn.OutAddr-hotBase:], e.Hot.Code)
+			if e.Cold != nil {
+				if err := patchFrag(e.Cold, e.fn.ColdAddr); err != nil {
+					return err
+				}
+				copy(coldData[e.fn.ColdAddr-coldBase:], e.Cold.Code)
+			}
+			return nil
+		}); err != nil {
 		return nil, err
 	}
 
@@ -403,8 +411,10 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 			Addr:  coldBase, Data: coldData, Addralign: 16,
 		})
 	}
+	patchWall := time.Since(patchStart)
+	ctx.Opts.Trace.Phase("emit:patch", patchStart, patchWall, jobs)
 	ctx.EmitTimings = append(ctx.EmitTimings, PassTiming{
-		Name: "emit:patch", Wall: time.Since(patchStart),
+		Name: "emit:patch", Wall: patchWall,
 		Funcs: len(emits), Parallel: jobs > 1, Jobs: jobs,
 	})
 
@@ -488,31 +498,33 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		blob, _ := cfi.EncodeLSDA(nil, l)
 		return blob, nil
 	}
-	if _, err := parallelFor(cx, len(emits), jobs, func(_, i int) error {
-		e, m := emits[i], &metas[i]
-		var err error
-		if m.hotLSDA, err = buildLSDA(e.Hot, e); err != nil {
-			return err
-		}
-		m.hotFDE = cfi.FDE{Start: e.fn.OutAddr, Len: uint32(len(e.Hot.Code)), Insts: e.Hot.CFI}
-		if ctx.Opts.UpdateDebugSections {
-			for _, ln := range e.Hot.Lines {
-				m.lines = append(m.lines, lineEntry{e.fn.OutAddr + uint64(ln.Off), ln.File, uint32(ln.Line)})
-			}
-		}
-		if e.Cold != nil {
-			if m.coldLSDA, err = buildLSDA(e.Cold, e); err != nil {
+	if _, err := ctx.forPhase(cx, "emit:metadata",
+		func(i int) string { return emits[i].fn.Name },
+		len(emits), jobs, func(_, i int) error {
+			e, m := emits[i], &metas[i]
+			var err error
+			if m.hotLSDA, err = buildLSDA(e.Hot, e); err != nil {
 				return err
 			}
-			m.coldFDE = cfi.FDE{Start: e.fn.ColdAddr, Len: uint32(len(e.Cold.Code)), Insts: e.Cold.CFI}
+			m.hotFDE = cfi.FDE{Start: e.fn.OutAddr, Len: uint32(len(e.Hot.Code)), Insts: e.Hot.CFI}
 			if ctx.Opts.UpdateDebugSections {
-				for _, ln := range e.Cold.Lines {
-					m.lines = append(m.lines, lineEntry{e.fn.ColdAddr + uint64(ln.Off), ln.File, uint32(ln.Line)})
+				for _, ln := range e.Hot.Lines {
+					m.lines = append(m.lines, lineEntry{e.fn.OutAddr + uint64(ln.Off), ln.File, uint32(ln.Line)})
 				}
 			}
-		}
-		return nil
-	}); err != nil {
+			if e.Cold != nil {
+				if m.coldLSDA, err = buildLSDA(e.Cold, e); err != nil {
+					return err
+				}
+				m.coldFDE = cfi.FDE{Start: e.fn.ColdAddr, Len: uint32(len(e.Cold.Code)), Insts: e.Cold.CFI}
+				if ctx.Opts.UpdateDebugSections {
+					for _, ln := range e.Cold.Lines {
+						m.lines = append(m.lines, lineEntry{e.fn.ColdAddr + uint64(ln.Off), ln.File, uint32(ln.Line)})
+					}
+				}
+			}
+			return nil
+		}); err != nil {
 		return nil, err
 	}
 	// Serial concat: upper bound on FDE count is one per emitted fragment
@@ -632,8 +644,10 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 	if v, ok := finalFuncAddr("_start"); ok {
 		out.Entry = v
 	}
+	metaWall := time.Since(metaStart)
+	ctx.Opts.Trace.Phase("emit:metadata", metaStart, metaWall, jobs)
 	ctx.EmitTimings = append(ctx.EmitTimings, PassTiming{
-		Name: "emit:metadata", Wall: time.Since(metaStart),
+		Name: "emit:metadata", Wall: metaWall,
 		Funcs: len(emits), Parallel: jobs > 1, Jobs: jobs,
 	})
 	res.File = out

@@ -1,0 +1,144 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The trace export speaks the Chrome trace-event JSON format (the
+// object form with a traceEvents array), which Perfetto and
+// chrome://tracing load directly. Spans become "X" (complete) events;
+// lane names become "M" (metadata) thread_name events. The pipeline
+// lane is tid 0 and worker w is tid w+1, all under pid 1.
+
+const (
+	chromePID     = 1
+	pipelineTID   = 0
+	workerTIDBase = 1
+)
+
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"`            // microseconds since trace start
+	Dur  *float64    `json:"dur,omitempty"` // microseconds; required for ph=X
+	PID  int         `json:"pid"`
+	TID  int         `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Name  string `json:"name,omitempty"`  // thread_name metadata payload
+	Jobs  int    `json:"jobs,omitempty"`  // phase spans: pool width
+	Items int    `json:"items,omitempty"` // batch spans: items completed
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+func usec(d int64) float64 { return float64(d) / 1e3 } // ns -> µs
+
+// WriteChromeTrace renders the tracer's spans as Chrome trace-event
+// JSON. The output is deterministic for a given span set: metadata
+// first, then spans in Spans() order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var tr chromeTrace
+	tr.DisplayTimeUnit = "ms"
+	dur := func(d float64) *float64 { return &d }
+	tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+		Name: "thread_name", Ph: "M", PID: chromePID, TID: pipelineTID,
+		Args: &chromeArgs{Name: "pipeline"},
+	})
+	for w := 0; w < t.Workers(); w++ {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: workerTIDBase + w,
+			Args: &chromeArgs{Name: fmt.Sprintf("worker %d", w)},
+		})
+	}
+	for _, s := range t.Spans() {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			TS:   usec(s.Start.Nanoseconds()),
+			Dur:  dur(usec(s.Dur.Nanoseconds())),
+			PID:  chromePID,
+		}
+		switch s.Kind {
+		case KindPhase:
+			ev.TID = pipelineTID
+			ev.Args = &chromeArgs{Jobs: s.N}
+		case KindBatch:
+			ev.TID = workerTIDBase + s.Worker
+			ev.Cat = "batch:" + s.Phase
+			ev.Args = &chromeArgs{Items: s.N}
+		case KindTask:
+			ev.TID = workerTIDBase + s.Worker
+			ev.Cat = "task:" + s.Phase
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tr)
+}
+
+// ValidateChromeTrace strictly parses data as the trace subset this
+// package emits (docs/trace.schema.json) and checks its structural
+// invariants: unknown fields rejected, every event is "X" or "M",
+// complete events carry non-negative ts/dur and a known category, and
+// at least one phase span is present.
+func ValidateChromeTrace(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var tr chromeTrace
+	if err := dec.Decode(&tr); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("trace: no events")
+	}
+	phases := 0
+	for i, ev := range tr.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		if ev.PID != chromePID {
+			return fmt.Errorf("trace: event %d has pid %d, want %d", i, ev.PID, chromePID)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" || ev.Args == nil || ev.Args.Name == "" {
+				return fmt.Errorf("trace: event %d is malformed metadata", i)
+			}
+		case "X":
+			if ev.TS < 0 || ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("trace: event %d (%s) has bad ts/dur", i, ev.Name)
+			}
+			switch {
+			case ev.Cat == "phase":
+				if ev.TID != pipelineTID {
+					return fmt.Errorf("trace: phase span %q off the pipeline lane (tid %d)", ev.Name, ev.TID)
+				}
+				phases++
+			case len(ev.Cat) > 5 && ev.Cat[:5] == "task:",
+				len(ev.Cat) > 6 && ev.Cat[:6] == "batch:":
+				if ev.TID < workerTIDBase {
+					return fmt.Errorf("trace: worker span %q on tid %d", ev.Name, ev.TID)
+				}
+			default:
+				return fmt.Errorf("trace: event %d (%s) has unknown category %q", i, ev.Name, ev.Cat)
+			}
+		default:
+			return fmt.Errorf("trace: event %d has unknown ph %q", i, ev.Ph)
+		}
+	}
+	if phases == 0 {
+		return fmt.Errorf("trace: no phase spans")
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package obsv
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testDefs() []Def {
+	return []Def{
+		{Name: "total", Kind: Counter, Help: "parent"},
+		{Name: "a", Kind: Counter, Help: "part a", SumTo: "total"},
+		{Name: "b", Kind: Counter, Help: "part b", SumTo: "total"},
+		{Name: "g", Kind: Gauge, Help: "a gauge"},
+		{Name: "h", Kind: HistogramKind, Help: "a hist", Buckets: []float64{0.5, 1.0}},
+	}
+}
+
+func TestCountersAliasAndMerge(t *testing.T) {
+	r := NewRegistry(testDefs())
+	stats := r.Counters()
+	r.Add("a", 3)
+	r.Merge(map[string]int64{"b": 4, "total": 7})
+	if stats["a"] != 3 || stats["b"] != 4 || stats["total"] != 7 {
+		t.Fatalf("aliased map = %v", stats)
+	}
+	if err := r.CheckSums(); err != nil {
+		t.Fatal(err)
+	}
+	r.Add("a", 1)
+	if err := r.CheckSums(); err == nil {
+		t.Fatal("CheckSums passed with 8 != 7")
+	}
+	if und := r.Undeclared(); und != nil {
+		t.Fatalf("undeclared = %v", und)
+	}
+	r.Add("mystery", 1)
+	if und := r.Undeclared(); !reflect.DeepEqual(und, []string{"mystery"}) {
+		t.Fatalf("undeclared = %v", und)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry(testDefs())
+	r.Add("a", 1)
+	s := r.Snapshot()
+	r.Add("a", 1)
+	if s.Counters["a"] != 1 {
+		t.Errorf("snapshot mutated: %v", s.Counters)
+	}
+	if got := r.SnapshotCounters()["a"]; got != 2 {
+		t.Errorf("live count = %d", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry(testDefs())
+	r.Observe("h", "x", 0.25)
+	r.Observe("h", "y", 0.75)
+	r.Observe("h", "z", 2.0)
+	r.SetGauge("g", 0.5)
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	h := s.Histograms[0]
+	if h.Count != 3 || h.Min != 0.25 || h.Max != 2.0 {
+		t.Fatalf("h = %+v", h)
+	}
+	if !reflect.DeepEqual(h.Counts, []int64{1, 1, 1}) {
+		t.Errorf("bucket counts = %v", h.Counts)
+	}
+	// Worst list is ascending by value: the lowest-quality functions first.
+	if h.Worst[0].Label != "x" || h.Worst[1].Label != "y" || h.Worst[2].Label != "z" {
+		t.Errorf("worst = %+v", h.Worst)
+	}
+	if s.Gauges["g"] != 0.5 {
+		t.Errorf("gauges = %v", s.Gauges)
+	}
+	// Observing an undeclared histogram is drift, not a panic.
+	r.Observe("nope", "x", 1)
+	found := false
+	for _, u := range r.Undeclared() {
+		found = found || u == "nope"
+	}
+	if !found {
+		t.Error("undeclared histogram not tracked")
+	}
+}
+
+func TestHistogramWorstCap(t *testing.T) {
+	r := NewRegistry([]Def{{Name: "h", Kind: HistogramKind, Buckets: []float64{1}}})
+	for i := 0; i < 3*maxWorstObs; i++ {
+		r.Observe("h", "f", float64(i))
+	}
+	h := r.Snapshot().Histograms[0]
+	if len(h.Worst) != maxWorstObs {
+		t.Fatalf("worst len = %d, want %d", len(h.Worst), maxWorstObs)
+	}
+	if h.Worst[0].Value != 0 || h.Worst[maxWorstObs-1].Value != float64(maxWorstObs-1) {
+		t.Errorf("worst = %+v", h.Worst)
+	}
+}

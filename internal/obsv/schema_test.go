@@ -1,0 +1,76 @@
+package obsv
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestTraceSchemaInSync keeps docs/trace.schema.json honest against the
+// chrome*.go structs that emit and strictly validate the trace: every
+// definition's property keys must match the struct's JSON keys exactly,
+// with unknown fields rejected.
+func TestTraceSchemaInSync(t *testing.T) {
+	data, err := os.ReadFile("../../docs/trace.schema.json")
+	if err != nil {
+		t.Fatalf("read schema: %v", err)
+	}
+	var doc struct {
+		Ref  string `json:"$ref"`
+		Defs map[string]struct {
+			AdditionalProperties *bool                      `json:"additionalProperties"`
+			Required             []string                   `json:"required"`
+			Properties           map[string]json.RawMessage `json:"properties"`
+		} `json:"$defs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("parse schema: %v", err)
+	}
+	if doc.Ref != "#/$defs/trace" {
+		t.Errorf("schema root $ref is %q, want #/$defs/trace", doc.Ref)
+	}
+
+	types := map[string]reflect.Type{
+		"trace": reflect.TypeOf(chromeTrace{}),
+		"event": reflect.TypeOf(chromeEvent{}),
+		"args":  reflect.TypeOf(chromeArgs{}),
+	}
+	for name, typ := range types {
+		def, ok := doc.Defs[name]
+		if !ok {
+			t.Errorf("schema is missing the %q definition", name)
+			continue
+		}
+		if def.AdditionalProperties == nil || *def.AdditionalProperties {
+			t.Errorf("schema def %q must set additionalProperties: false (ValidateChromeTrace is strict)", name)
+		}
+		var got []string
+		for k := range def.Properties {
+			got = append(got, k)
+		}
+		sort.Strings(got)
+		var want []string
+		for i := 0; i < typ.NumField(); i++ {
+			name, _, _ := strings.Cut(typ.Field(i).Tag.Get("json"), ",")
+			want = append(want, name)
+		}
+		sort.Strings(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("schema def %q properties drifted from %v:\n  schema: %v\n  struct: %v",
+				name, typ, got, want)
+		}
+		for _, req := range def.Required {
+			if _, ok := def.Properties[req]; !ok {
+				t.Errorf("schema def %q requires %q but does not define it", name, req)
+			}
+		}
+	}
+	for name := range doc.Defs {
+		if _, ok := types[name]; !ok {
+			t.Errorf("schema def %q has no Go struct mapped in this test; extend the map", name)
+		}
+	}
+}

@@ -11,6 +11,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"gobolt/internal/obsv"
 )
 
 // Jobs resolves a -jobs setting against GOMAXPROCS and the amount of work
@@ -42,18 +45,72 @@ func Jobs(jobs, n int) int {
 // in the returned error, so a real failure is never masked by a
 // simultaneous cancel. A nil cx behaves like context.Background().
 func For(cx context.Context, n, jobs int, work func(worker, item int) error) (int, error) {
+	return ForTraced(cx, nil, "", nil, n, jobs, work)
+}
+
+// ForTraced is For with span recording: when tr is non-nil each worker
+// records one batch span named after the phase covering its whole
+// participation in the pool, plus one task span per item (named by
+// taskName when provided, else by the phase). A nil tr makes ForTraced
+// identical to For — the hot loop takes no time stamps and performs no
+// allocations, preserving the zero-alloc emission path.
+func ForTraced(cx context.Context, tr *obsv.Tracer, phase string, taskName func(item int) string, n, jobs int, work func(worker, item int) error) (int, error) {
 	if cx == nil {
 		cx = context.Background()
 	}
+	// Task timestamps are chained: each span starts where the previous
+	// one on the same worker ended, so an item costs one clock read, not
+	// two. The sliver of claim overhead between items is attributed to
+	// the task, which is negligible next to any real work item. Spans
+	// are recorded for completed items only — a failing item ends its
+	// worker's batch without a task span. The closures are built only
+	// when tracing: with tr == nil this function allocates nothing.
+	var task func(w, i int, last time.Time) time.Time
+	if tr != nil {
+		if jobs < 1 {
+			tr.EnsureWorkers(1)
+		} else {
+			tr.EnsureWorkers(jobs)
+		}
+		task = func(w, i int, last time.Time) time.Time {
+			now := time.Now()
+			name := phase
+			if taskName != nil {
+				name = taskName(i)
+			}
+			tr.Task(w, phase, name, last, now.Sub(last))
+			return now
+		}
+	}
 	if jobs <= 1 {
+		if tr == nil {
+			for i := 0; i < n; i++ {
+				if err := cx.Err(); err != nil {
+					return -1, err
+				}
+				if err := work(0, i); err != nil {
+					return i, err
+				}
+			}
+			return -1, nil
+		}
+		t0 := time.Now()
+		last := t0
+		items := 0
+		batch := func() { tr.Batch(0, phase, t0, time.Since(t0), items) }
 		for i := 0; i < n; i++ {
 			if err := cx.Err(); err != nil {
+				batch()
 				return -1, err
 			}
 			if err := work(0, i); err != nil {
+				batch()
 				return i, err
 			}
+			last = task(0, i, last)
+			items++
 		}
+		batch()
 		return -1, nil
 	}
 	var (
@@ -67,6 +124,21 @@ func For(cx context.Context, n, jobs int, work func(worker, item int) error) (in
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			run := work // worker-local: the traced wrapper must not race across workers
+			if tr != nil {
+				t0 := time.Now()
+				last := t0
+				items := 0
+				defer func() { tr.Batch(w, phase, t0, time.Since(t0), items) }()
+				run = func(w, i int) error {
+					err := work(w, i)
+					if err == nil {
+						last = task(w, i, last)
+						items++
+					}
+					return err
+				}
+			}
 			for {
 				// Check for drain BEFORE claiming: a claimed item always
 				// runs. The cursor hands out indices in order, so every
@@ -80,7 +152,7 @@ func For(cx context.Context, n, jobs int, work func(worker, item int) error) (in
 				if i >= n {
 					return
 				}
-				if err := work(w, i); err != nil {
+				if err := run(w, i); err != nil {
 					errMu.Lock()
 					if errIdx < 0 || i < errIdx {
 						errIdx, firstErr = i, err
