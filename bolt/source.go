@@ -42,7 +42,7 @@ func (s fileSource) Load(cx context.Context) (*profile.Fdata, error) {
 		return nil, err
 	}
 	defer r.Close()
-	return profile.Parse(r)
+	return profile.Parse(cx, r)
 }
 
 // memSource hands over an in-memory profile.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -82,7 +83,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fd, err := profile.Parse(r)
+		fd, err := profile.Parse(context.Background(), r)
 		r.Close()
 		if err != nil {
 			fatal(err)

@@ -1,5 +1,7 @@
 package core
 
+//boltvet:hot-path loader disassembly+CFG construction, slab-allocated in PR 6
+
 import (
 	"context"
 	"fmt"
@@ -686,6 +688,7 @@ func (ctx *BinaryContext) attachCFI(fn *BinaryFunction) {
 			case cfi.OpRestore:
 				delete(st.Saved, in.Reg)
 			case cfi.OpRememberState:
+				//boltvet:alloc-ok remember/restore nesting is rare (depth 0 for almost every function); lazy append beats an unconditional prealloc
 				stack = append(stack, cloneState(st))
 			case cfi.OpRestoreState:
 				if len(stack) > 0 {

@@ -1,9 +1,12 @@
 package core
 
+//boltvet:hot-path emission back half (layout/patch/metadata), allocation-scrubbed in PRs 6-7
+
 import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"gobolt/internal/bat"
@@ -310,8 +313,17 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		out.AddSection(ns)
 	}
 
-	// Patch stale references inside kept sections.
-	for sectName, relas := range f.Relas {
+	// Patch stale references inside kept sections. The patched ranges
+	// are disjoint per section, but iterate in sorted order anyway so
+	// the emission path is order-deterministic by construction (and
+	// any future cross-section state stays schedule-free).
+	relaNames := make([]string, 0, len(f.Relas))
+	for sectName := range f.Relas {
+		relaNames = append(relaNames, sectName)
+	}
+	sort.Strings(relaNames)
+	for _, sectName := range relaNames {
+		relas := f.Relas[sectName]
 		sec := f.Section(sectName)
 		outName := sectName
 		if sectName == ".text" {
@@ -528,8 +540,14 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		return nil, err
 	}
 	// Serial concat: upper bound on FDE count is one per emitted fragment
-	// plus every kept input FDE.
-	var lsdaData []byte
+	// plus every kept input FDE; the LSDA blob is presized to the summed
+	// emitted-fragment size so the concat loop (almost) never regrows it
+	// — only kept input LSDAs re-encoded below can push past the hint.
+	lsdaSize := 0
+	for i := range metas {
+		lsdaSize += len(metas[i].hotLSDA) + len(metas[i].coldLSDA)
+	}
+	lsdaData := make([]byte, 0, lsdaSize)
 	fdes := make([]cfi.FDE, 0, len(emits)+res.SplitFuncs+len(ctx.fdes))
 	for i, e := range emits {
 		m := &metas[i]
@@ -633,6 +651,7 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 	for _, e := range emits {
 		if e.Cold != nil {
 			out.Symbols = append(out.Symbols, elfx.Symbol{
+				//boltvet:alloc-ok one symbol-name string per split function; elfx.Symbol.Name is a string, so the allocation is inherent
 				Name: e.fn.Name + ".cold.0", Value: e.fn.ColdAddr, Size: e.fn.ColdSize,
 				Type: elfx.STTFunc, Bind: elfx.STBLocal, Section: ".text.cold",
 			})
@@ -661,8 +680,8 @@ func (ctx *BinaryContext) orderedSimpleFuncs() []*BinaryFunction {
 	if len(ctx.FuncOrder) == 0 {
 		return simple
 	}
-	placed := map[*BinaryFunction]bool{}
-	var out []*BinaryFunction
+	placed := make(map[*BinaryFunction]bool, len(simple))
+	out := make([]*BinaryFunction, 0, len(simple))
 	for _, name := range ctx.FuncOrder {
 		fn := ctx.ByName[name]
 		if fn == nil || !fn.Simple || fn.FoldedInto != nil || placed[fn] {

@@ -1,0 +1,86 @@
+package lintvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// wantRE matches the expectation comment grammar used in testdata
+// packages: `// want "regexp"` on the line a diagnostic is expected.
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// CheckPackage loads the packages at relDirs (relative to moduleDir;
+// `...` patterns skip testdata, so each package dir is named
+// explicitly), runs the given analyzers, and compares the diagnostics
+// against the packages' `// want "re"` comments — the analysistest
+// contract: every want must be matched by a same-line diagnostic and
+// every diagnostic must be covered by a want. Returned strings are
+// the failures, empty for a verified package.
+func CheckPackage(moduleDir string, analyzers []*Analyzer, relDirs ...string) ([]string, error) {
+	patterns := make([]string, 0, len(relDirs))
+	for _, d := range relDirs {
+		patterns = append(patterns, "./"+strings.TrimPrefix(d, "./"))
+	}
+	pkgs, err := Load(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	diags := RunPackages(pkgs, analyzers)
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, fileWants(pkg.Fset, f)...)
+		}
+	}
+
+	var problems []string
+	for _, d := range diags {
+		covered := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				covered = true
+			}
+		}
+		if !covered {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern))
+		}
+	}
+	return problems, nil
+}
+
+// fileWants extracts the expectations from one file's comments.
+func fileWants(fset *token.FileSet, f *ast.File) []*expectation {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+				pat, err := regexp.Compile(m[1])
+				if err != nil {
+					// Surface the bad pattern as an unmatchable want.
+					pat = regexp.MustCompile(regexp.QuoteMeta("invalid want regexp: " + m[1]))
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: pat})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package lintvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxThread enforces the PR-4 context-plumbing contract: library code
+// never mints its own root context, it threads the one it was handed.
+// A context.Background()/context.TODO() buried in the engine detaches
+// that subtree from cancellation — Ctrl-C keeps burning CPU, the
+// service's per-request deadlines stop propagating — and the bug only
+// shows up under cancellation tests that happen to race the right
+// phase.
+//
+// Flagged: context.Background() and context.TODO() calls outside
+// main-adjacent code (package main, cmd/, examples/, internal/bench,
+// and _test files are exempt), except the documented nil-normalization
+// idiom `if cx == nil { cx = context.Background() }`. Also flagged:
+// handing par.For/par.ForTraced a literal nil or freshly-minted
+// context as its first argument instead of a received one.
+// Escape hatch: `//boltvet:ctx-ok <reason>`.
+var CtxThread = &Analyzer{
+	Name:      "ctxthread",
+	Doc:       "no context.Background()/TODO() outside main-adjacent code; par.For gets a threaded context",
+	Directive: "ctx-ok",
+	Run:       runCtxThread,
+}
+
+// ctxExemptSuffixes are import-path segments whose packages are
+// main-adjacent: they own the process and legitimately mint roots.
+var ctxExemptSegments = []string{"/cmd/", "/examples/", "/internal/bench/"}
+
+func runCtxThread(p *Pass) {
+	exempt := p.Pkg.Name() == "main"
+	for _, seg := range ctxExemptSegments {
+		if strings.Contains("/"+p.Path+"/", seg) {
+			exempt = true
+		}
+	}
+
+	for _, file := range p.Files {
+		// First pass: fresh roots handed straight to par.For get the
+		// par-specific diagnostic; remember them so the general check
+		// below does not report the same call twice.
+		parArgRoots := map[*ast.CallExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(p.Info, call)
+			if (isPkgFunc(f, "internal/par", "For") || isPkgFunc(f, "internal/par", "ForTraced")) && len(call.Args) > 0 {
+				switch arg := ast.Unparen(call.Args[0]).(type) {
+				case *ast.Ident:
+					if arg.Name == "nil" && p.Info.Uses[arg] == types.Universe.Lookup("nil") {
+						p.Reportf(arg.Pos(), "par.%s called with a nil context: pass the context this function received so cancellation reaches the pool (or //boltvet:ctx-ok <reason>)", f.Name())
+					}
+				case *ast.CallExpr:
+					if inner := calleeFunc(p.Info, arg); isCtxRoot(inner) && !exempt {
+						parArgRoots[arg] = true
+						p.Reportf(arg.Pos(), "par.%s called with a fresh context.%s(): pass the context this function received (or //boltvet:ctx-ok <reason>)", f.Name(), inner.Name())
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || parArgRoots[call] {
+				return true
+			}
+			f := calleeFunc(p.Info, call)
+			if !exempt && isCtxRoot(f) && !isNilNormalization(file, call) {
+				p.Reportf(call.Pos(), "context.%s() in library code detaches this path from cancellation — thread the caller's context (or //boltvet:ctx-ok <reason>)", f.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isCtxRoot reports whether f is context.Background or context.TODO.
+func isCtxRoot(f *types.Func) bool {
+	return isPkgFunc(f, "context", "Background") || isPkgFunc(f, "context", "TODO")
+}
+
+// isNilNormalization recognizes the one sanctioned Background() in
+// library code — the nil-context compatibility fallback:
+//
+//	if cx == nil {
+//	    cx = context.Background()
+//	}
+//
+// The call must be the sole statement's RHS and the enclosing if must
+// test that same variable against nil.
+func isNilNormalization(file *ast.File, call *ast.CallExpr) bool {
+	var found bool
+	ast.Inspect(file, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || found {
+			return !found
+		}
+		bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op.String() != "==" {
+			return true
+		}
+		condVar := nilComparedIdent(bin)
+		if condVar == "" || len(ifStmt.Body.List) != 1 {
+			return true
+		}
+		as, ok := ifStmt.Body.List[0].(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || lhs.Name != condVar {
+			return true
+		}
+		if rhs, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && rhs == call {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// nilComparedIdent returns the identifier compared against nil in a
+// binary ==, or "".
+func nilComparedIdent(bin *ast.BinaryExpr) string {
+	if x, ok := bin.X.(*ast.Ident); ok {
+		if y, ok := bin.Y.(*ast.Ident); ok && y.Name == "nil" {
+			return x.Name
+		}
+	}
+	if y, ok := bin.Y.(*ast.Ident); ok {
+		if x, ok := bin.X.(*ast.Ident); ok && x.Name == "nil" {
+			return y.Name
+		}
+	}
+	return ""
+}

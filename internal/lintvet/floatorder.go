@@ -1,0 +1,147 @@
+package lintvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder flags floating-point accumulation into variables shared
+// across a par.For/par.ForTraced worker pool. Float addition is not
+// associative, so `acc += x` on a captured float64 inside the work
+// closure makes the total depend on which worker claimed which item —
+// the nondeterministic-reduction class the MCF inference work (PR 5)
+// had to design around with index-slotted integer terms. The
+// deterministic shapes stay legal:
+//
+//   - accumulating into a closure-local variable (reduced after the
+//     pool joins, in a fixed order);
+//   - writing into a slot indexed by the *item* parameter
+//     (acc[item] = ... or acc[item] += ...): every item owns its slot,
+//     so the result is schedule-independent;
+//
+// while worker-indexed or plain captured accumulation is flagged.
+// Escape hatch: `//boltvet:floatorder-ok <reason>`.
+var FloatOrder = &Analyzer{
+	Name:      "floatorder",
+	Doc:       "no captured float accumulation inside par.For closures",
+	Directive: "floatorder-ok",
+	Run:       runFloatOrder,
+}
+
+func runFloatOrder(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(p.Info, call)
+			if !isPkgFunc(f, "internal/par", "For") && !isPkgFunc(f, "internal/par", "ForTraced") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkWorkClosure(p, lit)
+			return true
+		})
+	}
+}
+
+func checkWorkClosure(p *Pass, lit *ast.FuncLit) {
+	itemParam := workItemParam(p, lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		case token.ASSIGN:
+			// x = x + y is the same reduction spelled longhand.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 || !selfReference(p, as.Lhs[0], as.Rhs[0]) {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			t := p.Info.TypeOf(lhs)
+			if t == nil || !isFloat(t) {
+				continue
+			}
+			root := rootIdent(lhs)
+			if root == nil {
+				continue
+			}
+			obj := p.Info.Uses[root]
+			if obj == nil || !capturedBy(obj, lit) {
+				continue // closure-local accumulator: joined deterministically later
+			}
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && indexIsItem(p, ix, itemParam) {
+				continue // item-slotted: one writer per slot, schedule-independent
+			}
+			p.Reportf(as.Pos(), "float accumulation into captured %s inside a par worker: totals depend on the schedule — slot terms by item index and reduce after the join (or //boltvet:floatorder-ok <reason>)", root.Name)
+		}
+		return true
+	})
+}
+
+// workItemParam returns the object of the closure's item parameter
+// (the second int parameter of the par work signature), or nil.
+func workItemParam(p *Pass, lit *ast.FuncLit) types.Object {
+	params := lit.Type.Params
+	if params == nil {
+		return nil
+	}
+	var idents []*ast.Ident
+	for _, field := range params.List {
+		idents = append(idents, field.Names...)
+	}
+	if len(idents) < 2 {
+		return nil
+	}
+	return p.Info.Defs[idents[1]]
+}
+
+// capturedBy reports whether obj is declared outside lit — a free
+// variable of the closure.
+func capturedBy(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// indexIsItem reports whether the index expression is exactly the
+// work closure's item parameter.
+func indexIsItem(p *Pass, ix *ast.IndexExpr, item types.Object) bool {
+	if item == nil {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	return ok && p.Info.Uses[id] == item
+}
+
+// selfReference reports whether rhs mentions the root identifier of
+// lhs (x = x + w, including x[i] = x[i] + w).
+func selfReference(p *Pass, lhs, rhs ast.Expr) bool {
+	root := rootIdent(lhs)
+	if root == nil {
+		return false
+	}
+	obj := p.Info.Uses[root]
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

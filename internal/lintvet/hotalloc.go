@@ -1,0 +1,231 @@
+package lintvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the PR-6 allocation scrub: in files marked
+// `//boltvet:hot-path <what makes this file hot>` — the loader's
+// disassembly path, the emitter, and the profile parser — it flags
+// the allocation shapes that were deliberately driven out and must
+// not creep back:
+//
+//   - fmt.Sprintf anywhere (string formatting allocates; the hot
+//     paths use appenders and strconv);
+//   - fmt.Errorf outside a direct `return` (error construction on
+//     the abort path is fine — the pipeline stops — but an Errorf
+//     whose result is stored or inspected runs on the success path);
+//   - non-constant string concatenation with + or += (each one
+//     allocates; constant folding is free and stays exempt);
+//   - append inside a loop to a slice declared in the same function
+//     without any capacity hint (repeated growth reallocations; give
+//     the make() a capacity or hoist the slice).
+//
+// Intentional sites take `//boltvet:alloc-ok <reason>`.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "no fmt/concat/growth allocations in //boltvet:hot-path files",
+	Directive: "alloc-ok",
+	Run:       runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, file := range p.Files {
+		fd := indexDirectives(parseDirectives(p.Fset, file))
+		if !fd.hotFile() {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkHotFunc(p, fn)
+		}
+	}
+}
+
+func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
+	slices := localSliceDecls(p, fn)
+
+	var walk func(n ast.Node, inReturn bool, loopDepth int, inConcat bool)
+	walk = func(n ast.Node, inReturn bool, loopDepth int, inConcat bool) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				walk(r, true, loopDepth, inConcat)
+			}
+			return
+		case *ast.ForStmt:
+			walk(v.Init, inReturn, loopDepth, inConcat)
+			walk(v.Cond, inReturn, loopDepth, inConcat)
+			walk(v.Post, inReturn, loopDepth, inConcat)
+			walk(v.Body, inReturn, loopDepth+1, inConcat)
+			return
+		case *ast.RangeStmt:
+			walk(v.X, inReturn, loopDepth, inConcat)
+			walk(v.Body, inReturn, loopDepth+1, inConcat)
+			return
+		case *ast.CallExpr:
+			callee := calleeFunc(p.Info, v)
+			switch {
+			case isPkgFunc(callee, "fmt", "Sprintf"):
+				p.Reportf(v.Pos(), "fmt.Sprintf on a hot path: use append-based formatting/strconv (or //boltvet:alloc-ok <reason>)")
+			case isPkgFunc(callee, "fmt", "Errorf") && !inReturn:
+				p.Reportf(v.Pos(), "fmt.Errorf outside a direct return on a hot path: build errors only on the abort path (or //boltvet:alloc-ok <reason>)")
+			case loopDepth > 0 && isBuiltinAppend(p.Info, v):
+				if tgt := appendTarget(p.Info, v); tgt != nil {
+					if decl, ok := slices[tgt]; ok && !decl.hasCap {
+						p.Reportf(v.Pos(), "append in a loop to %s, declared without capacity: preallocate with make(%s, 0, n) (or //boltvet:alloc-ok <reason>)", tgt.Name(), tgt.Name())
+					}
+				}
+			}
+			// Calls reset the concat context: fn(a+b) inside a concat
+			// chain is its own expression.
+			children(v, func(c ast.Node) { walk(c, inReturn, loopDepth, false) })
+			return
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isString(p.Info.TypeOf(v)) && p.Info.Types[v].Value == nil {
+				if !inConcat {
+					p.Reportf(v.Pos(), "string concatenation on a hot path allocates: use an append buffer (or //boltvet:alloc-ok <reason>)")
+				}
+				// Flag a chain once: operands walk in concat context.
+				walk(v.X, inReturn, loopDepth, true)
+				walk(v.Y, inReturn, loopDepth, true)
+				return
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && isString(p.Info.TypeOf(v.Lhs[0])) {
+				p.Reportf(v.Pos(), "string += on a hot path allocates per iteration: use an append buffer (or //boltvet:alloc-ok <reason>)")
+			}
+		case *ast.FuncLit:
+			walk(v.Body, false, loopDepth, false)
+			return
+		}
+		children(n, func(c ast.Node) { walk(c, inReturn, loopDepth, inConcat) })
+	}
+	walk(fn.Body, false, 0, false)
+}
+
+// children invokes f once for each immediate child of n.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			f(c)
+		}
+		return false
+	})
+}
+
+// sliceDecl records how a function-local slice variable was declared.
+type sliceDecl struct{ hasCap bool }
+
+// localSliceDecls maps each slice variable declared inside fn to
+// whether its declaration carries a capacity: make(T, n) / make(T, n,
+// c) / a non-empty literal count as presized, `var s []T`, `s :=
+// []T{}`, and `s := make([]T, 0)` do not. Nested concat via
+// string(append(...)) idioms keep their variables out of this map and
+// are never flagged.
+func localSliceDecls(p *Pass, fn *ast.FuncDecl) map[types.Object]sliceDecl {
+	out := map[types.Object]sliceDecl{}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		o := p.Info.Defs[id]
+		if o == nil {
+			return
+		}
+		if _, ok := o.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		d := sliceDecl{}
+		switch v := rhs.(type) {
+		case nil:
+			// var s []T — zero value, no capacity.
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "make" && p.Info.Uses[id] == nil {
+				// make([]T, n) presizes length; only a 3-arg make with
+				// constant-0 capacity (or 2-arg make(, 0)) counts as growth-prone.
+				d.hasCap = !makeZeroSized(p, v)
+			} else {
+				d.hasCap = true // produced by a call; origin unknown, stay quiet
+			}
+		case *ast.CompositeLit:
+			d.hasCap = len(v.Elts) > 0
+		default:
+			d.hasCap = true
+		}
+		out[o] = d
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE && len(v.Lhs) == len(v.Rhs) {
+				for i := range v.Lhs {
+					if id, ok := v.Lhs[i].(*ast.Ident); ok {
+						record(id, v.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range v.Names {
+				var rhs ast.Expr
+				if i < len(v.Values) {
+					rhs = v.Values[i]
+				}
+				record(id, rhs)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// makeZeroSized reports whether a make call builds a zero-length,
+// zero/absent-capacity slice — the growth-prone shape.
+func makeZeroSized(p *Pass, call *ast.CallExpr) bool {
+	isZero := func(e ast.Expr) bool {
+		tv, ok := p.Info.Types[e]
+		if !ok || tv.Value == nil {
+			return false
+		}
+		return tv.Value.String() == "0"
+	}
+	switch len(call.Args) {
+	case 2:
+		return isZero(call.Args[1])
+	case 3:
+		return isZero(call.Args[2])
+	}
+	return false
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// appendTarget returns the object of the slice being appended to,
+// for the common self-append `x = append(x, ...)` spelled with x as
+// the first argument.
+func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,167 @@
+package lintvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Imports    []string
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load resolves patterns (e.g. "./...") from moduleDir via the go
+// command and returns the matched packages parsed and type-checked.
+// The go command does all module/build-graph work: `go list -export
+// -deps` compiles every dependency and hands back export-data paths,
+// which a gc importer consumes, so the loader needs no network, no
+// third-party machinery, and no GOPATH assumptions. Packages come
+// back topologically sorted (dependencies before dependents) so
+// cross-package facts flow forward.
+func Load(moduleDir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,Export,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintvet: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintvet: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lintvet: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range topoSort(targets) {
+		p, err := typeCheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// topoSort orders targets so that every target is preceded by the
+// targets it imports; ties break on import path so runs are stable.
+func topoSort(targets []*listedPkg) []*listedPkg {
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	byPath := make(map[string]*listedPkg, len(targets))
+	for _, t := range targets {
+		byPath[t.ImportPath] = t
+	}
+	seen := make(map[string]bool, len(targets))
+	out := make([]*listedPkg, 0, len(targets))
+	var visit func(*listedPkg)
+	visit = func(t *listedPkg) {
+		if seen[t.ImportPath] {
+			return
+		}
+		seen[t.ImportPath] = true
+		for _, imp := range t.Imports {
+			if dep := byPath[imp]; dep != nil {
+				visit(dep)
+			}
+		}
+		out = append(out, t)
+	}
+	for _, t := range targets {
+		visit(t)
+	}
+	return out
+}
+
+// typeCheck parses and type-checks one target from source. Imports —
+// including imports of sibling targets — resolve through export data,
+// so each target checks independently of the others' ASTs.
+func typeCheck(fset *token.FileSet, imp types.Importer, t *listedPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lintvet: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintvet: type-checking %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		Imports:    t.Imports,
+	}, nil
+}

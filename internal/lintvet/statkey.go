@@ -1,0 +1,158 @@
+package lintvet
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StatKey is the compile-time half of the declared-stat-key
+// invariant: every constant string used as a counter/gauge/histogram
+// key — CountStat on BinaryContext/FuncCtx, Add/SetGauge/Observe on
+// the obsv Registry — must appear in core.StatDefs(). The runtime
+// Registry.Undeclared test only fires when the offending code path
+// executes; this check reads the key straight off the call site, so
+// an undeclared key fails `boltvet ./...` even if no test reaches it.
+//
+// The declared set is lifted from the StatDefs function body during
+// the same run (constant string arguments of the builder calls and
+// Name:/SumTo: fields), published as a fact, and consumed by every
+// package analyzed after it — dependency ordering guarantees core
+// precedes its importers. Keys computed at runtime (a variable key in
+// a merge loop) are invisible to the checker and stay covered by the
+// runtime test. Escape hatch: `//boltvet:statkey-ok <reason>`.
+var StatKey = &Analyzer{
+	Name:      "statkey",
+	Doc:       "stat-key string literals must be declared in core.StatDefs()",
+	Directive: "statkey-ok",
+	Run:       runStatKey,
+}
+
+// statKeysFact is the Facts key under which the declared set lives.
+const statKeysFact = "statkey.declared"
+
+// registryMethods are the obsv.Registry mutators whose first argument
+// is a metric name. CountStat matches on any receiver (BinaryContext,
+// FuncCtx, and test doubles all funnel into the registry).
+var registryMethods = map[string]bool{"Add": true, "SetGauge": true, "Observe": true}
+
+func runStatKey(p *Pass) {
+	// Phase 1: harvest declarations from a StatDefs() in this package.
+	for _, fd := range funcDecls(p.Files) {
+		if fd.Name.Name != "StatDefs" || fd.Recv != nil {
+			continue
+		}
+		keys, _ := p.Facts.Get(statKeysFact).(map[string]bool)
+		if keys == nil {
+			keys = make(map[string]bool)
+			p.Facts.Set(statKeysFact, keys)
+		}
+		harvestStatDefs(p, fd, keys)
+	}
+
+	keys, _ := p.Facts.Get(statKeysFact).(map[string]bool)
+	if keys == nil {
+		// No StatDefs in scope (a run that does not include core):
+		// nothing to check against.
+		return
+	}
+
+	// Phase 2: check key literals at every recording site.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			f := calleeFunc(p.Info, call)
+			if f == nil || f.Type().(*types.Signature).Recv() == nil {
+				return true
+			}
+			name := f.Name()
+			if name != "CountStat" && !(registryMethods[name] && recvNamed(f, "Registry")) {
+				return true
+			}
+			key, ok := constString(p.Info, call.Args[0])
+			if !ok {
+				return true // runtime-computed key: the Undeclared test owns it
+			}
+			if !keys[key] {
+				p.Reportf(call.Args[0].Pos(), "stat key %q is not declared in core.StatDefs() — declare it there (closest: %s) or //boltvet:statkey-ok <reason>", key, closestKey(key, keys))
+			}
+			return true
+		})
+	}
+}
+
+// harvestStatDefs pulls every declared metric name out of the
+// StatDefs body: constant string first-arguments of helper-builder
+// calls (counter(...)/weighted(...)) and Name:/SumTo: composite
+// literal fields. go/types constant folding resolves named constants
+// like MetricFlowAccuracy for free.
+func harvestStatDefs(p *Pass, fd *ast.FuncDecl, keys map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if len(v.Args) == 0 {
+				return true
+			}
+			// Only local builder closures take the name first; calls
+			// into other packages (fmt etc.) never declare keys.
+			if calleeFunc(p.Info, v) != nil {
+				return true
+			}
+			if s, ok := constString(p.Info, v.Args[0]); ok {
+				keys[s] = true
+			}
+		case *ast.KeyValueExpr:
+			id, ok := v.Key.(*ast.Ident)
+			if !ok || (id.Name != "Name" && id.Name != "SumTo") {
+				return true
+			}
+			if s, ok := constString(p.Info, v.Value); ok && s != "" {
+				keys[s] = true
+			}
+		}
+		return true
+	})
+}
+
+// recvNamed reports whether f's receiver (possibly a pointer) is a
+// named type called name.
+func recvNamed(f *types.Func, name string) bool {
+	r := f.Type().(*types.Signature).Recv()
+	if r == nil {
+		return false
+	}
+	t := r.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// closestKey names the declared key nearest to miss (shared-prefix
+// heuristic) so typo diagnostics carry the likely fix.
+func closestKey(miss string, keys map[string]bool) string {
+	best, bestLen := "(none)", -1
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		l := 0
+		for l < len(k) && l < len(miss) && k[l] == miss[l] {
+			l++
+		}
+		if l > bestLen {
+			best, bestLen = k, l
+		}
+	}
+	if strings.TrimSpace(best) == "" {
+		return "(none)"
+	}
+	return best
+}

@@ -1,0 +1,56 @@
+// Package ctxthread is boltvet testdata: context threading through
+// library code and par pools.
+package ctxthread
+
+import (
+	"context"
+
+	"gobolt/internal/par"
+)
+
+func work(worker, item int) error { return nil }
+
+// Threaded passes the received context straight through: no findings.
+func Threaded(cx context.Context, n int) error {
+	_, err := par.For(cx, n, 4, work)
+	return err
+}
+
+// Detached mints a root mid-library: flagged.
+func Detached() context.Context {
+	return context.Background() // want "context.Background\(\) in library code detaches this path from cancellation"
+}
+
+// Postponed hides behind TODO: flagged the same way.
+func Postponed() context.Context {
+	return context.TODO() // want "context.TODO\(\) in library code detaches this path from cancellation"
+}
+
+// NilPool starves the pool of a cancellation channel: flagged.
+func NilPool(n int) error {
+	_, err := par.For(nil, n, 4, work) // want "par.For called with a nil context"
+	return err
+}
+
+// FreshPool mints a root right at the pool boundary: flagged once,
+// with the par-specific message.
+func FreshPool(n int) error {
+	_, err := par.For(context.Background(), n, 4, work) // want "par.For called with a fresh context.Background\(\)"
+	return err
+}
+
+// Normalized is the one sanctioned Background() in library code — the
+// nil-context compatibility fallback: no finding.
+func Normalized(cx context.Context, n int) error {
+	if cx == nil {
+		cx = context.Background()
+	}
+	_, err := par.For(cx, n, 4, work)
+	return err
+}
+
+// Suppressed carries a reasoned directive: no finding.
+func Suppressed() context.Context {
+	//boltvet:ctx-ok detached janitor goroutine must outlive the request
+	return context.Background()
+}

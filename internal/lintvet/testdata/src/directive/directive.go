@@ -1,0 +1,30 @@
+// Package directive is boltvet testdata: the directive grammar
+// itself. Unknown names, missing reasons, and stale suppressions are
+// diagnostics, so the exemption population can only shrink.
+package directive
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteBad shows that a reasonless directive does not suppress: both
+// the finding and the grammar complaint are reported.
+func WriteBad(w io.Writer, m map[string]int) {
+	//boltvet:sorted-ok // want "boltvet:sorted-ok needs a reason"
+	for k := range m { // want "iterating a map in output-reachable WriteBad"
+		fmt.Fprintln(w, k)
+	}
+}
+
+//boltvet:frobnicate no analyzer answers to this name // want "unknown boltvet directive \"frobnicate\""
+
+//boltvet:ctx-ok fixed long ago, nothing here mints a context // want "suppresses nothing here"
+
+// WriteGood is the well-formed counterpart: no findings.
+func WriteGood(w io.Writer, m map[string]int) {
+	//boltvet:sorted-ok order-insensitive debug aid
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

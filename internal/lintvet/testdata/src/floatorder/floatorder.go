@@ -1,0 +1,89 @@
+// Package floatorder is boltvet testdata: float reductions across
+// par.For worker pools.
+package floatorder
+
+import (
+	"context"
+
+	"gobolt/internal/par"
+)
+
+// SharedSum races workers into one captured float: flagged.
+func SharedSum(cx context.Context, xs []float64) (float64, error) {
+	var total float64
+	_, err := par.For(cx, len(xs), 4, func(worker, item int) error {
+		total += xs[item] // want "float accumulation into captured total"
+		return nil
+	})
+	return total, err
+}
+
+// LonghandSum spells the same reduction as x = x + y: flagged.
+func LonghandSum(cx context.Context, xs []float64) (float64, error) {
+	var total float64
+	_, err := par.For(cx, len(xs), 4, func(worker, item int) error {
+		total = total + xs[item] // want "float accumulation into captured total"
+		return nil
+	})
+	return total, err
+}
+
+// WorkerSlots shard by worker index — still schedule-dependent,
+// because which items a worker claims decides each slot's rounding:
+// flagged.
+func WorkerSlots(cx context.Context, xs []float64, jobs int) ([]float64, error) {
+	acc := make([]float64, jobs)
+	_, err := par.For(cx, len(xs), jobs, func(worker, item int) error {
+		acc[worker] += xs[item] // want "float accumulation into captured acc"
+		return nil
+	})
+	return acc, err
+}
+
+// ItemSlots give every item its own slot — one writer per slot, the
+// PR-5 deterministic-reduction shape: no finding.
+func ItemSlots(cx context.Context, xs []float64) ([]float64, error) {
+	acc := make([]float64, len(xs))
+	_, err := par.For(cx, len(xs), 4, func(worker, item int) error {
+		acc[item] += xs[item] * 0.5
+		return nil
+	})
+	return acc, err
+}
+
+// LocalAcc accumulates into a closure-local before a single slotted
+// write: no finding.
+func LocalAcc(cx context.Context, xs [][]float64) ([]float64, error) {
+	acc := make([]float64, len(xs))
+	_, err := par.For(cx, len(xs), 4, func(worker, item int) error {
+		sum := 0.0
+		for _, v := range xs[item] {
+			sum += v
+		}
+		acc[item] = sum
+		return nil
+	})
+	return acc, err
+}
+
+// IntCount is integer accumulation — racy for other reasons but
+// associative, not this analyzer's concern: no finding.
+func IntCount(cx context.Context, xs []float64) (int, error) {
+	n := 0
+	_, err := par.For(cx, len(xs), 4, func(worker, item int) error {
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// Suppressed carries a reasoned directive: no finding.
+func Suppressed(cx context.Context, xs []float64) (float64, error) {
+	var total float64
+	_, err := par.For(cx, len(xs), 1, func(worker, item int) error {
+		//boltvet:floatorder-ok jobs is pinned to 1 here, a single worker is sequential
+		total += xs[item]
+		return nil
+	})
+	return total, err
+}

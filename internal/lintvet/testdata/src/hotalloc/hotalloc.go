@@ -1,0 +1,65 @@
+// Package hotalloc is boltvet testdata: allocation shapes banned in
+// hot-path files.
+package hotalloc
+
+//boltvet:hot-path testdata standing in for the emit/disasm/parse hot files
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Format shows the banned shapes back to back.
+func Format(names []string, n int) ([]string, string, error) {
+	s := fmt.Sprintf("n=%d", n) // want "fmt.Sprintf on a hot path"
+
+	err := fmt.Errorf("bad count %d", n) // want "fmt.Errorf outside a direct return"
+	if err != nil && n < 0 {
+		return nil, "", err
+	}
+
+	label := "n=" + strconv.Itoa(n) // want "string concatenation on a hot path"
+
+	for _, name := range names {
+		label += name // want "string \+= on a hot path"
+	}
+
+	var out []string
+	for _, name := range names {
+		out = append(out, name) // want "append in a loop to out, declared without capacity"
+	}
+	return out, s + label, nil // want "string concatenation on a hot path"
+}
+
+// Clean uses the sanctioned equivalents: no findings.
+func Clean(names []string, n int) ([]byte, []string, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("bad count %d", n) // Errorf in a direct return is the abort path
+	}
+	buf := make([]byte, 0, 32)
+	buf = append(buf, "n="...)
+	buf = strconv.AppendInt(buf, int64(n), 10)
+
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		out = append(out, name)
+	}
+
+	const prefix = "hot" + "-path" // constant folding is free
+	_ = prefix
+	return buf, out, nil
+}
+
+// Suppressed carries reasoned directives: no findings.
+func Suppressed(names []string) string {
+	//boltvet:alloc-ok one-shot banner built at startup, not per item
+	s := "banner: " + names[0]
+	var grown []error
+	for range names {
+		//boltvet:alloc-ok error slice stays empty on the success path
+		grown = append(grown, errors.New("x"))
+	}
+	_ = grown
+	return s
+}

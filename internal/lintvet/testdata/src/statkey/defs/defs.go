@@ -1,0 +1,43 @@
+// Package defs is boltvet testdata: the declaring side of the
+// stat-key invariant. StatDefs here plays the role of core.StatDefs;
+// the sibling package imports it so dependency-ordered analysis
+// carries the harvested keys across the package boundary.
+package defs
+
+// Def mirrors the shape of core.StatDef.
+type Def struct {
+	Name  string
+	Help  string
+	SumTo string
+}
+
+const aggregateKey = "blocks-total"
+
+// StatDefs declares the testdata metric set through both harvested
+// shapes: builder-closure first arguments and Name:/SumTo: fields.
+func StatDefs() []Def {
+	counter := func(name, help string) Def { return Def{Name: name, Help: help} }
+	return []Def{
+		counter("load-simple", "functions loaded without quirks"),
+		counter("flow-accuracy", "profile flow conservation score"),
+		{Name: "emit-bytes", Help: "bytes written", SumTo: aggregateKey},
+	}
+}
+
+// Registry mirrors the obsv.Registry mutator surface.
+type Registry struct{}
+
+// Add records a counter delta.
+func (r *Registry) Add(name string, delta int64) {}
+
+// SetGauge records a gauge level.
+func (r *Registry) SetGauge(name string, v float64) {}
+
+// Observe records a histogram sample.
+func (r *Registry) Observe(name string, v float64) {}
+
+// Ctx mirrors the CountStat carriers (BinaryContext/FuncCtx).
+type Ctx struct{}
+
+// CountStat bumps a named counter.
+func (c *Ctx) CountStat(name string, delta int64) {}

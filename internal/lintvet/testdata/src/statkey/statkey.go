@@ -1,0 +1,29 @@
+// Package statkey is boltvet testdata: the recording side of the
+// stat-key invariant, checked against the declarations harvested from
+// the imported defs package.
+package statkey
+
+import (
+	"strings"
+
+	"gobolt/internal/lintvet/testdata/src/statkey/defs"
+)
+
+// Record exercises declared, undeclared, suppressed, and
+// runtime-computed keys.
+func Record(c *defs.Ctx, r *defs.Registry, phase string) {
+	c.CountStat("load-simple", 1)
+	c.CountStat("load-simpel", 1) // want "stat key \"load-simpel\" is not declared"
+
+	r.Add("flow-accuracy", 1)
+	r.Add("blocks-total", 1) // SumTo targets are declared keys too
+	r.SetGauge("emit-bytes", 1)
+	r.SetGauge("emit-byte", 1)    // want "stat key \"emit-byte\" is not declared"
+	r.Observe("load-latency", 25) // want "stat key \"load-latency\" is not declared"
+
+	key := "phase-" + strings.ToLower(phase)
+	c.CountStat(key, 1) // runtime-computed: the Registry.Undeclared test owns it
+
+	//boltvet:statkey-ok key lands with the follow-up emit PR
+	c.CountStat("emit-relocs", 1)
+}

@@ -1,0 +1,15 @@
+package lintvet
+
+// Pinned versions of the third-party analyzers CI runs alongside the
+// in-tree suite. They are deliberately not module dependencies — the
+// pipeline builds offline from the standard library alone — so CI
+// installs them by exact version, and TestToolVersionsPinned keeps
+// the workflow file and these constants in lockstep: bumping a tool
+// is a one-line reviewed change in both places, never a drive-by
+// `@latest`.
+const (
+	// StaticcheckVersion pins honnef.co/go/tools/cmd/staticcheck.
+	StaticcheckVersion = "2025.1"
+	// GovulncheckVersion pins golang.org/x/vuln/cmd/govulncheck.
+	GovulncheckVersion = "v1.1.4"
+)

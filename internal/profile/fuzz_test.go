@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func FuzzProfileParse(f *testing.F) {
 	f.Add(`boltprofile v1 lbr` + "\n" + `1 a\x20b 1 1 \x5c 2 0 1` + "\n")
 	f.Add("boltprofile v2 nolbr\ns g 0\n")
 	f.Fuzz(func(t *testing.T, in string) {
-		fd, err := Parse(strings.NewReader(in))
+		fd, err := Parse(context.Background(), strings.NewReader(in))
 		if err != nil {
 			return // rejected inputs just must not panic
 		}
@@ -26,7 +27,7 @@ func FuzzProfileParse(f *testing.F) {
 		if err := fd.Write(&buf); err != nil {
 			t.Fatalf("Write failed on parsed profile: %v", err)
 		}
-		got, err := Parse(bytes.NewReader(buf.Bytes()))
+		got, err := Parse(context.Background(), bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			t.Fatalf("reparse failed: %v\nserialized:\n%s", err, buf.String())
 		}

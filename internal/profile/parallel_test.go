@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -91,7 +92,7 @@ func TestParallelParseMatchesSerial(t *testing.T) {
 		inputs = append(inputs, genFdata(seed, 20, 400))
 	}
 	for i, in := range inputs {
-		serial, err := ParseData([]byte(in), 1)
+		serial, err := ParseData(context.Background(), []byte(in), 1)
 		if err != nil {
 			t.Fatalf("input %d: serial parse failed: %v", i, err)
 		}
@@ -100,7 +101,7 @@ func TestParallelParseMatchesSerial(t *testing.T) {
 			t.Fatalf("input %d: Write: %v", i, err)
 		}
 		for _, jobs := range []int{2, 3, 4, 8, 16} {
-			got, err := ParseData([]byte(in), jobs)
+			got, err := ParseData(context.Background(), []byte(in), jobs)
 			if err != nil {
 				t.Fatalf("input %d jobs %d: parse failed: %v", i, jobs, err)
 			}
@@ -164,7 +165,7 @@ func TestParallelParseErrorLineNumbers(t *testing.T) {
 	for _, tc := range cases {
 		var serialMsg string
 		for _, jobs := range []int{1, 2, 3, 4, 8} {
-			_, err := ParseData([]byte(tc.in), jobs)
+			_, err := ParseData(context.Background(), []byte(tc.in), jobs)
 			if err == nil {
 				t.Fatalf("%s jobs %d: parse unexpectedly succeeded", tc.name, jobs)
 			}
@@ -184,11 +185,11 @@ func TestParallelParseErrorLineNumbers(t *testing.T) {
 // delegates to the chunked parser with identical results.
 func TestParseReaderMatchesParseData(t *testing.T) {
 	in := genFdata(7, 15, 300)
-	a, err := Parse(strings.NewReader(in))
+	a, err := Parse(context.Background(), strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ParseData([]byte(in), 4)
+	b, err := ParseData(context.Background(), []byte(in), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

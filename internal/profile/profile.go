@@ -7,6 +7,8 @@
 // variant holding plain PC sample counts (paper §5).
 package profile
 
+//boltvet:hot-path fdata parse/write, Sscanf- and Sprintf-free since PR 7
+
 import (
 	"bufio"
 	"bytes"
@@ -249,13 +251,14 @@ func (f *Fdata) Write(w io.Writer) error {
 }
 
 // Parse reads a profile written by Write. The input is slurped and
-// handed to ParseData, which parses large profiles in parallel chunks.
-func Parse(r io.Reader) (*Fdata, error) {
+// handed to ParseData, which parses large profiles in parallel chunks;
+// cancelling cx stops the chunk pool promptly (nil cx = background).
+func Parse(cx context.Context, r io.Reader) (*Fdata, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	return ParseData(data, 0)
+	return ParseData(cx, data, 0)
 }
 
 // parallelParseMin is the body size below which auto-sized parsing stays
@@ -271,7 +274,9 @@ const parallelParseMin = 1 << 16
 // absolute line numbers regardless of chunking, and the reported error is
 // always the one serial parsing would hit first (chunks cover disjoint
 // line ranges in order, and the pool returns the lowest-chunk error).
-func ParseData(data []byte, jobs int) (*Fdata, error) {
+// Cancelling cx stops the pool at the next chunk claim; a nil cx
+// parses without a cancellation point, matching the old signature.
+func ParseData(cx context.Context, data []byte, jobs int) (*Fdata, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("profile: empty input")
 	}
@@ -315,7 +320,7 @@ func ParseData(data []byte, jobs int) (*Fdata, error) {
 		starts[i+1] = starts[i] + n
 	}
 	results := make([]chunkData, len(chunks))
-	_, err := par.For(context.Background(), len(chunks), jobs, func(_, i int) error {
+	_, err := par.For(cx, len(chunks), jobs, func(_, i int) error {
 		return parseChunk(chunks[i], starts[i], starts[i+1], i == len(chunks)-1, &results[i])
 	})
 	if err != nil {

@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -18,7 +19,7 @@ func TestWriteParseRoundTrip(t *testing.T) {
 	if err := fd.Write(&buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Parse(&buf)
+	got, err := Parse(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestNonLBRRoundTrip(t *testing.T) {
 	if err := fd.Write(&buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Parse(&buf)
+	got, err := Parse(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestParseRejectsGarbage(t *testing.T) {
 		"boltprofile v2 lbr\ns f 1\nb 0 1 2,x\n",        // bad successor list
 		"boltprofile v2 lbr\ns f 1\n1 f 10 1 f 0 0 1\n", // record interrupts shape
 	} {
-		if _, err := Parse(strings.NewReader(s)); err == nil {
+		if _, err := Parse(context.Background(), strings.NewReader(s)); err == nil {
 			t.Errorf("Parse(%q) unexpectedly succeeded", s)
 		}
 	}
@@ -83,7 +84,7 @@ func TestSymbolEscaping(t *testing.T) {
 	if err := b.Build().Write(&buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Parse(&buf)
+	got, err := Parse(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestSymbolEscapingHostile(t *testing.T) {
 		if err := b.Build().Write(&buf); err != nil {
 			t.Fatalf("%q: %v", sym, err)
 		}
-		got, err := Parse(&buf)
+		got, err := Parse(context.Background(), &buf)
 		if err != nil {
 			t.Fatalf("%q: %v", sym, err)
 		}
@@ -149,7 +150,7 @@ func TestShapesRoundTrip(t *testing.T) {
 	if !strings.HasPrefix(buf.String(), "boltprofile v2 ") {
 		t.Fatalf("shapes did not trigger v2 header: %q", buf.String()[:30])
 	}
-	got, err := Parse(&buf)
+	got, err := Parse(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestRoundTripProperty(t *testing.T) {
 		if err := b.Build().Write(&buf); err != nil {
 			return false
 		}
-		got, err := Parse(&buf)
+		got, err := Parse(context.Background(), &buf)
 		if err != nil || len(got.Branches) != 1 {
 			return false
 		}
