@@ -2,6 +2,7 @@ package bolt_test
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"slices"
 	"sort"
@@ -183,7 +184,11 @@ func TestRunReportRoundTrip(t *testing.T) {
 	if _, err := bolt.ParseRunReport(trailing); err == nil {
 		t.Error("ParseRunReport accepted trailing data")
 	}
-	wrongVer := bytes.Replace(buf.Bytes(), []byte(`"schema_version": 1`), []byte(`"schema_version": 999`), 1)
+	verTag := fmt.Sprintf(`"schema_version": %d`, bolt.ReportSchemaVersion)
+	if !bytes.Contains(buf.Bytes(), []byte(verTag)) {
+		t.Fatalf("report JSON does not carry %s", verTag)
+	}
+	wrongVer := bytes.Replace(buf.Bytes(), []byte(verTag), []byte(`"schema_version": 999`), 1)
 	if _, err := bolt.ParseRunReport(wrongVer); err == nil {
 		t.Error("ParseRunReport accepted a mismatched schema version")
 	}

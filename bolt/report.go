@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"gobolt/internal/bincheck"
 	"gobolt/internal/core"
 	"gobolt/internal/obsv"
 )
@@ -67,6 +68,12 @@ type Report struct {
 	// counters plus gauges and the per-function quality histograms
 	// (flow accuracy, stale-match quality).
 	Metrics *obsv.Snapshot
+
+	// Verify holds the independent static verification of the output
+	// binary, filled by Session.VerifyOutput (nil until then). The
+	// verifier re-reads the serialized output from scratch — see
+	// internal/bincheck.
+	Verify *bincheck.Result
 
 	// Occupancy holds the derived per-phase worker-pool statistics
 	// (utilization, task-duration quantiles, stragglers). Present only

@@ -7,15 +7,17 @@ import (
 	"io"
 	"math"
 
+	"gobolt/internal/bincheck"
 	"gobolt/internal/core"
 	"gobolt/internal/obsv"
 )
 
 // ReportSchemaVersion is the version stamped into every RunReport. It
-// increments whenever a field is removed or changes meaning; purely
-// additive fields keep the version (consumers must tolerate absent
-// optional fields, never unknown ones — ParseRunReport is strict).
-const ReportSchemaVersion = 1
+// increments whenever a field is removed, changes meaning, or is added:
+// ParseRunReport is strict (unknown fields are errors), so even
+// additive changes are visible to consumers. v2 added the `verify`
+// block (independent output verification, internal/bincheck).
+const ReportSchemaVersion = 2
 
 // RunReport is the machine-readable form of a Report: a versioned,
 // stable JSON schema for dashboards, CI gates, and experiment harnesses
@@ -61,6 +63,11 @@ type RunReport struct {
 	// Dyno holds the before/after dynamic instruction stats; present
 	// only when the session ran WithDynoStats.
 	Dyno *RunDyno `json:"dyno,omitempty"`
+
+	// Verify holds the independent static verification of the output
+	// binary (rule-keyed findings; see internal/bincheck); present only
+	// when the session ran VerifyOutput.
+	Verify *bincheck.Result `json:"verify,omitempty"`
 }
 
 // RunFunctions is the rewrite's function accounting.
@@ -182,6 +189,7 @@ func (r *Report) RunReport() *RunReport {
 	if r.HasDynoStats {
 		rr.Dyno = &RunDyno{Before: r.DynoBefore, After: r.DynoAfter}
 	}
+	rr.Verify = r.Verify
 	return rr
 }
 
@@ -247,6 +255,26 @@ func ValidateRunReport(data []byte) error {
 	for _, o := range rr.Occupancy {
 		if o.Utilization < 0 || o.Utilization > 1+1e-9 {
 			return fmt.Errorf("bolt: run report: occupancy %q utilization %v out of range", o.Phase, o.Utilization)
+		}
+	}
+	if v := rr.Verify; v != nil {
+		errs, warns := 0, 0
+		for _, f := range v.Findings {
+			if f.Rule == "" {
+				return fmt.Errorf("bolt: run report: verify finding with empty rule")
+			}
+			switch f.Severity {
+			case bincheck.SeverityError:
+				errs++
+			case bincheck.SeverityWarning:
+				warns++
+			default:
+				return fmt.Errorf("bolt: run report: verify finding with unknown severity %q", f.Severity)
+			}
+		}
+		if errs != v.Errors || warns != v.Warnings {
+			return fmt.Errorf("bolt: run report: verify severity tallies (%d/%d) disagree with findings (%d/%d)",
+				v.Errors, v.Warnings, errs, warns)
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"gobolt/bolt"
+	"gobolt/internal/bincheck"
 	"gobolt/internal/core"
 	"gobolt/internal/obsv"
 )
@@ -117,5 +118,7 @@ func TestReportSchemaInSync(t *testing.T) {
 		"profile":    reflect.TypeOf(bolt.RunProfile{}),
 		"dyno":       reflect.TypeOf(bolt.RunDyno{}),
 		"dyno_stats": reflect.TypeOf(core.DynoStats{}),
+		"verify":     reflect.TypeOf(bincheck.Result{}),
+		"finding":    reflect.TypeOf(bincheck.Finding{}),
 	})
 }

@@ -1,0 +1,68 @@
+// Command bincheck statically verifies a BOLTed binary: it re-opens
+// the ELF from its bytes, re-disassembles every function fragment, and
+// checks branch targets, jump tables, CFI, LSDA, the BAT translation
+// map, and symbol/section sanity — independently of the rewriter that
+// produced the file (see internal/bincheck for the rule catalogue).
+//
+//	bincheck prog.bolt                  # findings to stderr, exit 1 on errors
+//	bincheck -json report.json prog.bolt
+//
+// Exit status: 0 clean (warnings allowed), 1 error-severity findings,
+// 2 usage or unreadable input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gobolt/internal/bincheck"
+)
+
+func main() {
+	jsonOut := flag.String("json", "", "write the machine-readable result to this path; \"-\" writes to stdout")
+	quiet := flag.Bool("q", false, "suppress per-finding output; only the summary line")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bincheck [-json out.json] [-q] binary")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bincheck: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := bincheck.Check(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bincheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	if !*quiet {
+		for _, f := range res.Findings {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", flag.Arg(0), f)
+		}
+	}
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bincheck: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.WriteJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "bincheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bincheck: %s: %d fragments, %d instructions, %d FDEs, %d BAT ranges: %d errors, %d warnings\n",
+		flag.Arg(0), res.Fragments, res.Instructions, res.FDEs, res.BATRanges, res.Errors, res.Warnings)
+	if !res.Ok() {
+		os.Exit(1)
+	}
+}

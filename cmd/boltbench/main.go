@@ -37,7 +37,7 @@ func main() {
 
 func run() error {
 	exp := flag.String("experiment", "all",
-		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, inference, timing, speed, scaling, obsv (comma separated or 'all')")
+		"experiment(s) to run: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table2, events, icf, fig2, continuous, inference, verify, timing, speed, scaling, obsv (comma separated or 'all')")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (iterations multiplier)")
 	jobs := flag.Int("jobs", 0, "worker threads for every gobolt run's parallel phases — loader, function passes, emission (0 = GOMAXPROCS, 1 = serial)")
 	timePasses := flag.Bool("time-passes", false, "run the 'timing' experiment (load/pass/emit wall time at jobs=1 vs -jobs) even when not listed")
@@ -160,6 +160,8 @@ func run() error {
 			_, report, err = bench.Continuous(sc)
 		case "inference":
 			_, report, err = bench.Inference(sc)
+		case "verify":
+			_, report, err = bench.Verify(sc)
 		case "timing":
 			report, err = bench.PipelineScaling(sc, *jobs)
 		case "obsv":

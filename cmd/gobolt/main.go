@@ -69,6 +69,7 @@ func run() error {
 	timePasses := flag.Bool("time-passes", false, "print per-pass wall time and stat deltas")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the run (load in Perfetto or chrome://tracing)")
 	reportJSON := flag.String("report-json", "", "write the machine-readable run report (versioned JSON) to this path; \"-\" writes to stdout")
+	verify := flag.Bool("verify", false, "statically verify the output binary from its serialized bytes (branch targets, jump tables, CFI/LSDA, BAT, symbols); error-severity findings fail the run")
 	dynoStats := flag.Bool("dyno-stats", false, "print dyno stats before/after")
 	badLayout := flag.Bool("report-bad-layout", false, "report cold blocks between hot blocks and exit")
 	printCFG := flag.String("print-cfg", "", "print the CFG of the named function and exit")
@@ -201,6 +202,20 @@ func run() error {
 	}
 	if err := sess.WriteFile(outPath); err != nil {
 		return err
+	}
+	if *verify {
+		res, err := sess.VerifyOutput()
+		if err != nil {
+			return err
+		}
+		for _, f := range res.Findings {
+			fmt.Fprintf(os.Stderr, "gobolt: verify: %s: %s\n", outPath, f)
+		}
+		fmt.Fprintf(os.Stderr, "gobolt: verify: %s: %d fragments, %d instructions, %d FDEs, %d BAT ranges: %d errors, %d warnings\n",
+			outPath, res.Fragments, res.Instructions, res.FDEs, res.BATRanges, res.Errors, res.Warnings)
+		if !res.Ok() {
+			return fmt.Errorf("verify: %d error-severity findings in %s", res.Errors, outPath)
+		}
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, tracer); err != nil {

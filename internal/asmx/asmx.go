@@ -36,7 +36,7 @@ type item struct {
 	// kindReloc
 	relType uint32
 	sym     string
-	symID   uint64
+	symID   obj.SymID
 	addend  int64
 	// kindAlign
 	align int
@@ -98,7 +98,7 @@ func (a *Assembler) EmitReloc(i isa.Inst, relType uint32, sym string, addend int
 // EmitRelocID is EmitReloc with a packed numeric symbol instead of a
 // name (obj.Reloc.SymID); gobolt's emitter uses it to keep the hot
 // emission path free of per-relocation string building.
-func (a *Assembler) EmitRelocID(i isa.Inst, relType uint32, symID uint64, addend int64) {
+func (a *Assembler) EmitRelocID(i isa.Inst, relType uint32, symID obj.SymID, addend int64) {
 	a.items = append(a.items, item{kind: kindReloc, inst: i, relType: relType, symID: symID, addend: addend})
 }
 

@@ -1,0 +1,57 @@
+package bat
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedTable builds a rewrite-shaped table (hot+cold ranges over a
+// few interned functions, delta-friendly anchors) whose encoding seeds
+// the corpus with a structurally valid document.
+func fuzzSeedTable() *Table {
+	t := &Table{}
+	a := t.AddFunc("alpha", 0x120)
+	b := t.AddFunc("beta", 0x400)
+	t.AddRange(Range{FuncIdx: a, Start: 0x401000, Size: 0x40, Entries: []Entry{{0, 0}, {0x10, 0x20}, {0x28, 0x88}}})
+	t.AddRange(Range{FuncIdx: a, Start: 0x481000, Size: 0x18, Cold: true, Entries: []Entry{{0, 0x90}, {0x8, 0x100}}})
+	t.AddRange(Range{FuncIdx: b, Start: 0x401040, Size: 0x200, Entries: []Entry{{0, 0}, {0x80, 0x1c0}}})
+	return t
+}
+
+// FuzzBATDecode feeds arbitrary bytes to the BAT parser (must never
+// panic) and, whenever an input parses, checks decode→encode→decode is
+// a fixpoint on the exported structure: the continuous-profiling loop
+// round-trips tables through exactly this path.
+func FuzzBATDecode(f *testing.F) {
+	f.Add(fuzzSeedTable().Encode())
+	f.Add([]byte("GBAT"))
+	f.Add([]byte{})
+	empty := &Table{}
+	f.Add(empty.Encode())
+	one := &Table{}
+	one.AddRange(Range{FuncIdx: one.AddFunc("x", 1), Start: 1, Size: 1, Entries: []Entry{{0, 0}}})
+	f.Add(one.Encode())
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tbl, err := Parse(in)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		enc := tbl.Encode()
+		got, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		// Compare the exported structure, not the whole Table: funcIdx
+		// and sorted are lazily-built internals.
+		if !reflect.DeepEqual(got.Funcs, tbl.Funcs) {
+			t.Fatalf("functions drift:\n got %+v\nwant %+v", got.Funcs, tbl.Funcs)
+		}
+		if !reflect.DeepEqual(got.Ranges, tbl.Ranges) {
+			t.Fatalf("ranges drift:\n got %+v\nwant %+v", got.Ranges, tbl.Ranges)
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Fatal("encode is not a fixpoint after one round trip")
+		}
+	})
+}

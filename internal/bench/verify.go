@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gobolt/bolt"
+	"gobolt/internal/bincheck"
+	"gobolt/internal/elfx"
+	"gobolt/internal/perf"
+	"gobolt/internal/workload"
+)
+
+// VerifyPreset is one stress workload for the verification experiment,
+// each angled at a different rule family of internal/bincheck.
+type VerifyPreset struct {
+	Name string
+	Spec workload.Spec
+	Cfg  BuildConfig
+}
+
+// VerifyPresets builds the four stress shapes: exception-dense code
+// (CFI/LSDA rules), PLT-heavy non-LTO code (stub fragments and
+// cross-module calls), aggressive cold splitting (split CFI state and
+// cold BAT ranges), and hostile symbol tables (ICF alias pile-ups).
+func VerifyPresets() []VerifyPreset {
+	base := func(name string, seed uint64) workload.Spec {
+		s := workload.Tiny()
+		s.Name = name
+		s.Seed = seed
+		s.Modules = 4
+		s.FuncsPerModule = 60
+		s.SharedFuncs = 8
+		s.Iterations = 8000
+		s.InputSize = 1 << 12
+		return s
+	}
+
+	exc := base("exceptions", 0xE0C1)
+	exc.ThrowFrac = 0.6
+	exc.ColdProb = 0.05
+
+	plt := base("plt-heavy", 0x9717)
+	plt.SharedFuncs = 24
+	plt.IndirectCallFrac = 0.35
+
+	cold := base("cold-split", 0xC01D)
+	cold.ColdProb = 0.2
+	cold.ColdOpsMax = 80
+
+	hostile := base("hostile-symbols", 0x5105)
+	hostile.DupFamilies = 24
+	hostile.DupSize = 6
+
+	return []VerifyPreset{
+		{"exceptions", exc, CfgBaseline},
+		{"plt-heavy", plt, CfgBaseline}, // non-LTO: keep the PLT alive
+		{"cold-split", cold, CfgBaseline},
+		{"hostile-symbols", hostile, CfgLTO}, // LTO feeds the ICF dedup
+	}
+}
+
+// VerifyRow is one preset's verification outcome.
+type VerifyRow struct {
+	Preset       string
+	Fragments    int
+	Instructions int
+	FDEs         int
+	BATRanges    int
+	Errors       int
+	Warnings     int
+}
+
+// VerifyMutationRow is one corruption probe's outcome.
+type VerifyMutationRow struct {
+	Mutation string
+	Rule     string
+	Caught   bool
+}
+
+// VerifyResult is the full verification-experiment outcome.
+type VerifyResult struct {
+	Rows      []VerifyRow
+	Mutations []VerifyMutationRow
+	// VerifyWall/PipelineWall time the checker against the optimize
+	// pipeline on the largest workload (clang); the CI gate holds their
+	// ratio under 20%.
+	VerifyWall   time.Duration
+	PipelineWall time.Duration
+}
+
+// Verify runs the static-verification experiment: every stress preset
+// must come out of the pipeline with zero findings, every targeted
+// corruption of a clean output must be caught with its expected rule,
+// and the verifier must stay under 20% of the optimize wall on the
+// clang workload. Any violation is returned as an error, so
+// `boltbench -experiment verify` is a usable CI gate.
+func Verify(scale Scale) (*VerifyResult, string, error) {
+	mode := perf.DefaultMode()
+	res := &VerifyResult{}
+	var excOut []byte
+
+	for _, p := range VerifyPresets() {
+		spec := scale.apply(p.Spec)
+		f, _, err := Build(spec, p.Cfg, mode)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", p.Name, err)
+		}
+		fd, _, err := perf.RecordFile(f, mode, 0)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: record: %w", p.Name, err)
+		}
+		sess, _, err := optimizeSession(f, fd, bolt.WithOptions(boltOptions()))
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: bolt: %w", p.Name, err)
+		}
+		v, err := sess.VerifyOutput()
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: verify: %w", p.Name, err)
+		}
+		res.Rows = append(res.Rows, VerifyRow{
+			Preset: p.Name, Fragments: v.Fragments, Instructions: v.Instructions,
+			FDEs: v.FDEs, BATRanges: v.BATRanges, Errors: v.Errors, Warnings: v.Warnings,
+		})
+		if len(v.Findings) > 0 {
+			return res, "", fmt.Errorf("%s: output is not clean: %s", p.Name, v.Findings[0].String())
+		}
+		if p.Name == "exceptions" {
+			if excOut, err = sess.Output().Bytes(); err != nil {
+				return nil, "", fmt.Errorf("%s: serialize: %w", p.Name, err)
+			}
+		}
+	}
+
+	// Corruption matrix: each single-site mutation of the clean
+	// exceptions output must be caught with its expected rule.
+	for _, m := range bincheck.Mutations() {
+		caught, err := RunMutation(excOut, m)
+		if err != nil {
+			return res, "", fmt.Errorf("mutation %s: %w", m.Name, err)
+		}
+		res.Mutations = append(res.Mutations, VerifyMutationRow{Mutation: m.Name, Rule: m.Rule, Caught: caught})
+		if !caught {
+			return res, "", fmt.Errorf("mutation %s was not caught by rule %s", m.Name, m.Rule)
+		}
+	}
+
+	// Wall gate on the paper's compiler workload: the verifier must stay
+	// a cheap epilogue, not a second pipeline.
+	spec := scale.apply(workload.Clang())
+	f, _, err := Build(spec, CfgBaseline, mode)
+	if err != nil {
+		return nil, "", fmt.Errorf("clang: %w", err)
+	}
+	fd, _, err := perf.RecordFile(f, mode, 0)
+	if err != nil {
+		return nil, "", fmt.Errorf("clang: record: %w", err)
+	}
+	start := time.Now()
+	sess, _, err := optimizeSession(f, fd, bolt.WithOptions(boltOptions()))
+	if err != nil {
+		return nil, "", fmt.Errorf("clang: bolt: %w", err)
+	}
+	res.PipelineWall = time.Since(start)
+	start = time.Now()
+	v, err := sess.VerifyOutput()
+	if err != nil {
+		return nil, "", fmt.Errorf("clang: verify: %w", err)
+	}
+	res.VerifyWall = time.Since(start)
+	if !v.Ok() {
+		return res, "", fmt.Errorf("clang: output is not clean: %s", v.Findings[0].String())
+	}
+	if ratio := float64(res.VerifyWall) / float64(res.PipelineWall); ratio > 0.20 {
+		return res, res.report(), fmt.Errorf("verify wall %.0f%% of pipeline wall exceeds the 20%% budget (%v vs %v)",
+			100*ratio, res.VerifyWall.Round(time.Millisecond), res.PipelineWall.Round(time.Millisecond))
+	}
+
+	return res, res.report(), nil
+}
+
+// RunMutation applies one corruption to a fresh parse of a clean
+// output image and reports whether the checker produced the expected
+// rule. Exported for the regression tests; the base bytes are not
+// modified.
+func RunMutation(base []byte, m bincheck.Mutation) (bool, error) {
+	f, err := elfx.Read(base)
+	if err != nil {
+		return false, err
+	}
+	if err := m.Apply(f); err != nil {
+		return false, fmt.Errorf("apply: %w", err)
+	}
+	data, err := f.Bytes()
+	if err != nil {
+		return false, fmt.Errorf("serialize: %w", err)
+	}
+	v, err := bincheck.Check(data)
+	if err != nil {
+		// The corruption broke the image beyond parsing; that is also a
+		// detection, but none of the matrix mutations should get here.
+		return false, fmt.Errorf("check: %w", err)
+	}
+	for _, fi := range v.Findings {
+		if fi.Rule == m.Rule {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (r *VerifyResult) report() string {
+	var sb strings.Builder
+	sb.WriteString("Static verification (internal/bincheck) across stress presets\n")
+	fmt.Fprintf(&sb, "  %-16s %10s %13s %6s %10s %7s %9s\n",
+		"preset", "fragments", "instructions", "FDEs", "BAT ranges", "errors", "warnings")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %-16s %10d %13d %6d %10d %7d %9d\n",
+			row.Preset, row.Fragments, row.Instructions, row.FDEs, row.BATRanges, row.Errors, row.Warnings)
+	}
+	sb.WriteString("Corruption matrix (each mutation must be caught by its rule)\n")
+	for _, m := range r.Mutations {
+		verdict := "caught"
+		if !m.Caught {
+			verdict = "MISSED"
+		}
+		fmt.Fprintf(&sb, "  %-20s -> %-14s %s\n", m.Mutation, m.Rule, verdict)
+	}
+	if r.PipelineWall > 0 {
+		fmt.Fprintf(&sb, "Verifier wall on clang: %v of %v pipeline (%.1f%%, budget 20%%)\n",
+			r.VerifyWall.Round(time.Millisecond), r.PipelineWall.Round(time.Millisecond),
+			100*float64(r.VerifyWall)/float64(r.PipelineWall))
+	}
+	return sb.String()
+}

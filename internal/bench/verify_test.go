@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"testing"
+
+	"gobolt/bolt"
+	"gobolt/internal/bat"
+	"gobolt/internal/bincheck"
+	"gobolt/internal/elfx"
+	"gobolt/internal/perf"
+	"gobolt/internal/workload"
+)
+
+// boltAndSerialize runs the full pipeline over a built workload and
+// returns the serialized output image plus the run report.
+func boltAndSerialize(t *testing.T, spec workload.Spec, cfg BuildConfig, opts ...bolt.Option) ([]byte, *bolt.Report) {
+	t.Helper()
+	mode := perf.DefaultMode()
+	f, _, err := Build(spec, cfg, mode)
+	if err != nil {
+		t.Fatalf("%s: build: %v", spec.Name, err)
+	}
+	fd, _, err := perf.RecordFile(f, mode, 0)
+	if err != nil {
+		t.Fatalf("%s: record: %v", spec.Name, err)
+	}
+	sess, rep, err := optimizeSession(f, fd, append([]bolt.Option{bolt.WithOptions(boltOptions())}, opts...)...)
+	if err != nil {
+		t.Fatalf("%s: bolt: %v", spec.Name, err)
+	}
+	data, err := sess.Output().Bytes()
+	if err != nil {
+		t.Fatalf("%s: serialize: %v", spec.Name, err)
+	}
+	return data, rep
+}
+
+// TestVerifierCatchesCorruption is the soundness half of the verifier's
+// contract: for every corruption category the rule suite claims to
+// cover, a targeted single-site mutation of a known-clean output must
+// produce the expected finding. A verifier that silently stops looking
+// fails here, not in production.
+func TestVerifierCatchesCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full build+bolt per mutation base; skipped in -short")
+	}
+	spec := workload.Tiny()
+	spec.Name = "mutation-base"
+	spec.ThrowFrac = 0.9 // exception paths everywhere: LSDAs to corrupt
+	spec.ColdProb = 0.1  // splits: cold fragments and split CFI state
+	base, _ := boltAndSerialize(t, spec, CfgBaseline)
+
+	clean, err := bincheck.Check(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Findings) > 0 {
+		t.Fatalf("mutation base is not clean: %v", clean.Findings[0])
+	}
+
+	muts := bincheck.Mutations()
+	if len(muts) < 8 {
+		t.Fatalf("corruption matrix shrank to %d mutations; need at least 8", len(muts))
+	}
+	for _, m := range muts {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			caught, err := RunMutation(base, m)
+			if err != nil {
+				t.Fatalf("mutation %s: %v", m.Name, err)
+			}
+			if !caught {
+				t.Errorf("corruption %s was not caught by rule %s", m.Name, m.Rule)
+			}
+		})
+	}
+}
+
+// TestVerifyCleanPipeline pins the completeness half: the pipeline's
+// output for every example workload shape verifies with zero findings
+// (not even warnings), at both serial and parallel emission.
+func TestVerifyCleanPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and bolts five workloads twice; skipped in -short")
+	}
+	exceptions := workload.Tiny()
+	exceptions.Name = "exceptions"
+	exceptions.ThrowFrac = 0.9
+	exceptions.ColdProb = 0.1
+	continuous := workload.Tiny()
+	continuous.Name = "continuous"
+	continuous.EntryPadOps = 3 // the example's version-skew variant
+
+	shapes := []struct {
+		name string
+		spec workload.Spec
+		cfg  BuildConfig
+	}{
+		{"quickstart", workload.Tiny(), CfgBaseline},
+		{"exceptions", exceptions, CfgBaseline},
+		{"continuous", continuous, CfgBaseline},
+		{"compiler-pgo", Scale(0.05).apply(workload.Clang()), CfgPGO},
+		{"datacenter", Scale(0.05).apply(workload.HHVM()), CfgHFSortLTO},
+	}
+	for _, sh := range shapes {
+		for _, jobs := range []int{1, 4} {
+			data, _ := boltAndSerialize(t, sh.spec, sh.cfg, bolt.WithJobs(jobs))
+			res, err := bincheck.Check(data)
+			if err != nil {
+				t.Fatalf("%s jobs=%d: %v", sh.name, jobs, err)
+			}
+			for _, f := range res.Findings {
+				t.Errorf("%s jobs=%d: %v", sh.name, jobs, f)
+			}
+			if res.Fragments == 0 || res.FDEs == 0 {
+				t.Errorf("%s jobs=%d: verifier saw %d fragments, %d FDEs; discovery broke",
+					sh.name, jobs, res.Fragments, res.FDEs)
+			}
+		}
+	}
+}
+
+// TestColdSplitBATAnchors audits the fall-through-split anchors: when a
+// hot block falls through into what became the cold fragment, the cold
+// range must open with an anchor at output offset 0 so the very first
+// sample on the fragment translates, and every cold-range translation
+// must stay inside the original function body.
+func TestColdSplitBATAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full build+bolt; skipped in -short")
+	}
+	spec := workload.Tiny()
+	spec.Name = "cold-anchors"
+	spec.ColdProb = 0.2
+	spec.ThrowFrac = 0.5
+	data, rep := boltAndSerialize(t, spec, CfgBaseline)
+	if rep.SplitFuncs == 0 {
+		t.Fatal("workload produced no split functions; the test exercises nothing")
+	}
+
+	res, err := bincheck.Check(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("verifier finding on split output: %v", f)
+	}
+
+	f, err := elfx.Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := f.Section(bat.SectionName)
+	if sec == nil {
+		t.Fatalf("no %s section", bat.SectionName)
+	}
+	tbl, err := bat.Parse(sec.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRanges := 0
+	for _, r := range tbl.Ranges {
+		if !r.Cold {
+			continue
+		}
+		coldRanges++
+		fi := tbl.Funcs[r.FuncIdx]
+		if len(r.Entries) == 0 {
+			t.Errorf("%s: cold range at %#x has no anchors", fi.Name, r.Start)
+			continue
+		}
+		if r.Entries[0].OutOff != 0 {
+			t.Errorf("%s: cold range at %#x opens with anchor at +%#x, not +0; the split fall-through entry cannot translate",
+				fi.Name, r.Start, r.Entries[0].OutOff)
+		}
+		for _, e := range r.Entries {
+			fn, off, ok := tbl.Translate(r.Start + uint64(e.OutOff))
+			if !ok || fn != fi.Name {
+				t.Errorf("%s: anchor at +%#x does not translate back to its function (got %q, ok=%v)",
+					fi.Name, e.OutOff, fn, ok)
+				continue
+			}
+			if off >= fi.InSize {
+				t.Errorf("%s: anchor at +%#x translates to %#x outside the original body (size %#x)",
+					fi.Name, e.OutOff, off, fi.InSize)
+			}
+		}
+	}
+	if coldRanges == 0 {
+		t.Error("BAT carries no cold ranges despite split functions")
+	}
+}

@@ -1,0 +1,240 @@
+package bincheck
+
+import (
+	"sort"
+	"strings"
+
+	"gobolt/internal/elfx"
+	"gobolt/internal/isa"
+)
+
+// ColdSuffix is the symbol-name suffix the rewriter gives the cold
+// fragment of a split function (mirroring llvm-bolt's naming).
+const ColdSuffix = ".cold.0"
+
+// instAt is one decoded instruction inside a fragment.
+type instAt struct {
+	off  uint32
+	size uint32
+	inst isa.Inst
+}
+
+// fragment is one contiguous chunk of function code named by an
+// STT_FUNC symbol: a hot or cold fragment of a rewritten function, an
+// unmoved function in .bolt.org.text, or a PLT stub.
+type fragment struct {
+	name string // defining symbol name (fn or fn.cold.0)
+	fn   string // owning function (ColdSuffix stripped)
+	cold bool
+	// reemitted marks fragments the rewriter laid out itself (.text /
+	// .text.cold); the strictest rules apply only to those.
+	reemitted  bool
+	addr, size uint64
+	sec        *elfx.Section
+	code       []byte
+
+	insts  []instAt
+	offIdx map[uint32]int // boundary offset -> index into insts
+	broken bool           // decoding failed; instruction-level rules skip
+	// aliases are other symbols naming the identical range (linker ICF).
+	aliases []string
+}
+
+func (fr *fragment) end() uint64 { return fr.addr + fr.size }
+
+// isBoundary reports whether off is an instruction start.
+func (fr *fragment) isBoundary(off uint32) bool {
+	_, ok := fr.offIdx[off]
+	return ok
+}
+
+// checker carries the rebuilt model of one binary through the rules.
+type checker struct {
+	f     *elfx.File
+	frags []*fragment // sorted by addr
+	// byName maps every defining symbol name (including ICF aliases) to
+	// its fragment; byFunc groups fragments by owning function.
+	byName map[string]*fragment
+	byFunc map[string][]*fragment
+	// objSyms maps data-symbol start addresses to their first symbol
+	// (jump-table bounding, mirroring the loader's lookup order).
+	objSyms map[uint64]elfx.Symbol
+	res     *Result
+}
+
+// discover rebuilds the fragment map from the symbol table and
+// re-disassembles every fragment.
+func (c *checker) discover() {
+	c.byName = map[string]*fragment{}
+	c.byFunc = map[string][]*fragment{}
+	c.objSyms = map[uint64]elfx.Symbol{}
+	byRange := map[[2]uint64]*fragment{}
+
+	for _, sym := range c.f.Symbols {
+		if sym.Type == elfx.STTObject {
+			if _, ok := c.objSyms[sym.Value]; !ok {
+				c.objSyms[sym.Value] = sym
+			}
+			continue
+		}
+		if sym.Type != elfx.STTFunc || sym.Size == 0 {
+			continue
+		}
+		sec := c.f.Section(sym.Section)
+		if sec == nil || sec.Flags&elfx.SHFExecinstr == 0 {
+			continue
+		}
+		if fr, ok := byRange[[2]uint64{sym.Value, sym.Size}]; ok {
+			// Identical range under another name: a linker-ICF alias.
+			fr.aliases = append(fr.aliases, sym.Name)
+			c.byName[sym.Name] = fr
+			continue
+		}
+		fr := &fragment{
+			name: sym.Name, fn: strings.TrimSuffix(sym.Name, ColdSuffix),
+			cold:      strings.HasSuffix(sym.Name, ColdSuffix),
+			reemitted: sec.Name == ".text" || sec.Name == ".text.cold",
+			addr:      sym.Value, size: sym.Size, sec: sec,
+		}
+		byRange[[2]uint64{sym.Value, sym.Size}] = fr
+		c.byName[sym.Name] = fr
+		c.byFunc[fr.fn] = append(c.byFunc[fr.fn], fr)
+		c.frags = append(c.frags, fr)
+	}
+	sort.Slice(c.frags, func(i, j int) bool {
+		a, b := c.frags[i], c.frags[j]
+		if a.addr != b.addr {
+			return a.addr < b.addr
+		}
+		return a.size < b.size
+	})
+	c.res.Fragments = len(c.frags)
+
+	for _, fr := range c.frags {
+		c.disassemble(fr)
+	}
+}
+
+// disassemble linearly decodes a fragment, recording every instruction
+// boundary. A decode failure marks the fragment broken: the bytes do
+// not form an instruction stream, which is itself a finding, and the
+// instruction-level rules skip the fragment rather than cascade.
+func (c *checker) disassemble(fr *fragment) {
+	secOff := fr.addr - fr.sec.Addr
+	if fr.addr < fr.sec.Addr || secOff+fr.size > uint64(len(fr.sec.Data)) {
+		// checkSymbols reports the bounds violation; nothing to decode.
+		fr.broken = true
+		fr.offIdx = map[uint32]int{}
+		return
+	}
+	fr.code = fr.sec.Data[secOff : secOff+fr.size]
+	fr.offIdx = make(map[uint32]int, len(fr.code)/4)
+	for off := uint32(0); uint64(off) < fr.size; {
+		inst, n, err := isa.Decode(fr.code[off:], fr.addr+uint64(off))
+		if err != nil {
+			c.errorf("disasm", fr.name, fr.addr+uint64(off),
+				"undecodable bytes at offset %#x: %v", off, err)
+			fr.broken = true
+			return
+		}
+		fr.offIdx[off] = len(fr.insts)
+		fr.insts = append(fr.insts, instAt{off: off, size: uint32(n), inst: inst})
+		off += uint32(n)
+	}
+	c.res.Instructions += len(fr.insts)
+}
+
+// at locates the fragment containing addr, if any.
+func (c *checker) at(addr uint64) *fragment {
+	i := sort.Search(len(c.frags), func(i int) bool { return c.frags[i].addr > addr })
+	if i == 0 {
+		return nil
+	}
+	fr := c.frags[i-1]
+	if addr >= fr.end() {
+		return nil
+	}
+	return fr
+}
+
+// fragStarting returns the fragment starting exactly at addr, if any.
+func (c *checker) fragStarting(addr uint64) *fragment {
+	fr := c.at(addr)
+	if fr == nil || fr.addr != addr {
+		return nil
+	}
+	return fr
+}
+
+// validTarget reports whether addr is an instruction boundary inside a
+// known fragment. Fragments that failed to decode accept any interior
+// address (the disasm finding already covers them).
+func (c *checker) validTarget(addr uint64) (*fragment, bool) {
+	fr := c.at(addr)
+	if fr == nil {
+		return nil, false
+	}
+	if fr.broken {
+		return fr, true
+	}
+	return fr, fr.isBoundary(uint32(addr - fr.addr))
+}
+
+// checkSymbols verifies the fragment map itself: fragments inside their
+// sections, no partial overlaps, a valid entry point.
+func (c *checker) checkSymbols() {
+	for i, fr := range c.frags {
+		if fr.addr < fr.sec.Addr || fr.end() > fr.sec.Addr+uint64(len(fr.sec.Data)) {
+			c.errorf("sym-bounds", fr.name, fr.addr,
+				"fragment [%#x,%#x) extends past section %s [%#x,%#x)",
+				fr.addr, fr.end(), fr.sec.Name, fr.sec.Addr, fr.sec.Addr+uint64(len(fr.sec.Data)))
+		}
+		if i > 0 {
+			prev := c.frags[i-1]
+			if fr.addr < prev.end() {
+				c.errorf("sym-overlap", fr.name, fr.addr,
+					"fragment [%#x,%#x) overlaps %s [%#x,%#x)",
+					fr.addr, fr.end(), prev.name, prev.addr, prev.end())
+			}
+		}
+	}
+	if c.f.Entry != 0 {
+		if fr, ok := c.validTarget(c.f.Entry); !ok {
+			name := ""
+			if fr != nil {
+				name = fr.name
+			}
+			c.errorf("sym-entry", name, c.f.Entry,
+				"entry point %#x is not an instruction boundary in any fragment", c.f.Entry)
+		}
+	}
+}
+
+// checkRelocs bounds-checks every surviving relocation against its
+// section's data (outputs usually carry none; inputs opened for
+// inspection do).
+func (c *checker) checkRelocs() {
+	names := make([]string, 0, len(c.f.Relas))
+	for name := range c.f.Relas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sec := c.f.Section(name)
+		if sec == nil {
+			c.errorf("reloc-bounds", "", 0, "relocations for missing section %q", name)
+			continue
+		}
+		for _, r := range c.f.Relas[name] {
+			width := uint64(4)
+			if r.Type == elfx.RX866464 {
+				width = 8
+			}
+			if r.Off+width > uint64(len(sec.Data)) {
+				c.errorf("reloc-bounds", r.Sym, sec.Addr+r.Off,
+					"relocation at %s+%#x overruns the section (%d bytes)",
+					name, r.Off, len(sec.Data))
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package bincheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestFindingString(t *testing.T) {
+	for _, tc := range []struct {
+		f    Finding
+		want string
+	}{
+		{
+			Finding{Rule: "branch-target", Severity: SeverityError,
+				Func: "f", Addr: 0x401000, Message: "target escapes"},
+			"error: branch-target f @ 0x401000: target escapes",
+		},
+		{
+			Finding{Rule: "bat-parse", Severity: SeverityError, Message: "truncated"},
+			"error: bat-parse: truncated",
+		},
+		{
+			Finding{Rule: "jt-unbounded", Severity: SeverityWarning,
+				Func: "g", Message: "no bound"},
+			"warning: jt-unbounded g: no bound",
+		},
+	} {
+		if got := tc.f.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestResultJSONAndTally(t *testing.T) {
+	c := &checker{res: &Result{Findings: []Finding{}}}
+	c.warnf("bat-cover", "g", 0x30, "no anchors")
+	c.errorf("sym-entry", "", 0x10, "entry off boundary")
+	c.errorf("branch-target", "f", 0x20, "bad target")
+	c.finish()
+
+	r := c.res
+	if r.Errors != 2 || r.Warnings != 1 {
+		t.Fatalf("tally = %d errors, %d warnings, want 2, 1", r.Errors, r.Warnings)
+	}
+	if r.Ok() {
+		t.Error("Ok() = true with error findings")
+	}
+	// finish sorts by address, then rule.
+	for i, want := range []string{"sym-entry", "branch-target", "bat-cover"} {
+		if got := r.Findings[i].Rule; got != want {
+			t.Errorf("Findings[%d].Rule = %s, want %s", i, got, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back.Findings) != 3 || back.Errors != 2 || back.Warnings != 1 {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+}
+
+func TestCheckRejectsGarbage(t *testing.T) {
+	if _, err := Check([]byte("not an ELF image")); err == nil {
+		t.Error("Check accepted a non-ELF image")
+	}
+}
+
+// TestMutationsCoverDistinctRules keeps the corruption matrix honest:
+// every mutation names a rule from the catalogue, and the matrix spans
+// the code, CFI, LSDA, BAT, and symbol rule families.
+func TestMutationsCoverDistinctRules(t *testing.T) {
+	families := map[string]bool{}
+	for _, m := range Mutations() {
+		if m.Name == "" || m.Rule == "" || m.Apply == nil {
+			t.Errorf("incomplete mutation %+v", m)
+		}
+		families[ruleFamily(m.Rule)] = true
+	}
+	for _, fam := range []string{"code", "cfi", "lsda", "bat", "sym"} {
+		if !families[fam] {
+			t.Errorf("no mutation targets the %s rule family", fam)
+		}
+	}
+}
+
+func ruleFamily(rule string) string {
+	switch rule {
+	case "disasm", "branch-target", "jt-target", "jt-unbounded":
+		return "code"
+	case "cfi-bounds", "cfi-cover", "cfi-decode", "cfi-split":
+		return "cfi"
+	case "lsda-bounds", "lsda-pad":
+		return "lsda"
+	case "bat-parse", "bat-range", "bat-monotone", "bat-cover", "bat-translate":
+		return "bat"
+	case "sym-overlap", "sym-bounds", "sym-entry":
+		return "sym"
+	case "reloc-bounds":
+		return "reloc"
+	}
+	return "unknown"
+}

@@ -1,0 +1,90 @@
+package bincheck
+
+import (
+	"gobolt/internal/bat"
+)
+
+// checkBAT validates the BOLT Address Translation section against the
+// re-disassembled fragments: every range matches a known fragment,
+// anchors are strictly monotone instruction boundaries, every mapped
+// fragment stays translatable, and every translated input offset falls
+// inside the original function body (the continuous-profiling loop of
+// §7.3 trusts exactly these properties).
+func (c *checker) checkBAT() {
+	sec := c.f.Section(bat.SectionName)
+	if sec == nil {
+		return // BAT emission is optional
+	}
+	t, err := bat.Parse(sec.Data)
+	if err != nil {
+		c.errorf("bat-parse", "", 0, "%s does not decode: %v", bat.SectionName, err)
+		return
+	}
+	c.res.BATRanges = len(t.Ranges)
+
+	mapped := map[*fragment]int{}
+	for i := range t.Ranges {
+		r := &t.Ranges[i]
+		fi := t.Funcs[r.FuncIdx]
+		name := fi.Name
+		if r.Cold {
+			name += ColdSuffix
+		}
+		fr := c.byName[name]
+		if fr == nil {
+			c.errorf("bat-range", fi.Name, r.Start,
+				"range [%#x,+%#x) maps unknown fragment %q", r.Start, r.Size, name)
+			continue
+		}
+		mapped[fr]++
+		if fr.addr != r.Start || fr.size != uint64(r.Size) {
+			c.errorf("bat-range", fi.Name, r.Start,
+				"range [%#x,+%#x) does not match fragment %s [%#x,+%#x)",
+				r.Start, r.Size, fr.name, fr.addr, fr.size)
+			continue
+		}
+		if len(r.Entries) == 0 && r.Size > 0 {
+			c.warnf("bat-cover", fi.Name, r.Start,
+				"range [%#x,+%#x) has no anchors; samples there cannot translate", r.Start, r.Size)
+		}
+		prev := int64(-1)
+		for _, e := range r.Entries {
+			addr := r.Start + uint64(e.OutOff)
+			if int64(e.OutOff) <= prev {
+				c.errorf("bat-monotone", fi.Name, addr,
+					"anchor at +%#x is not strictly after the previous anchor (+%#x)", e.OutOff, prev)
+			}
+			prev = int64(e.OutOff)
+			if e.OutOff >= r.Size {
+				c.errorf("bat-monotone", fi.Name, addr,
+					"anchor at +%#x is outside the range (size %#x)", e.OutOff, r.Size)
+				continue
+			}
+			if !fr.broken && !fr.isBoundary(e.OutOff) {
+				c.errorf("bat-monotone", fi.Name, addr,
+					"anchor at +%#x is not an instruction boundary", e.OutOff)
+			}
+			if uint64(e.InOff) >= fi.InSize {
+				c.errorf("bat-translate", fi.Name, addr,
+					"anchor at +%#x translates to input offset %#x outside the original body (size %#x)",
+					e.OutOff, e.InOff, fi.InSize)
+			}
+		}
+	}
+
+	// Every fragment the rewriter emitted must be mapped, or samples on
+	// it silently vanish from the next profiling round.
+	for _, fr := range c.frags {
+		if !fr.reemitted {
+			continue
+		}
+		switch mapped[fr] {
+		case 0:
+			c.errorf("bat-cover", fr.name, fr.addr, "re-emitted fragment has no BAT range")
+		case 1:
+		default:
+			c.errorf("bat-range", fr.name, fr.addr,
+				"re-emitted fragment has %d BAT ranges", mapped[fr])
+		}
+	}
+}

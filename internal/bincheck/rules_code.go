@@ -1,0 +1,160 @@
+package bincheck
+
+import (
+	"encoding/binary"
+
+	"gobolt/internal/isa"
+)
+
+// checkCode runs the instruction-level rules over every fragment:
+// direct control transfers must land on instruction boundaries of known
+// fragments, and every jump-table entry must resolve into the owning
+// function's fragments.
+func (c *checker) checkCode() {
+	for _, fr := range c.frags {
+		if fr.broken {
+			continue
+		}
+		for i := range fr.insts {
+			ia := &fr.insts[i]
+			in := &ia.inst
+			switch {
+			case in.IsDirectBranch() || in.Op == isa.CALL:
+				addr := fr.addr + uint64(ia.off)
+				if tf, ok := c.validTarget(in.TargetAddr); !ok {
+					where := "outside every known fragment"
+					if tf != nil {
+						where = "inside " + tf.name + " but off the instruction stream"
+					}
+					c.errorf("branch-target", fr.name, addr,
+						"%s at %#x targets %#x, %s", in.Mnemonic(), addr, in.TargetAddr, where)
+				}
+			case in.IsIndirectBranch():
+				c.checkIndirectJump(fr, i)
+			}
+		}
+	}
+}
+
+// jumpTable is a bounded jump table re-derived from the instruction
+// stream: its address, entry width, and count.
+type jumpTable struct {
+	addr      uint64
+	entrySize uint64
+	n         uint64
+	pic       bool
+}
+
+// target decodes entry e of the table from its raw bytes.
+func (jt *jumpTable) target(data []byte, e uint64) uint64 {
+	if jt.pic {
+		v := binary.LittleEndian.Uint32(data[e*4:])
+		return jt.addr + uint64(int64(int32(v)))
+	}
+	return binary.LittleEndian.Uint64(data[e*8:])
+}
+
+// deriveTable re-derives the jump table feeding the indirect jump at
+// fr.insts[idx], mirroring the loader's two lowering patterns (absolute
+// and PIC, §3.2). The derivation is independent: it reads only the
+// re-disassembled stream and the symbol table of the serialized output.
+// When no bounded table matches, why says what broke the pattern.
+func (c *checker) deriveTable(fr *fragment, idx int) (jt jumpTable, why string, ok bool) {
+	in := &fr.insts[idx].inst
+
+	findLea := func(reg isa.Reg, from int) (uint64, bool) {
+		for k := from; k >= 0 && k > from-8; k-- {
+			r := &fr.insts[k].inst
+			if r.Op == isa.LEA && r.R1 == reg && r.M.RIP {
+				return fr.addr + uint64(fr.insts[k].off) + uint64(fr.insts[k].size) + uint64(int64(r.M.Disp)), true
+			}
+			if r.Defs().Has(reg) {
+				return 0, false
+			}
+		}
+		return 0, false
+	}
+
+	switch in.Op {
+	case isa.JMPm:
+		if in.M.Base == isa.NoReg || in.M.Scale != 8 {
+			return jt, "unrecognized memory-jump form", false
+		}
+		t, ok := findLea(in.M.Base, idx-1)
+		if !ok {
+			return jt, "no table-base lea in reach", false
+		}
+		jt.addr = t
+	case isa.JMPr:
+		if idx < 2 {
+			return jt, "indirect jump with no context", false
+		}
+		add := &fr.insts[idx-1].inst
+		mov := &fr.insts[idx-2].inst
+		if add.Op != isa.ADDrr || add.R1 != in.R1 ||
+			mov.Op != isa.MOVSXDrm || mov.R1 != in.R1 ||
+			mov.M.Base != add.R2 || mov.M.Scale != 4 {
+			return jt, "not a PIC jump-table pattern", false
+		}
+		t, ok := findLea(add.R2, idx-3)
+		if !ok {
+			return jt, "no PIC table-base lea in reach", false
+		}
+		jt.addr = t
+		jt.pic = true
+	default:
+		return jt, "", false
+	}
+
+	sym, ok := c.objSyms[jt.addr]
+	if !ok || sym.Size == 0 {
+		return jt, "no data symbol bounds the table", false
+	}
+	jt.entrySize = 8
+	if jt.pic {
+		jt.entrySize = 4
+	}
+	jt.n = sym.Size / jt.entrySize
+	if jt.n == 0 || jt.n > 4096 {
+		return jt, "implausible table size", false
+	}
+	return jt, "", true
+}
+
+// checkIndirectJump validates every entry of the jump table feeding an
+// indirect jump (see deriveTable).
+func (c *checker) checkIndirectJump(fr *fragment, idx int) {
+	addr := fr.addr + uint64(fr.insts[idx].off)
+
+	jt, why, ok := c.deriveTable(fr, idx)
+	if !ok {
+		// unbounded: in code the rewriter emitted itself, every indirect
+		// jump must be a recognizable bounded jump table — anything else
+		// was non-simple and should never have moved.
+		if fr.reemitted && why != "" {
+			c.warnf("jt-unbounded", fr.name, addr, "indirect jump at %#x: %s", addr, why)
+		}
+		return
+	}
+	sym := c.objSyms[jt.addr]
+	tableAddr, entrySize, n := jt.addr, jt.entrySize, jt.n
+	data, err := c.f.ReadAt(tableAddr, int(n*entrySize))
+	if err != nil {
+		c.errorf("jt-target", fr.name, addr,
+			"jump table %s at %#x is unreadable: %v", sym.Name, tableAddr, err)
+		return
+	}
+	for e := uint64(0); e < n; e++ {
+		target := jt.target(data, e)
+		tf, ok := c.validTarget(target)
+		if !ok {
+			c.errorf("jt-target", fr.name, tableAddr+e*entrySize,
+				"jump table %s entry %d targets %#x, not an instruction boundary", sym.Name, e, target)
+			continue
+		}
+		if tf.fn != fr.fn {
+			c.errorf("jt-target", fr.name, tableAddr+e*entrySize,
+				"jump table %s entry %d escapes to %s at %#x", sym.Name, e, tf.name, target)
+		}
+	}
+}

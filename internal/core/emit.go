@@ -12,34 +12,14 @@ import (
 )
 
 // Emission relocation symbol encoding. Emitted code references targets
-// symbolically until the whole-binary layout is fixed. A symbol is a
-// packed uint64 — top 3 bits kind, low 61 bits payload:
-//
-//	symKindFunc:  payload = function ordinal in ctx.Funcs
-//	              (entry address, following ICF folds)
-//	symKindBlock: payload = ordinal<<24 | block index
-//	symKindAbs:   payload = absolute address (data, PLT stubs, unmoved
-//	              code; x86-64 virtual addresses fit 61 bits)
-//
-// The IDs replace the old "F:<name>"/"B:<name>:<idx>"/"A:<hex>" string
-// symbols, which allocated a string per relocation at emission and
-// re-parsed it per relocation at patch time.
-const (
-	symKindShift         = 61
-	symKindFunc   uint64 = 1
-	symKindBlock  uint64 = 2
-	symKindAbs    uint64 = 3
-	symPayload    uint64 = 1<<symKindShift - 1
-	symBlockBits         = 24
-	symBlockIdx   uint64 = 1<<symBlockBits - 1
-	maxFuncBlocks        = 1 << symBlockBits
-)
-
-func symIDFunc(ord int) uint64 { return symKindFunc<<symKindShift | uint64(ord) }
-func symIDBlock(ord, idx int) uint64 {
-	return symKindBlock<<symKindShift | uint64(ord)<<symBlockBits | uint64(idx)
-}
-func symIDAbs(addr uint64) uint64 { return symKindAbs<<symKindShift | addr }
+// symbolically until the whole-binary layout is fixed: a packed
+// obj.SymID names a function entry (by ordinal, following ICF folds), a
+// basic block (ordinal plus block index), or an absolute address (data,
+// PLT stubs, unmoved code). The packed IDs replace the old
+// "F:<name>"/"B:<name>:<idx>"/"A:<hex>" string symbols, which allocated
+// a string per relocation at emission and re-parsed it per relocation at
+// patch time. Construction and inspection go through the internal/obj
+// helpers only (boltvet's symid analyzer enforces this).
 
 // relImmAbs32 marks an emission relocation whose 4 patched bytes hold an
 // absolute 32-bit address (ICP immediates) rather than a PC32 value.
@@ -163,8 +143,8 @@ func fragmentBlocks(fn *BinaryFunction) (hot, cold []*BasicBlock) {
 // concurrently, one worker per function, with all cross-function address
 // resolution deferred to the serial layout step.
 func (ctx *BinaryContext) emitFunction(fn *BinaryFunction, sc *emitScratch) (*emitted, error) {
-	if len(fn.Blocks) > maxFuncBlocks {
-		return nil, fmt.Errorf("core: %s: %d blocks exceeds the %d sym-ID limit", fn.Name, len(fn.Blocks), maxFuncBlocks)
+	if len(fn.Blocks) > obj.MaxFuncBlocks {
+		return nil, fmt.Errorf("core: %s: %d blocks exceeds the %d sym-ID limit", fn.Name, len(fn.Blocks), obj.MaxFuncBlocks)
 	}
 	hot, cold := fragmentBlocks(fn)
 	if len(hot) == 0 || !hot[0].IsEntry {
@@ -187,12 +167,12 @@ func (ctx *BinaryContext) emitFunction(fn *BinaryFunction, sc *emitScratch) (*em
 
 // funcSymID resolves a referenced function name to its packed symbol ID.
 // ByName is frozen after discovery, so concurrent reads are safe.
-func (ctx *BinaryContext) funcSymID(name string) (uint64, error) {
+func (ctx *BinaryContext) funcSymID(name string) (obj.SymID, error) {
 	g := ctx.ByName[name]
 	if g == nil {
 		return 0, fmt.Errorf("core: unresolved function %q", name)
 	}
-	return symIDFunc(g.ordIdx), nil
+	return obj.FuncSym(g.ordIdx), nil
 }
 
 func (ctx *BinaryContext) emitFragment(fn *BinaryFunction, blocks []*BasicBlock, sc *emitScratch) (*emittedFrag, error) {
@@ -255,7 +235,7 @@ func (ctx *BinaryContext) emitFragment(fn *BinaryFunction, blocks []*BasicBlock,
 			a.EmitBranch(inst, labels[to.Index])
 			return
 		}
-		a.EmitRelocID(inst, obj.RelPC32, symIDBlock(ord, to.Index), -4)
+		a.EmitRelocID(inst, obj.RelPC32, obj.BlockSym(ord, to.Index), -4)
 	}
 
 	var emitErr error
@@ -317,12 +297,12 @@ func (ctx *BinaryContext) emitFragment(fn *BinaryFunction, blocks []*BasicBlock,
 					}
 					a.EmitRelocID(inst, obj.RelPC32, id, -4)
 				default:
-					a.EmitRelocID(inst, obj.RelPC32, symIDAbs(inst.TargetAddr), -4)
+					a.EmitRelocID(inst, obj.RelPC32, obj.AbsSym(inst.TargetAddr), -4)
 				}
 			case inst.HasMem() && inst.M.RIP && in.MemTarget != 0:
 				m := inst
 				m.M.Disp = 0
-				a.EmitRelocID(m, obj.RelPC32, symIDAbs(in.MemTarget), -4)
+				a.EmitRelocID(m, obj.RelPC32, obj.AbsSym(in.MemTarget), -4)
 			default:
 				a.Emit(inst)
 			}

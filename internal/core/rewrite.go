@@ -173,11 +173,10 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 		}
 		return fn.Addr, true
 	}
-	resolveID := func(sym uint64) (uint64, error) {
-		payload := sym & symPayload
-		switch sym >> symKindShift {
-		case symKindFunc:
-			fn := ctx.Funcs[payload]
+	resolveID := func(sym obj.SymID) (uint64, error) {
+		switch sym.Kind() {
+		case obj.SymFunc:
+			fn := ctx.Funcs[sym.FuncOrd()]
 			for fn.FoldedInto != nil {
 				fn = fn.FoldedInto
 			}
@@ -185,9 +184,9 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 				return fn.OutAddr, nil
 			}
 			return fn.Addr, nil
-		case symKindBlock:
-			fn := ctx.Funcs[payload>>symBlockBits]
-			idx := int(payload & symBlockIdx)
+		case obj.SymBlock:
+			ord, idx := sym.BlockRef()
+			fn := ctx.Funcs[ord]
 			e := emitOf[fn.ordIdx]
 			if e == nil {
 				return 0, fmt.Errorf("core: block sym for unmoved function %q", fn.Name)
@@ -196,8 +195,8 @@ func (ctx *BinaryContext) Rewrite(cx context.Context) (*RewriteResult, error) {
 				return v, nil
 			}
 			return 0, fmt.Errorf("core: block %d of %s not emitted", idx, fn.Name)
-		case symKindAbs:
-			return payload, nil
+		case obj.SymAbs:
+			return sym.AbsAddr(), nil
 		}
 		return 0, fmt.Errorf("core: bad emission sym %#x", sym)
 	}

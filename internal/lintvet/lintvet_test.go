@@ -50,6 +50,14 @@ func TestStatKey(t *testing.T) {
 		"internal/lintvet/testdata/src/statkey")
 }
 
+func TestSymID(t *testing.T) {
+	// Two packages: the /obj stand-in owns the layout (its raw bit
+	// manipulation is legal), symid consumes it and violates.
+	checkTestdata(t, []*Analyzer{SymID},
+		"internal/lintvet/testdata/src/symid/obj",
+		"internal/lintvet/testdata/src/symid")
+}
+
 func TestCtxThread(t *testing.T) {
 	checkTestdata(t, []*Analyzer{CtxThread}, "internal/lintvet/testdata/src/ctxthread")
 }
@@ -69,7 +77,7 @@ func TestDirectiveGrammar(t *testing.T) {
 // README's "Static analysis" section names each one with its
 // directive.
 func TestAnalyzerRegistry(t *testing.T) {
-	want := []string{"mapiter", "hotalloc", "statkey", "ctxthread", "floatorder"}
+	want := []string{"mapiter", "hotalloc", "statkey", "ctxthread", "floatorder", "symid"}
 	all := All()
 	var got []string
 	for _, a := range all {

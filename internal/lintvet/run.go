@@ -19,6 +19,7 @@ func All() []*Analyzer {
 		StatKey,
 		CtxThread,
 		FloatOrder,
+		SymID,
 	}
 }
 

@@ -1,0 +1,95 @@
+package lintvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SymID enforces the packed emission-symbol encapsulation: the
+// bit layout of obj.SymID (kind tag, function ordinal, block index,
+// absolute address) is owned by internal/obj, and every other package
+// must go through its constructors (FuncSym/BlockSym/AbsSym) and
+// accessors (Kind/FuncOrd/BlockRef/AbsAddr). Outside obj, the
+// analyzer flags
+//
+//   - shift or mask expressions with a SymID operand (raw layout
+//     construction or inspection), and
+//   - conversions between SymID and integer types in either direction
+//     (smuggling the bits past the helpers).
+//
+// The emitter↔rewriter contract depends on the layout being changeable
+// in exactly one file; a raw `sym >> 61` elsewhere would compile
+// silently and decode garbage the day the kind tag moves. Escape
+// hatch: `//boltvet:symid-ok <reason>`.
+var SymID = &Analyzer{
+	Name:      "symid",
+	Doc:       "packed emission-symbol bits only via internal/obj helpers",
+	Directive: "symid-ok",
+	Run:       runSymID,
+}
+
+// isObjPkgPath reports whether path is (or ends with) the obj package,
+// which owns the SymID layout. Suffix matching keeps the analyzer
+// testable against a testdata stand-in ending in /obj.
+func isObjPkgPath(path string) bool {
+	return path == "obj" || strings.HasSuffix(path, "/obj")
+}
+
+// isSymIDType reports whether t is the named type SymID declared in an
+// obj package.
+func isSymIDType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := n.Obj()
+	return o.Name() == "SymID" && o.Pkg() != nil && isObjPkgPath(o.Pkg().Path())
+}
+
+// isIntegerType reports whether t's underlying type is an integer.
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func runSymID(p *Pass) {
+	if p.Pkg != nil && isObjPkgPath(p.Pkg.Path()) {
+		return // the layout owner manipulates its own bits freely
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				switch v.Op {
+				case token.SHL, token.SHR, token.AND, token.OR, token.XOR, token.AND_NOT:
+				default:
+					return true
+				}
+				if isSymIDType(p.Info.TypeOf(v.X)) || isSymIDType(p.Info.TypeOf(v.Y)) {
+					p.Reportf(v.OpPos, "raw %s on obj.SymID; use the obj constructors/accessors (FuncSym, BlockSym, AbsSym, Kind, FuncOrd, BlockRef, AbsAddr)", v.Op)
+				}
+			case *ast.CallExpr:
+				if len(v.Args) != 1 {
+					return true
+				}
+				tv, ok := p.Info.Types[v.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				to, from := tv.Type, p.Info.TypeOf(v.Args[0])
+				if from == nil {
+					return true
+				}
+				switch {
+				case isSymIDType(to) && !isSymIDType(from) && isIntegerType(from):
+					p.Reportf(v.Pos(), "obj.SymID constructed from raw bits; use FuncSym, BlockSym, or AbsSym")
+				case isSymIDType(from) && !isSymIDType(to) && isIntegerType(to):
+					p.Reportf(v.Pos(), "obj.SymID inspected through a raw integer conversion; use Kind, FuncOrd, BlockRef, or AbsAddr")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,28 @@
+// Package obj is boltvet testdata: a stand-in for internal/obj (the
+// import path ends in /obj, which is how the symid analyzer knows the
+// layout owner). Raw bit manipulation here is legal — this package
+// defines the layout.
+package obj
+
+// SymID mirrors the packed emission-symbol handle.
+type SymID uint64
+
+const (
+	symKindShift = 61
+	symPayload   = 1<<symKindShift - 1
+)
+
+// FuncSym packs a function ordinal (legal: layout owner).
+func FuncSym(ord int) SymID {
+	return SymID(1)<<symKindShift | SymID(ord)
+}
+
+// AbsAddr unpacks an absolute address (legal: layout owner).
+func (s SymID) AbsAddr() uint64 {
+	return uint64(s) & symPayload
+}
+
+// Kind returns the tag bits (legal: layout owner).
+func (s SymID) Kind() uint64 {
+	return uint64(s >> symKindShift)
+}

@@ -1,0 +1,31 @@
+// Package symid is boltvet testdata: consumers of the packed
+// emission-symbol type must use the obj helpers, never the raw bits.
+package symid
+
+import (
+	"gobolt/internal/lintvet/testdata/src/symid/obj"
+)
+
+// Resolve exercises legal helper access and every flagged shape: raw
+// shifts, masks, and integer conversions in both directions.
+func Resolve(sym obj.SymID, raw uint64) uint64 {
+	if sym.Kind() == 1 { // helpers are the sanctioned surface
+		return sym.AbsAddr()
+	}
+
+	kind := sym >> 61        // want "raw >> on obj.SymID"
+	masked := sym & 0xFF     // want "raw & on obj.SymID"
+	tagged := sym | 1<<61    // want "raw \\| on obj.SymID"
+	cleared := sym &^ 0xF0   // want "raw &\^ on obj.SymID"
+	bits := uint64(sym)      // want "raw integer conversion"
+	forged := obj.SymID(raw) // want "constructed from raw bits"
+	_, _, _, _, _ = kind, masked, tagged, cleared, forged
+
+	legit := obj.FuncSym(int(raw)) // constructors are the sanctioned path
+	_ = legit
+
+	//boltvet:symid-ok exercising the escape hatch
+	suppressed := uint64(sym)
+
+	return bits + suppressed
+}

@@ -22,7 +22,7 @@ type Reloc struct {
 	Off    uint32 // byte offset of the patch site within Bytes/Data
 	Type   uint32
 	Sym    string
-	SymID  uint64
+	SymID  SymID
 	Addend int64
 }
 

@@ -1,0 +1,68 @@
+package obj
+
+// SymID is a packed numeric symbol reference for emission relocations.
+// gobolt's rewriter resolves symbols by ordinal, not name, to keep the
+// hot emit phase free of string interning; the packing is
+//
+//	kind<<61 | payload
+//
+// where the payload layout depends on the kind:
+//
+//	SymFunc:  payload = function ordinal
+//	SymBlock: payload = ordinal<<24 | block index
+//	SymAbs:   payload = absolute address (data, PLT stubs, unmoved code)
+//
+// The encoding is an implementation detail of this package: construct
+// IDs with FuncSym/BlockSym/AbsSym and inspect them with Kind and the
+// per-kind accessors. Raw shift/mask expressions on SymID outside
+// internal/obj are flagged by the boltvet `symid` analyzer.
+type SymID uint64
+
+// SymKind discriminates the payload layout of a packed SymID.
+type SymKind uint8
+
+// Symbol kinds. SymNone is the zero value of an unset ID.
+const (
+	SymNone  SymKind = 0
+	SymFunc  SymKind = 1
+	SymBlock SymKind = 2
+	SymAbs   SymKind = 3
+)
+
+const (
+	symKindShift       = 61
+	symPayload   SymID = 1<<symKindShift - 1
+	symBlockBits       = 24
+	symBlockIdx  SymID = 1<<symBlockBits - 1
+)
+
+// MaxFuncBlocks is the block-index capacity of a SymBlock payload: a
+// function with more blocks than this cannot be emitted.
+const MaxFuncBlocks = 1 << symBlockBits
+
+// FuncSym packs a function-entry reference by ordinal.
+func FuncSym(ord int) SymID { return SymID(SymFunc)<<symKindShift | SymID(ord) }
+
+// BlockSym packs a basic-block reference: function ordinal plus block
+// index within that function.
+func BlockSym(ord, idx int) SymID {
+	return SymID(SymBlock)<<symKindShift | SymID(ord)<<symBlockBits | SymID(idx)
+}
+
+// AbsSym packs an absolute address (data, PLT stubs, unmoved code).
+func AbsSym(addr uint64) SymID { return SymID(SymAbs)<<symKindShift | SymID(addr) }
+
+// Kind returns the payload discriminator.
+func (id SymID) Kind() SymKind { return SymKind(id >> symKindShift) }
+
+// FuncOrd returns the function ordinal of a SymFunc ID.
+func (id SymID) FuncOrd() int { return int(id & symPayload) }
+
+// BlockRef returns the function ordinal and block index of a SymBlock ID.
+func (id SymID) BlockRef() (ord, idx int) {
+	payload := id & symPayload
+	return int(payload >> symBlockBits), int(payload & symBlockIdx)
+}
+
+// AbsAddr returns the absolute address of a SymAbs ID.
+func (id SymID) AbsAddr() uint64 { return uint64(id & symPayload) }
